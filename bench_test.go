@@ -1,0 +1,239 @@
+// Package siterecovery's benchmark harness: one macro-benchmark per
+// experiment (E1–E10, the reproduction's stand-ins for the paper's absent
+// tables/figures — see DESIGN.md §6), plus micro-benchmarks of the hot
+// protocol paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment tables themselves are printed by cmd/srbench.
+package siterecovery
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"siterecovery/internal/core"
+	"siterecovery/internal/experiments"
+	"siterecovery/internal/history"
+	"siterecovery/internal/lockmgr"
+	"siterecovery/internal/netsim"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/recovery"
+	"siterecovery/internal/txn"
+	"siterecovery/internal/workload"
+)
+
+// benchExperiment runs one registered experiment per iteration at Quick
+// scale, reporting rows produced.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var rows int
+	for b.Loop() {
+		table, err := r.Run(experiments.Quick)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		rows = len(table.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkE1Availability(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2WriteAvailability(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkE3RecoveryLatency(b *testing.B)   { benchExperiment(b, "E3") }
+func BenchmarkE4Identification(b *testing.B)    { benchExperiment(b, "E4") }
+func BenchmarkE5Overhead(b *testing.B)          { benchExperiment(b, "E5") }
+func BenchmarkE6MultiFailure(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7Certification(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8CopierPolicy(b *testing.B)      { benchExperiment(b, "E8") }
+func BenchmarkE9ControlCost(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkE10Recycling(b *testing.B)        { benchExperiment(b, "E10") }
+
+// --- micro-benchmarks of the protocol hot paths ---
+
+func benchCluster(b *testing.B, sites, items, degree int) *core.Cluster {
+	b.Helper()
+	c, err := core.New(core.Config{
+		Sites:     sites,
+		Placement: workload.UniformPlacement(items, degree, sites, 1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Start()
+	b.Cleanup(c.Stop)
+	return c
+}
+
+// BenchmarkTxnReadOnly measures a single-read user transaction end to end,
+// including the implicit session-vector read.
+func BenchmarkTxnReadOnly(b *testing.B) {
+	c := benchCluster(b, 3, 16, 3)
+	item := c.Catalog().Items()[0]
+	ctx := context.Background()
+	b.ResetTimer()
+	for b.Loop() {
+		err := c.Exec(ctx, 1, func(ctx context.Context, tx *txn.Tx) error {
+			_, err := tx.Read(ctx, item)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTxnReadWrite measures a read-modify-write transaction with
+// two-phase commit across three replicas.
+func BenchmarkTxnReadWrite(b *testing.B) {
+	c := benchCluster(b, 3, 16, 3)
+	item := c.Catalog().Items()[0]
+	ctx := context.Background()
+	b.ResetTimer()
+	for b.Loop() {
+		err := c.Exec(ctx, 1, func(ctx context.Context, tx *txn.Tx) error {
+			v, err := tx.Read(ctx, item)
+			if err != nil {
+				return err
+			}
+			return tx.Write(ctx, item, v+1)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecoveryRoundTrip measures a full crash/recover/current cycle
+// with fail-lock identification and 20 missed updates.
+func BenchmarkRecoveryRoundTrip(b *testing.B) {
+	c, err := core.New(core.Config{
+		Sites:     3,
+		Placement: workload.FullPlacement(40, 3),
+		Identify:  recovery.IdentifyFailLock,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Start()
+	b.Cleanup(c.Stop)
+	ctx := context.Background()
+	items := c.Catalog().Items()
+	b.ResetTimer()
+	for b.Loop() {
+		c.Crash(3)
+		for i := range 20 {
+			item := items[i%len(items)]
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				err := c.Exec(ctx, 1, func(ctx context.Context, tx *txn.Tx) error {
+					return tx.Write(ctx, item, proto.Value(i))
+				})
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					b.Fatal(err)
+				}
+			}
+		}
+		if _, err := c.Recover(ctx, 3); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.WaitCurrent(ctx, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLockAcquireRelease measures the lock manager's uncontended path.
+func BenchmarkLockAcquireRelease(b *testing.B) {
+	m := lockmgr.New(lockmgr.Config{})
+	ctx := context.Background()
+	b.ResetTimer()
+	for b.Loop() {
+		if err := m.Acquire(ctx, 1, "x", lockmgr.Exclusive); err != nil {
+			b.Fatal(err)
+		}
+		m.ReleaseAll(1)
+	}
+}
+
+// BenchmarkNetsimRoundTrip measures one simulated RPC.
+func BenchmarkNetsimRoundTrip(b *testing.B) {
+	n := netsim.New(netsim.Config{})
+	n.Register(1, func(context.Context, proto.SiteID, proto.Message) (proto.Message, error) {
+		return proto.ProbeResp{Operational: true}, nil
+	})
+	n.Register(2, func(context.Context, proto.SiteID, proto.Message) (proto.Message, error) {
+		return proto.ProbeResp{Operational: true}, nil
+	})
+	ctx := context.Background()
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := n.Call(ctx, 1, 2, proto.ProbeReq{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCertifyOneSR measures 1-STG construction + cycle detection on a
+// synthetic 2000-transaction history.
+func BenchmarkCertifyOneSR(b *testing.B) {
+	rec := history.NewRecorder()
+	rec.RegisterTxn(1, proto.ClassInitial)
+	rec.Commit(1, 0)
+	const txns = 2000
+	for i := 2; i < txns; i++ {
+		id := proto.TxnID(i)
+		rec.RegisterTxn(id, proto.ClassUser)
+		item := proto.Item(fmt.Sprintf("item-%d", i%37))
+		rec.Read(id, item, proto.SiteID(i%3+1), proto.TxnID(max(1, i-37)))
+		rec.Write(id, item, proto.SiteID(i%3+1), id)
+		rec.Commit(id, uint64(i))
+	}
+	h := rec.Snapshot()
+	b.ResetTimer()
+	for b.Loop() {
+		if ok, cycle := h.CertifyOneSR(history.DomainDB); !ok {
+			b.Fatalf("synthetic history rejected: %v", cycle)
+		}
+	}
+}
+
+// BenchmarkSessionVectorRead isolates the paper's per-transaction overhead:
+// the implicit local read of the nominal session vector (n shared locks +
+// n local reads, no messages).
+func BenchmarkSessionVectorRead(b *testing.B) {
+	for _, sites := range []int{3, 5, 8} {
+		b.Run(fmt.Sprintf("sites=%d", sites), func(b *testing.B) {
+			c, err := core.New(core.Config{
+				Sites:     sites,
+				Placement: workload.UniformPlacement(4, 2, sites, 1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.Start()
+			b.Cleanup(c.Stop)
+			ctx := context.Background()
+			b.ResetTimer()
+			for b.Loop() {
+				// An empty user transaction does exactly the implicit
+				// vector read, then a read-only release.
+				err := c.Exec(ctx, 1, func(ctx context.Context, tx *txn.Tx) error {
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

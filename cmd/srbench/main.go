@@ -1,0 +1,80 @@
+// Command srbench runs the reproduction's experiment suite (E1–E10, see
+// DESIGN.md §6) and prints each experiment's table.
+//
+// Usage:
+//
+//	srbench [-run E3] [-scale quick|full] [-csv]
+//	srbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"siterecovery/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		scale = flag.String("scale", "quick", "experiment scale: quick or full")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+	if err := realMain(*run, *scale, *csv, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "srbench:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(run, scaleName string, csv, list bool) error {
+	if list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", r.ID, r.Title, r.Claim)
+		}
+		return nil
+	}
+
+	var scale experiments.Scale
+	switch scaleName {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		return fmt.Errorf("unknown scale %q (quick|full)", scaleName)
+	}
+
+	var selected []experiments.Runner
+	if run == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(run, ",") {
+			r, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			selected = append(selected, r)
+		}
+	}
+
+	for _, r := range selected {
+		fmt.Printf("### %s: %s\nclaim: %s\n", r.ID, r.Title, r.Claim)
+		start := time.Now()
+		table, err := r.Run(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		if csv {
+			fmt.Print(table.CSV())
+		} else {
+			fmt.Print(table.String())
+		}
+		fmt.Printf("(%s in %s)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

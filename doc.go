@@ -1,0 +1,11 @@
+// Package siterecovery is a from-scratch Go reproduction of Bhargava &
+// Ruan, "Site Recovery in Replicated Distributed Database Systems"
+// (Purdue CSD-TR-564, 1985; IEEE ICDCS 1986).
+//
+// The implementation lives under internal/; the public entry point is
+// internal/core (cluster assembly), and the evaluation suite is
+// internal/experiments, driven by cmd/srbench. See README.md for a tour,
+// DESIGN.md for the system inventory and design decisions, and
+// EXPERIMENTS.md for the measured results. The root package holds only the
+// benchmark harness (bench_test.go).
+package siterecovery

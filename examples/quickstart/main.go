@@ -1,0 +1,104 @@
+// Quickstart: bring up a replicated cluster, lose a site, keep working,
+// recover it, and verify the execution was one-serializable.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"siterecovery/internal/core"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/recovery"
+	"siterecovery/internal/txn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 3-site cluster with one fully replicated item.
+	cluster, err := core.New(core.Config{
+		Sites: 3,
+		Placement: map[proto.Item][]proto.SiteID{
+			"greeting": {1, 2, 3},
+		},
+		Identify: recovery.IdentifyFailLock,
+	})
+	if err != nil {
+		return err
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	ctx := context.Background()
+
+	// Write through site 1: ROWAA sends the write to every nominally-up
+	// copy under two-phase locking and two-phase commit.
+	err = cluster.Exec(ctx, 1, func(ctx context.Context, tx *txn.Tx) error {
+		return tx.Write(ctx, "greeting", 1)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote greeting=1 at all three copies")
+
+	// Site 3 fail-stops. The next write discovers the crash, a type-2
+	// control transaction marks site 3 nominally down, and the retried
+	// write succeeds against the surviving copies.
+	cluster.Crash(3)
+	fmt.Println("site 3 crashed")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err = cluster.Exec(ctx, 1, func(ctx context.Context, tx *txn.Tx) error {
+			v, err := tx.Read(ctx, "greeting")
+			if err != nil {
+				return err
+			}
+			return tx.Write(ctx, "greeting", v+1)
+		})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("write while site 3 down: %w", err)
+		}
+	}
+	fmt.Println("incremented greeting while site 3 was down (site 3 missed it)")
+
+	// Site 3 recovers: it marks its fail-locked copies unreadable, claims
+	// itself nominally up with a fresh session number, and is operational
+	// immediately; a copier refreshes the stale copy in the background.
+	report, err := cluster.Recover(ctx, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("site 3 recovered: session=%d, %d stale cop(ies) marked, operational after %s\n",
+		report.Session, report.Marked, report.TimeToOperational.Round(10*time.Microsecond))
+
+	if err := cluster.WaitCurrent(ctx, 3); err != nil {
+		return err
+	}
+
+	// Read back at the recovered site.
+	var got proto.Value
+	err = cluster.Exec(ctx, 3, func(ctx context.Context, tx *txn.Tx) error {
+		v, err := tx.Read(ctx, "greeting")
+		got = v
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("read greeting=%d at recovered site 3\n", got)
+
+	// Certify the whole run one-serializable (§4's revised 1-STG).
+	if ok, cycle := cluster.CertifyOneSR(); !ok {
+		return fmt.Errorf("history not one-serializable: cycle %v", cycle)
+	}
+	fmt.Println("execution history certified one-serializable")
+	return nil
+}

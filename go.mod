@@ -1,0 +1,3 @@
+module siterecovery
+
+go 1.24

@@ -1,0 +1,124 @@
+// Package clock abstracts time for the simulator.
+//
+// Production code paths use the real wall clock; deterministic unit tests
+// use a Virtual clock whose time only moves when the test calls Advance.
+// Everything in the repository that sleeps, measures, or times out does so
+// through a Clock so that protocol logic never depends on the scheduler's
+// whims more than the test allows.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies current time and timer channels.
+type Clock interface {
+	// Now reports the clock's current time.
+	Now() time.Time
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks the calling goroutine for d on this clock.
+	Sleep(d time.Duration)
+	// Since reports the time elapsed since t on this clock.
+	Since(t time.Time) time.Duration
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// New returns the wall clock. It is the default everywhere.
+func New() Clock { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Virtual is a manually advanced clock for deterministic tests.
+// The zero value is not usable; construct with NewVirtual.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter
+}
+
+type waiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// NewVirtual returns a virtual clock starting at start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// After implements Clock. The returned channel fires when Advance moves the
+// clock to or past now+d. A non-positive d fires immediately.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	v.waiters = append(v.waiters, &waiter{at: v.now.Add(d), ch: ch})
+	return ch
+}
+
+// Sleep implements Clock. It returns once Advance moves the clock far enough.
+func (v *Virtual) Sleep(d time.Duration) { <-v.After(d) }
+
+// Since implements Clock.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Advance moves the clock forward by d and fires every timer that becomes
+// due, in due-time order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	v.now = v.now.Add(d)
+	now := v.now
+	var due, rest []*waiter
+	for _, w := range v.waiters {
+		if !w.at.After(now) {
+			due = append(due, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	v.waiters = rest
+	v.mu.Unlock()
+
+	// Fire outside the lock; channels are buffered so this never blocks.
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// PendingTimers reports how many timers have not fired yet. Useful for tests
+// that need to know a goroutine has parked on the clock.
+func (v *Virtual) PendingTimers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}

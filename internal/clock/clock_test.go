@@ -1,0 +1,124 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockBasics(t *testing.T) {
+	c := New()
+	before := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(before) < time.Millisecond {
+		t.Error("Since must reflect at least the slept duration")
+	}
+	select {
+	case <-c.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("After(0) did not fire promptly")
+	}
+}
+
+func TestVirtualNowAndSince(t *testing.T) {
+	start := time.Unix(1000, 0)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", v.Now(), start)
+	}
+	v.Advance(3 * time.Second)
+	if got := v.Since(start); got != 3*time.Second {
+		t.Fatalf("Since = %v, want 3s", got)
+	}
+}
+
+func TestVirtualAfterFiresOnAdvance(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	ch := v.After(10 * time.Millisecond)
+
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+
+	v.Advance(5 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("timer fired too early")
+	default:
+	}
+
+	v.Advance(5 * time.Millisecond)
+	select {
+	case at := <-ch:
+		if want := time.Unix(0, 0).Add(10 * time.Millisecond); !at.Equal(want) {
+			t.Errorf("fired at %v, want %v", at, want)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timer did not fire after Advance past due time")
+	}
+}
+
+func TestVirtualAfterNonPositiveFiresImmediately(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	select {
+	case <-v.After(0):
+	default:
+		t.Fatal("After(0) must fire immediately")
+	}
+	select {
+	case <-v.After(-time.Second):
+	default:
+		t.Fatal("After(<0) must fire immediately")
+	}
+}
+
+func TestVirtualMultipleWaiters(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	early := v.After(time.Millisecond)
+	late := v.After(time.Hour)
+	if got := v.PendingTimers(); got != 2 {
+		t.Fatalf("PendingTimers = %d, want 2", got)
+	}
+
+	v.Advance(time.Minute)
+	select {
+	case <-early:
+	default:
+		t.Fatal("early timer must have fired")
+	}
+	select {
+	case <-late:
+		t.Fatal("late timer must not have fired")
+	default:
+	}
+	if got := v.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers = %d, want 1", got)
+	}
+}
+
+func TestVirtualSleepBlocksUntilAdvance(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(time.Second)
+		close(done)
+	}()
+
+	// Wait for the sleeper to park on the clock.
+	for v.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	default:
+	}
+
+	v.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}

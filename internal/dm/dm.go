@@ -1,0 +1,656 @@
+// Package dm implements the data manager (DM) of one site: the module that
+// "carries out the physical operations on the copies stored at the site"
+// (§2 of the paper).
+//
+// The DM enforces the paper's session-number convention: every user-level
+// physical request carries the session number the issuing transaction
+// believes this site has, and is rejected unless it matches the site's
+// actual session number as[k]. Control transactions bypass the check so
+// that they can be processed at recovering sites (§3.3).
+//
+// The DM is also the two-phase-commit participant (lock, buffer, prepare,
+// install) and keeps the volatile bookkeeping for the §5 refinements:
+// fail-locks and the missing list, i.e. which items each down site has
+// missed updates on.
+package dm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"siterecovery/internal/clock"
+	"siterecovery/internal/history"
+	"siterecovery/internal/lockmgr"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/spooler"
+	"siterecovery/internal/storage"
+	"siterecovery/internal/wal"
+)
+
+// Tracking selects the §5 missed-update identification bookkeeping.
+type Tracking int
+
+// Tracking modes.
+const (
+	// TrackNone keeps no bookkeeping: the recovering site must mark every
+	// copy unreadable (the conservative basic algorithm of §3.4), or rely
+	// on copier version comparison.
+	TrackNone Tracking = iota + 1
+	// TrackFailLock records, per down site, the set of items updated while
+	// it was down (Bhargava's fail-locks [5]).
+	TrackFailLock
+	// TrackMissingList is the full missing list: like fail-locks, plus the
+	// recovering site inherits the entries about other still-down sites so
+	// it can rebuild its own list (§5).
+	TrackMissingList
+)
+
+// Callbacks let the surrounding site hook DM events.
+type Callbacks struct {
+	// OnUnreadableRead fires when a session-checked read hits an
+	// unreadable copy; the recovery manager uses it to trigger an
+	// on-demand copier.
+	OnUnreadableRead func(item proto.Item)
+	// ActiveTxn reports whether this site's transaction manager is still
+	// coordinating txn (in-flight, undecided). Decision queries answer
+	// "prepared" (in progress) for such transactions instead of the
+	// presumed-abort "unknown".
+	ActiveTxn func(txn proto.TxnID) bool
+}
+
+// Config assembles a DM.
+type Config struct {
+	Site     proto.SiteID
+	Store    *storage.Store
+	Locks    *lockmgr.Manager
+	Log      *wal.Log
+	Recorder *history.Recorder
+	Clock    clock.Clock
+	Tracking Tracking
+	// Spool, when set, enables the message-spooler baseline: committed
+	// writes that missed down sites are saved in the local spool store for
+	// replay at recovery (instead of, or in addition to, fail-lock
+	// bookkeeping).
+	Spool *spooler.Store
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	if c.Tracking == 0 {
+		c.Tracking = TrackNone
+	}
+	return c
+}
+
+type refreshVal struct {
+	value   proto.Value
+	version proto.Version
+}
+
+type txnLocal struct {
+	meta       proto.TxnMeta
+	missedBy   map[proto.Item][]proto.SiteID
+	refreshes  map[proto.Item]refreshVal
+	prepared   bool
+	preparedAt time.Time
+	createdAt  time.Time
+}
+
+// Manager is one site's data manager. Create with New.
+type Manager struct {
+	cfg Config
+	cb  Callbacks
+
+	mu       sync.Mutex
+	session  proto.Session
+	crashed  bool
+	inflight map[proto.TxnID]*txnLocal
+	// missed[j] is the set of items site j has missed updates on, as known
+	// here (fail-locks / missing list; volatile, §5).
+	missed map[proto.SiteID]map[proto.Item]bool
+}
+
+// New returns a data manager.
+func New(cfg Config, cb Callbacks) *Manager {
+	return &Manager{
+		cfg:      cfg.withDefaults(),
+		cb:       cb,
+		inflight: make(map[proto.TxnID]*txnLocal),
+		missed:   make(map[proto.SiteID]map[proto.Item]bool),
+	}
+}
+
+// Site returns the owning site.
+func (m *Manager) Site() proto.SiteID { return m.cfg.Site }
+
+// Session returns the actual session number as[k] (0 when not operational).
+func (m *Manager) Session() proto.Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.session
+}
+
+// SetSession loads a session number into as[k]; loading a non-zero value is
+// the moment the site becomes operational (§3.4 step 4).
+func (m *Manager) SetSession(s proto.Session) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.session = s
+}
+
+// Operational reports whether the site accepts user transactions.
+func (m *Manager) Operational() bool { return m.Session() != proto.NoSession }
+
+// Alive reports whether the site's process is running at all (it may still
+// be recovering). A transaction manager whose site died must stop acting.
+func (m *Manager) Alive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.crashed
+}
+
+// Crash models a fail-stop crash: all volatile state dies (locks, pending
+// writes, unreadable marks, fail-locks, in-flight 2PC state, the session
+// number); stable storage (committed copies, session counter, WAL) stays.
+func (m *Manager) Crash() {
+	m.mu.Lock()
+	m.crashed = true
+	m.session = proto.NoSession
+	m.inflight = make(map[proto.TxnID]*txnLocal)
+	m.missed = make(map[proto.SiteID]map[proto.Item]bool)
+	m.mu.Unlock()
+	m.cfg.Store.Crash()
+	m.cfg.Locks.CrashReset()
+}
+
+// Restart turns the TM/DM pair back on with as[k] = 0: the site is
+// recovering, able to process control transactions but not user
+// transactions (§3.4 step 1).
+func (m *Manager) Restart() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = false
+	m.session = proto.NoSession
+}
+
+// Handle dispatches one network message. It is the site's wire entry point
+// for data operations.
+func (m *Manager) Handle(ctx context.Context, from proto.SiteID, msg proto.Message) (proto.Message, error) {
+	switch req := msg.(type) {
+	case proto.ReadReq:
+		return m.handleRead(ctx, req)
+	case proto.WriteReq:
+		return m.handleWrite(ctx, req)
+	case proto.PrepareReq:
+		return m.handlePrepare(req)
+	case proto.CommitReq:
+		return m.handleCommit(req)
+	case proto.AbortReq:
+		return m.handleAbort(req)
+	case proto.DecisionReq:
+		return m.handleDecision(req)
+	case proto.ProbeReq:
+		return m.handleProbe()
+	case proto.MissedFetchReq:
+		return m.handleMissedFetch(req)
+	default:
+		return nil, fmt.Errorf("dm at %v: unhandled message %T", m.cfg.Site, msg)
+	}
+}
+
+// gate performs the session-number check of §3.2.
+func (m *Manager) gate(meta proto.TxnMeta, mode proto.CheckMode, expect proto.Session) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return proto.ErrSiteDown
+	}
+	if mode != proto.CheckSession {
+		return nil
+	}
+	if m.session == proto.NoSession {
+		return fmt.Errorf("%v serving %v: %w", m.cfg.Site, meta.ID, proto.ErrNotOperational)
+	}
+	if expect != m.session {
+		return fmt.Errorf("%v serving %v: carried %d, actual %d: %w",
+			m.cfg.Site, meta.ID, expect, m.session, proto.ErrSessionMismatch)
+	}
+	return nil
+}
+
+// track registers the transaction locally so aborts can clean up.
+func (m *Manager) track(meta proto.TxnMeta) *txnLocal {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.inflight[meta.ID]
+	if !ok {
+		t = &txnLocal{
+			meta:      meta,
+			missedBy:  make(map[proto.Item][]proto.SiteID),
+			refreshes: make(map[proto.Item]refreshVal),
+			createdAt: m.cfg.Clock.Now(),
+		}
+		m.inflight[meta.ID] = t
+	}
+	return t
+}
+
+func (m *Manager) handleRead(ctx context.Context, req proto.ReadReq) (proto.Message, error) {
+	if err := m.gate(req.Txn, req.Mode, req.Expect); err != nil {
+		return nil, err
+	}
+	if !m.cfg.Store.HasCopy(req.Item) {
+		return nil, fmt.Errorf("%v read %q: %w", m.cfg.Site, req.Item, storage.ErrNoCopy)
+	}
+	if err := m.cfg.Locks.Acquire(ctx, req.Txn.ID, string(req.Item), lockmgr.Shared); err != nil {
+		return nil, err
+	}
+	m.track(req.Txn)
+	if !req.ReadOld && m.cfg.Store.IsUnreadable(req.Item) {
+		// Back out the untouched lock and report; the reader either waits
+		// for a copier or reads another copy (§3.2 leaves the choice open).
+		m.cfg.Locks.ReleaseOne(req.Txn.ID, string(req.Item))
+		if m.cb.OnUnreadableRead != nil {
+			m.cb.OnUnreadableRead(req.Item)
+		}
+		return nil, fmt.Errorf("%v read %q: %w", m.cfg.Site, req.Item, proto.ErrUnreadable)
+	}
+	value, version, err := m.cfg.Store.Committed(req.Item)
+	if err != nil {
+		return nil, err
+	}
+	if m.cfg.Recorder != nil && !req.NoRecord {
+		m.cfg.Recorder.Read(req.Txn.ID, req.Item, m.cfg.Site, version.Writer)
+	}
+	return proto.ReadResp{Value: value, Version: version}, nil
+}
+
+func (m *Manager) handleWrite(ctx context.Context, req proto.WriteReq) (proto.Message, error) {
+	if err := m.gate(req.Txn, req.Mode, req.Expect); err != nil {
+		return nil, err
+	}
+	if err := m.cfg.Locks.Acquire(ctx, req.Txn.ID, string(req.Item), lockmgr.Exclusive); err != nil {
+		return nil, err
+	}
+	if err := m.cfg.Store.BufferWrite(req.Txn.ID, req.Item, req.Value); err != nil {
+		return nil, err
+	}
+	t := m.track(req.Txn)
+	m.mu.Lock()
+	t.missedBy[req.Item] = append([]proto.SiteID(nil), req.MissedBy...)
+	m.mu.Unlock()
+	return proto.WriteResp{}, nil
+}
+
+// LockExclusive takes an X lock on a local copy without writing yet. The
+// copier driver uses it to pin the stale copy before reading the source,
+// which closes the race where a concurrent user write refreshes the copy
+// and the copier would then clobber it with an older version.
+func (m *Manager) LockExclusive(ctx context.Context, meta proto.TxnMeta, item proto.Item) error {
+	if !m.cfg.Store.HasCopy(item) {
+		return fmt.Errorf("%v lock %q: %w", m.cfg.Site, item, storage.ErrNoCopy)
+	}
+	if err := m.cfg.Locks.Acquire(ctx, meta.ID, string(item), lockmgr.Exclusive); err != nil {
+		return err
+	}
+	m.track(meta)
+	return nil
+}
+
+// BufferRefresh buffers a copier-style refresh: at commit the value is
+// installed under the original writer's version (package history's
+// recording contract). The caller must already hold the X lock via
+// LockExclusive.
+func (m *Manager) BufferRefresh(meta proto.TxnMeta, item proto.Item, value proto.Value, version proto.Version) {
+	t := m.track(meta)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t.refreshes[item] = refreshVal{value: value, version: version}
+}
+
+// IsUnreadable exposes the copy mark to the local recovery driver.
+func (m *Manager) IsUnreadable(item proto.Item) bool { return m.cfg.Store.IsUnreadable(item) }
+
+func (m *Manager) handlePrepare(req proto.PrepareReq) (proto.Message, error) {
+	m.mu.Lock()
+	t, known := m.inflight[req.Txn.ID]
+	m.mu.Unlock()
+	if !known {
+		// We lost this transaction's state (crash) or never saw it.
+		return proto.PrepareResp{Vote: false}, nil
+	}
+	if m.cfg.Locks.Wounded(req.Txn.ID) {
+		return proto.PrepareResp{Vote: false}, nil
+	}
+
+	writes := make([]wal.WriteRec, 0, 4)
+	for item, value := range m.cfg.Store.PendingWrites(req.Txn.ID) {
+		writes = append(writes, wal.WriteRec{Item: item, Value: value})
+	}
+	m.mu.Lock()
+	for item, rv := range t.refreshes {
+		writes = append(writes, wal.WriteRec{
+			Item: item, Value: rv.value, Refresh: true, Version: rv.version,
+		})
+	}
+	t.prepared = true
+	t.preparedAt = m.cfg.Clock.Now()
+	m.mu.Unlock()
+	sort.Slice(writes, func(i, j int) bool { return writes[i].Item < writes[j].Item })
+
+	m.cfg.Log.Append(wal.Record{
+		Type: wal.RecordPrepare, Role: wal.RoleParticipant,
+		Txn: req.Txn.ID, Writes: writes, Origin: req.Txn.Origin,
+	})
+	return proto.PrepareResp{Vote: true}, nil
+}
+
+func (m *Manager) handleCommit(req proto.CommitReq) (proto.Message, error) {
+	if err := m.finishCommit(req.Txn.ID, req.CommitSeq); err != nil {
+		return nil, err
+	}
+	return proto.CommitResp{}, nil
+}
+
+// finishCommit installs txn's pending writes and refreshes, applies the
+// missed-update bookkeeping, logs, records history, and releases locks.
+func (m *Manager) finishCommit(txn proto.TxnID, commitSeq uint64) error {
+	m.mu.Lock()
+	t, known := m.inflight[txn]
+	if !known {
+		m.mu.Unlock()
+		if state, _ := m.cfg.Log.Outcome(txn); state == proto.StateCommitted {
+			return nil // duplicate delivery
+		}
+		return fmt.Errorf("%v commit %v: %w", m.cfg.Site, txn, proto.ErrUnknownTxn)
+	}
+	delete(m.inflight, txn)
+	missedBy := t.missedBy
+	refreshes := t.refreshes
+	m.mu.Unlock()
+
+	version := proto.Version{Counter: commitSeq, Writer: txn}
+	pendingValues := m.cfg.Store.PendingWrites(txn)
+	installed := m.cfg.Store.InstallPending(txn, version)
+	for _, item := range installed {
+		if m.cfg.Recorder != nil {
+			m.cfg.Recorder.Write(txn, item, m.cfg.Site, txn)
+		}
+		m.noteMissed(item, missedBy[item])
+		if m.cfg.Spool != nil {
+			for _, site := range missedBy[item] {
+				m.cfg.Spool.Append(site, proto.SpooledUpdate{
+					Item: item, Value: pendingValues[item],
+					CommitSeq: commitSeq, Writer: txn,
+				})
+			}
+		}
+	}
+	for item, rv := range refreshes {
+		if _, err := m.cfg.Store.InstallDirect(item, rv.value, rv.version); err != nil {
+			return err
+		}
+		if m.cfg.Recorder != nil {
+			m.cfg.Recorder.Write(txn, item, m.cfg.Site, rv.version.Writer)
+		}
+	}
+
+	m.cfg.Log.Append(wal.Record{
+		Type: wal.RecordCommit, Role: wal.RoleParticipant,
+		Txn: txn, CommitSeq: commitSeq,
+	})
+	m.cfg.Locks.ReleaseAll(txn)
+	return nil
+}
+
+// noteMissed applies §5 bookkeeping: the committed write of item missed the
+// listed down sites.
+func (m *Manager) noteMissed(item proto.Item, missed []proto.SiteID) {
+	if m.cfg.Tracking == TrackNone || len(missed) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, site := range missed {
+		set, ok := m.missed[site]
+		if !ok {
+			set = make(map[proto.Item]bool)
+			m.missed[site] = set
+		}
+		set[item] = true
+	}
+}
+
+func (m *Manager) handleAbort(req proto.AbortReq) (proto.Message, error) {
+	if req.ReadOnlyEnd {
+		m.mu.Lock()
+		delete(m.inflight, req.Txn.ID)
+		m.mu.Unlock()
+		m.cfg.Locks.ReleaseAll(req.Txn.ID)
+		return proto.AbortResp{}, nil
+	}
+	m.finishAbort(req.Txn.ID)
+	return proto.AbortResp{}, nil
+}
+
+func (m *Manager) finishAbort(txn proto.TxnID) {
+	m.mu.Lock()
+	_, known := m.inflight[txn]
+	delete(m.inflight, txn)
+	m.mu.Unlock()
+	m.cfg.Store.DropPending(txn)
+	if known {
+		m.cfg.Log.Append(wal.Record{
+			Type: wal.RecordAbort, Role: wal.RoleParticipant, Txn: txn,
+		})
+	}
+	m.cfg.Locks.ReleaseAll(txn)
+}
+
+func (m *Manager) handleDecision(req proto.DecisionReq) (proto.Message, error) {
+	state, seq := m.cfg.Log.Outcome(req.Txn)
+	if state == proto.StateUnknown && m.cb.ActiveTxn != nil && m.cb.ActiveTxn(req.Txn) {
+		// Still being coordinated here: tell the asker to keep waiting
+		// rather than presume abort.
+		state = proto.StatePrepared
+	}
+	return proto.DecisionResp{State: state, CommitSeq: seq}, nil
+}
+
+func (m *Manager) handleProbe() (proto.Message, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return proto.ProbeResp{
+		Operational: !m.crashed && m.session != proto.NoSession,
+		Session:     m.session,
+	}, nil
+}
+
+func (m *Manager) handleMissedFetch(req proto.MissedFetchReq) (proto.Message, error) {
+	if m.cfg.Tracking == TrackNone {
+		return proto.MissedFetchResp{}, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	resp := proto.MissedFetchResp{}
+	for item := range m.missed[req.For] {
+		resp.Missed = append(resp.Missed, item)
+	}
+	sort.Slice(resp.Missed, func(i, j int) bool { return resp.Missed[i] < resp.Missed[j] })
+	delete(m.missed, req.For)
+
+	if m.cfg.Tracking == TrackMissingList {
+		resp.Others = make(map[proto.SiteID][]proto.Item, len(m.missed))
+		for site, items := range m.missed {
+			list := make([]proto.Item, 0, len(items))
+			for item := range items {
+				list = append(list, item)
+			}
+			sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+			resp.Others[site] = list
+		}
+	}
+	return resp, nil
+}
+
+// AdoptMissed merges inherited missing-list entries about other sites
+// (§5: a recovering site "forms its own ML using the entries (X, j) seen in
+// the MLs at other operational sites").
+func (m *Manager) AdoptMissed(others map[proto.SiteID][]proto.Item) {
+	if m.cfg.Tracking != TrackMissingList {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for site, items := range others {
+		if site == m.cfg.Site {
+			continue
+		}
+		set, ok := m.missed[site]
+		if !ok {
+			set = make(map[proto.Item]bool)
+			m.missed[site] = set
+		}
+		for _, item := range items {
+			set[item] = true
+		}
+	}
+}
+
+// MissedFor exposes the local bookkeeping for tests and experiments.
+func (m *Manager) MissedFor(site proto.SiteID) []proto.Item {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	items := make([]proto.Item, 0, len(m.missed[site]))
+	for item := range m.missed[site] {
+		items = append(items, item)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	return items
+}
+
+// StaleTxn is an in-flight transaction whose coordinator has gone quiet.
+type StaleTxn struct {
+	Meta     proto.TxnMeta
+	Prepared bool
+}
+
+// StaleTxns returns in-flight transactions that have seen no progress
+// within maxAge — prepared ones whose decision never arrived and unprepared
+// ones whose coordinator went silent (e.g. a lost reply left locks here).
+// The cooperative-termination janitor resolves them.
+func (m *Manager) StaleTxns(maxAge time.Duration) []StaleTxn {
+	now := m.cfg.Clock.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []StaleTxn
+	for _, t := range m.inflight {
+		ref := t.createdAt
+		if t.prepared {
+			ref = t.preparedAt
+		}
+		if now.Sub(ref) >= maxAge {
+			out = append(out, StaleTxn{Meta: t.meta, Prepared: t.prepared})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Meta.ID < out[j].Meta.ID })
+	return out
+}
+
+// StalePrepared returns the prepared subset of StaleTxns (kept for tests
+// that exercise classic in-doubt resolution).
+func (m *Manager) StalePrepared(maxAge time.Duration) []proto.TxnMeta {
+	var out []proto.TxnMeta
+	for _, st := range m.StaleTxns(maxAge) {
+		if st.Prepared {
+			out = append(out, st.Meta)
+		}
+	}
+	return out
+}
+
+// ForceCommit applies a commit decision learned via cooperative
+// termination.
+func (m *Manager) ForceCommit(txn proto.TxnID, commitSeq uint64) error {
+	return m.finishCommit(txn, commitSeq)
+}
+
+// ForceAbort applies an abort decision learned via cooperative termination
+// (or presumed abort).
+func (m *Manager) ForceAbort(txn proto.TxnID) {
+	m.finishAbort(txn)
+}
+
+// InDoubtTxn is an in-doubt transaction found in the stable log after a
+// crash.
+type InDoubtTxn struct {
+	Txn    proto.TxnID
+	Writes []wal.WriteRec // the write set this site prepared
+	Origin proto.SiteID   // the coordinator
+}
+
+// Items returns the write set's item names.
+func (d InDoubtTxn) Items() []proto.Item {
+	items := make([]proto.Item, 0, len(d.Writes))
+	for _, w := range d.Writes {
+		items = append(items, w.Item)
+	}
+	return items
+}
+
+// RecoverInDoubt returns the in-doubt transactions found in the stable log
+// after a crash, with the write sets and coordinators their prepare records
+// carry.
+func (m *Manager) RecoverInDoubt() []InDoubtTxn {
+	var out []InDoubtTxn
+	for _, txn := range m.cfg.Log.InDoubt() {
+		writes, origin := m.cfg.Log.PreparedRecord(txn)
+		out = append(out, InDoubtTxn{Txn: txn, Writes: writes, Origin: origin})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Txn < out[j].Txn })
+	return out
+}
+
+// ResolveRecoveredOutcome closes an in-doubt transaction discovered after a
+// crash. A committed outcome is redone from the prepare record's write set
+// (the install died with the crash); the version guard in the store keeps
+// redo idempotent and never regresses a newer copy. An aborted outcome is
+// only logged.
+func (m *Manager) ResolveRecoveredOutcome(d InDoubtTxn, committed bool, commitSeq uint64) error {
+	if !committed {
+		m.cfg.Log.Append(wal.Record{
+			Type: wal.RecordAbort, Role: wal.RoleParticipant, Txn: d.Txn,
+		})
+		return nil
+	}
+	for _, w := range d.Writes {
+		version := w.Version
+		if !w.Refresh {
+			version = proto.Version{Counter: commitSeq, Writer: d.Txn}
+		}
+		installed, err := m.cfg.Store.InstallDirect(w.Item, w.Value, version)
+		if err != nil {
+			return fmt.Errorf("redo %v at %v: %w", d.Txn, m.cfg.Site, err)
+		}
+		if installed && m.cfg.Recorder != nil {
+			m.cfg.Recorder.Write(d.Txn, w.Item, m.cfg.Site, version.Writer)
+		}
+	}
+	m.cfg.Log.Append(wal.Record{
+		Type: wal.RecordCommit, Role: wal.RoleParticipant,
+		Txn: d.Txn, CommitSeq: commitSeq,
+	})
+	return nil
+}
+
+// Store exposes the underlying store to the site assembly (recovery marks,
+// snapshots, session counter).
+func (m *Manager) Store() *storage.Store { return m.cfg.Store }
+
+// Log exposes the stable log (coordinator-side decision logging).
+func (m *Manager) Log() *wal.Log { return m.cfg.Log }

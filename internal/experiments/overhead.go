@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"siterecovery/internal/core"
+	"siterecovery/internal/lockmgr"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/replication"
+	"siterecovery/internal/workload"
+)
+
+// RunE5 measures the normal-operation cost of the session machinery: the
+// full ROWAA protocol against strict ROWA (no session vector, no session
+// checks) on an identical healthy cluster, plus the wound-wait lock policy
+// as an ablation.
+func RunE5(scale Scale) (*Table, error) {
+	items, clients := 60, 6
+	duration := 400 * time.Millisecond
+	if scale == Full {
+		duration = 3 * time.Second
+		clients = 12
+	}
+	table := &Table{
+		ID:      "E5",
+		Title:   "Normal-operation overhead of the session machinery (healthy 3-site cluster)",
+		Columns: []string{"config", "txn/s", "p50", "p99", "availability", "msgs/txn"},
+		Notes: []string{
+			"the ROWAA surcharge over strict ROWA is the implicit local read of the",
+			"nominal session vector plus the carried session numbers: no extra messages",
+		},
+	}
+
+	type variant struct {
+		name   string
+		cfgMod func(*core.Config)
+	}
+	variants := []variant{
+		{name: "rowaa+sessions", cfgMod: func(c *core.Config) { c.Profile = replication.ROWAA }},
+		{name: "rowa(no sessions)", cfgMod: func(c *core.Config) { c.Profile = replication.ROWA }},
+		{name: "rowaa+woundwait", cfgMod: func(c *core.Config) {
+			c.Profile = replication.ROWAA
+			c.LockPolicy = lockmgr.PolicyWoundWait
+		}},
+		{name: "quorum", cfgMod: func(c *core.Config) { c.Profile = replication.Quorum }},
+	}
+	for _, v := range variants {
+		cfg := core.Config{
+			Sites:     3,
+			Placement: workload.FullPlacement(items, 3),
+		}
+		v.cfgMod(&cfg)
+		c, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.Start()
+
+		genItems := c.Catalog().Items()
+		res, err := workload.Run(context.Background(), c, workload.DriverConfig{
+			Clients:  clients,
+			Duration: duration,
+			Generator: workload.GeneratorConfig{
+				Items: genItems, Seed: 5, OpsPerTxn: 3, ReadFraction: 0.6,
+			},
+		})
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("E5 %s: %w", v.name, err)
+		}
+		msgs := c.Network().TotalSent()
+		c.Stop()
+
+		perTxn := 0.0
+		if res.Committed > 0 {
+			perTxn = float64(msgs) / float64(res.Committed)
+		}
+		table.AddRow(
+			v.name,
+			fmt.Sprintf("%.0f", res.Throughput()),
+			res.Latency.Quantile(0.50).Round(time.Microsecond).String(),
+			res.Latency.Quantile(0.99).Round(time.Microsecond).String(),
+			fmt.Sprintf("%.3f", res.Availability()),
+			fmt.Sprintf("%.1f", perTxn),
+		)
+	}
+	return table, nil
+}
+
+// RunE9 measures control-transaction activity: zero during failure-free
+// operation, and a bounded burst per failure/recovery event, independent of
+// user-transaction volume.
+func RunE9(scale Scale) (*Table, error) {
+	items := 40
+	duration := 300 * time.Millisecond
+	cycles := 2
+	if scale == Full {
+		duration = 2 * time.Second
+		cycles = 6
+	}
+	table := &Table{
+		ID:      "E9",
+		Title:   "Control transactions are only necessary when sites fail or recover",
+		Columns: []string{"sites", "fail_events", "user_txns", "type1_committed", "type2_committed", "ctrl_per_event"},
+	}
+	for _, sites := range []int{3, 5, 8} {
+		for _, withFailures := range []bool{false, true} {
+			c, err := core.New(core.Config{
+				Sites:     sites,
+				Placement: workload.UniformPlacement(items, 3, sites, 11),
+			})
+			if err != nil {
+				return nil, err
+			}
+			c.Start()
+
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			done := make(chan error, 1)
+			go func() {
+				_, err := workload.Run(ctx, c, workload.DriverConfig{
+					Clients:  sites,
+					Duration: duration,
+					Generator: workload.GeneratorConfig{
+						Items: c.Catalog().Items(), Seed: 3, OpsPerTxn: 2,
+					},
+				})
+				done <- err
+			}()
+
+			events := 0
+			if withFailures {
+				per := duration / time.Duration(cycles*2+1)
+				victim := proto.SiteID(sites)
+				var schedule []workload.Event
+				for i := 0; i < cycles; i++ {
+					schedule = append(schedule,
+						workload.Event{After: time.Duration(2*i+1) * per, Site: victim, Kind: workload.EventCrash},
+						workload.Event{After: time.Duration(2*i+2) * per, Site: victim, Kind: workload.EventRecover},
+					)
+				}
+				if err := workload.RunSchedule(ctx, c, nil, schedule); err != nil {
+					cancel()
+					c.Stop()
+					return nil, err
+				}
+				events = cycles * 2
+			}
+			if err := <-done; err != nil {
+				cancel()
+				c.Stop()
+				return nil, fmt.Errorf("E9 driver: %w", err)
+			}
+			cancel()
+
+			var t1, t2 uint64
+			var userTxns uint64
+			for _, s := range c.Sites() {
+				st := c.Site(s).Session.Stats()
+				t1 += st.Type1Committed
+				t2 += st.Type2Committed
+				userTxns += c.Site(s).TM.Stats().Committed
+			}
+			c.Stop()
+
+			perEvent := "n/a"
+			if events > 0 {
+				perEvent = fmt.Sprintf("%.1f", float64(t1+t2)/float64(events))
+			}
+			table.AddRow(
+				fmt.Sprintf("%d", sites),
+				fmt.Sprintf("%d", events),
+				fmt.Sprintf("%d", userTxns),
+				fmt.Sprintf("%d", t1),
+				fmt.Sprintf("%d", t2),
+				perEvent,
+			)
+		}
+	}
+	return table, nil
+}

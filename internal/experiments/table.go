@@ -1,0 +1,127 @@
+// Package experiments implements the reproduction's evaluation suite.
+//
+// The paper (ICDCS 1986) is a protocol-and-proof paper with no measured
+// tables or figures, so each experiment here operationalizes one of its
+// quantitative *claims* (availability, immediate resumption, negligible
+// overhead, robustness, correctness) as a measurable run on the simulated
+// DDBS; see DESIGN.md §6 for the index and EXPERIMENTS.md for outcomes.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output, printable as text or CSV.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders an aligned text table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+
+	widths := make([]int, len(t.Columns))
+	for i, col := range t.Columns {
+		widths[i] = len(col)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Scale selects how big an experiment runs.
+type Scale int
+
+// Scales.
+const (
+	// Quick keeps runs under a couple of seconds; used by tests and the
+	// benchmark harness.
+	Quick Scale = iota + 1
+	// Full is the cmd/srbench configuration reported in EXPERIMENTS.md.
+	Full
+)
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Claim string // the paper claim being tested
+	Run   func(scale Scale) (*Table, error)
+}
+
+// All returns the experiment registry in ID order.
+func All() []Runner {
+	return []Runner{
+		{ID: "E1", Title: "Operation availability vs failed sites", Claim: "§1/§6: a data item is available as long as one copy is at an operational site", Run: RunE1},
+		{ID: "E2", Title: "Write availability vs per-site uptime", Claim: "§2: strict ROWA's degraded write availability is impractical", Run: RunE2},
+		{ID: "E3", Title: "Recovery latency vs missed updates", Claim: "§1/§3: the recovering site resumes normal operations as soon as possible", Run: RunE3},
+		{ID: "E4", Title: "Out-of-date identification strategies", Claim: "§5: identifying missed updates precisely eliminates unnecessary copier work", Run: RunE4},
+		{ID: "E5", Title: "Normal-operation overhead", Claim: "§6: the extra cost to user transactions is negligible", Run: RunE5},
+		{ID: "E6", Title: "Robustness to multiple failures", Claim: "§3.4: recovery succeeds while at least one site is operational, even with crashes during recovery", Run: RunE6},
+		{ID: "E7", Title: "One-serializability certification", Claim: "§1/§4: the naive scheme is unrecoverable; the protocol's executions are 1-SR (Theorem 3)", Run: RunE7},
+		{ID: "E8", Title: "Copier scheduling policies", Claim: "§3.2: eager vs on-demand copiers trade freshness for read latency, not correctness", Run: RunE8},
+		{ID: "E9", Title: "Control-transaction cost", Claim: "§6: control transactions are only necessary when sites fail or recover", Run: RunE9},
+		{ID: "E10", Title: "Session number lifecycle", Claim: "§3.1: session checks reject every stale request across repeated fail/recover cycles", Run: RunE10},
+	}
+}
+
+// ByID finds a registered experiment.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if strings.EqualFold(r.ID, id) {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

@@ -1,0 +1,183 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"siterecovery/internal/proto"
+)
+
+// maxBruteForceTxns bounds the factorial search of OneSRBruteForce.
+const maxBruteForceTxns = 9
+
+// BruteResult is the outcome of the exact 1-SR decision procedure.
+type BruteResult struct {
+	// OneSR reports whether some one-copy serial order is equivalent to
+	// the history.
+	OneSR bool
+	// Witness is an equivalent serial order when OneSR is true.
+	Witness []proto.TxnID
+}
+
+// OneSRBruteForce decides one-serializability exactly by enumerating every
+// serial order of the committed non-copier transactions that touch the
+// domain and comparing READ-FROM relations (§4.1). With checkFinal set it
+// additionally requires the final database state to match (the augmented
+// history's final transaction), which presumes all copies have converged —
+// quiesce and fully recover the cluster first.
+//
+// It refuses histories with more than 9 relevant transactions.
+func (h *History) OneSRBruteForce(domain Domain, checkFinal bool) (BruteResult, error) {
+	type txnOps struct {
+		id     proto.TxnID
+		reads  map[proto.Item]proto.TxnID // item -> writer read from
+		writes map[proto.Item]bool
+	}
+
+	relevant := make(map[proto.TxnID]*txnOps)
+	finalWriter := make(map[proto.Item]map[proto.SiteID]proto.TxnID)
+
+	for _, op := range h.Ops(domain) {
+		info := h.txns[op.Txn]
+		if info.Class == proto.ClassCopier {
+			// Copiers are invisible to the one-copy serial history, but
+			// their installs define copy final states.
+			if op.Kind == OpWrite {
+				if finalWriter[op.Item] == nil {
+					finalWriter[op.Item] = make(map[proto.SiteID]proto.TxnID)
+				}
+				finalWriter[op.Item][op.Site] = op.Writer
+			}
+			continue
+		}
+		t, ok := relevant[op.Txn]
+		if !ok {
+			t = &txnOps{
+				id:     op.Txn,
+				reads:  make(map[proto.Item]proto.TxnID),
+				writes: make(map[proto.Item]bool),
+			}
+			relevant[op.Txn] = t
+		}
+		switch op.Kind {
+		case OpRead:
+			if op.Writer == op.Txn {
+				// Reading one's own write is trivially consistent in any
+				// serial order; it constrains nothing.
+				break
+			}
+			if prev, dup := t.reads[op.Item]; dup && prev != op.Writer {
+				// The same transaction observed two different versions of
+				// one logical item: impossible in any one-copy serial
+				// history.
+				return BruteResult{}, nil
+			}
+			t.reads[op.Item] = op.Writer
+		case OpWrite:
+			if op.Writer == op.Txn {
+				t.writes[op.Item] = true
+			}
+			if finalWriter[op.Item] == nil {
+				finalWriter[op.Item] = make(map[proto.SiteID]proto.TxnID)
+			}
+			finalWriter[op.Item][op.Site] = op.Writer
+		}
+	}
+
+	ids := make([]proto.TxnID, 0, len(relevant))
+	for id := range relevant {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) > maxBruteForceTxns {
+		return BruteResult{}, fmt.Errorf("history has %d relevant transactions, brute force capped at %d", len(ids), maxBruteForceTxns)
+	}
+
+	inSet := make(map[proto.TxnID]bool, len(ids))
+	for _, id := range ids {
+		inSet[id] = true
+	}
+
+	// Final-state requirement: all copies of an item must agree on their
+	// last writer; the serial order's last writer must match it.
+	finalLogical := make(map[proto.Item]proto.TxnID)
+	if checkFinal {
+		for item, sites := range finalWriter {
+			var w proto.TxnID
+			first := true
+			for _, sw := range sites {
+				if first {
+					w, first = sw, false
+					continue
+				}
+				if sw != w {
+					// Divergent copies: no one-copy serial history has a
+					// final transaction reading two versions of one item.
+					return BruteResult{}, nil
+				}
+			}
+			finalLogical[item] = w
+		}
+	}
+
+	matches := func(order []proto.TxnID) bool {
+		last := make(map[proto.Item]proto.TxnID, 8)
+		for _, id := range order {
+			t := relevant[id]
+			for item, from := range t.reads {
+				cur, written := last[item]
+				switch {
+				case !written:
+					// Serial execution reads the initial version: the
+					// actual read must come from outside the transaction
+					// set (the synthetic initial transaction).
+					if inSet[from] {
+						return false
+					}
+				case cur != from:
+					return false
+				}
+			}
+			for item := range t.writes {
+				last[item] = id
+			}
+		}
+		if checkFinal {
+			for item, want := range finalLogical {
+				cur, written := last[item]
+				switch {
+				case !written:
+					if inSet[want] {
+						return false
+					}
+				case cur != want:
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	order := make([]proto.TxnID, len(ids))
+	copy(order, ids)
+	var permute func(k int) bool
+	permute = func(k int) bool {
+		if k == len(order) {
+			return matches(order)
+		}
+		for i := k; i < len(order); i++ {
+			order[k], order[i] = order[i], order[k]
+			if permute(k + 1) {
+				return true
+			}
+			order[k], order[i] = order[i], order[k]
+		}
+		return false
+	}
+	if permute(0) {
+		witness := make([]proto.TxnID, len(order))
+		copy(witness, order)
+		return BruteResult{OneSR: true, Witness: witness}, nil
+	}
+	return BruteResult{}, nil
+}

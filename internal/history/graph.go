@@ -1,0 +1,318 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"siterecovery/internal/proto"
+)
+
+// EdgeKind labels why an edge exists, for diagnostics.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	EdgeConflict EdgeKind = iota + 1
+	EdgeReadFrom
+	EdgeWriteOrder
+	EdgeReadBefore
+)
+
+// String implements fmt.Stringer.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeConflict:
+		return "conflict"
+	case EdgeReadFrom:
+		return "read-from"
+	case EdgeWriteOrder:
+		return "write-order"
+	case EdgeReadBefore:
+		return "read-before"
+	default:
+		return fmt.Sprintf("edge(%d)", int(k))
+	}
+}
+
+// Graph is a directed graph over transactions.
+type Graph struct {
+	nodes map[proto.TxnID]bool
+	edges map[proto.TxnID]map[proto.TxnID]EdgeKind
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		nodes: make(map[proto.TxnID]bool),
+		edges: make(map[proto.TxnID]map[proto.TxnID]EdgeKind),
+	}
+}
+
+// AddNode ensures a node exists.
+func (g *Graph) AddNode(t proto.TxnID) { g.nodes[t] = true }
+
+// AddEdge adds a directed edge (keeping the first kind recorded).
+func (g *Graph) AddEdge(from, to proto.TxnID, kind EdgeKind) {
+	if from == to {
+		return
+	}
+	g.AddNode(from)
+	g.AddNode(to)
+	m, ok := g.edges[from]
+	if !ok {
+		m = make(map[proto.TxnID]EdgeKind)
+		g.edges[from] = m
+	}
+	if _, exists := m[to]; !exists {
+		m[to] = kind
+	}
+}
+
+// HasEdge reports whether from→to exists.
+func (g *Graph) HasEdge(from, to proto.TxnID) bool {
+	_, ok := g.edges[from][to]
+	return ok
+}
+
+// Nodes returns the node set sorted by ID.
+func (g *Graph) Nodes() []proto.TxnID {
+	out := make([]proto.TxnID, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EdgeCount reports the number of edges.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, m := range g.edges {
+		n += len(m)
+	}
+	return n
+}
+
+// Cycle returns a directed cycle if one exists (as a node sequence whose
+// last element closes back to the first), or nil if the graph is acyclic.
+func (g *Graph) Cycle() []proto.TxnID {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[proto.TxnID]int, len(g.nodes))
+	var stack []proto.TxnID
+	var cycle []proto.TxnID
+
+	var visit func(n proto.TxnID) bool
+	visit = func(n proto.TxnID) bool {
+		color[n] = grey
+		stack = append(stack, n)
+		// Deterministic order for reproducible diagnostics.
+		succs := make([]proto.TxnID, 0, len(g.edges[n]))
+		for s := range g.edges[n] {
+			succs = append(succs, s)
+		}
+		sort.Slice(succs, func(i, j int) bool { return succs[i] < succs[j] })
+		for _, s := range succs {
+			switch color[s] {
+			case grey:
+				// Found a cycle: slice the stack from s.
+				for i, v := range stack {
+					if v == s {
+						cycle = append(cycle, stack[i:]...)
+						return true
+					}
+				}
+			case white:
+				if visit(s) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		stack = stack[:len(stack)-1]
+		return false
+	}
+
+	for _, n := range g.Nodes() {
+		if color[n] == white && visit(n) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Acyclic reports whether the graph has no directed cycle.
+func (g *Graph) Acyclic() bool { return g.Cycle() == nil }
+
+// String renders the edge list for debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, from := range g.Nodes() {
+		tos := make([]proto.TxnID, 0, len(g.edges[from]))
+		for to := range g.edges[from] {
+			tos = append(tos, to)
+		}
+		sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
+		for _, to := range tos {
+			fmt.Fprintf(&b, "%s -> %s (%s)\n", from, to, g.edges[from][to])
+		}
+	}
+	return b.String()
+}
+
+// ConflictGraph builds the CG of the committed history restricted to the
+// domain: transactions with conflicting operations on the same physical
+// copy (read-write, write-read, or write-write) are edged in the order the
+// operations were observed. A correct two-phase-locked execution yields an
+// acyclic CG (class DCP/DSR).
+func (h *History) ConflictGraph(domain Domain) *Graph {
+	g := NewGraph()
+	type copyKey struct {
+		item proto.Item
+		site proto.SiteID
+	}
+	byCopy := make(map[copyKey][]Op)
+	for _, op := range h.Ops(domain) {
+		k := copyKey{op.Item, op.Site}
+		byCopy[k] = append(byCopy[k], op)
+		g.AddNode(op.Txn)
+	}
+	for _, ops := range byCopy {
+		// Ops arrive in Seq order already (Ops preserves it).
+		for i := range ops {
+			for j := i + 1; j < len(ops); j++ {
+				a, b := ops[i], ops[j]
+				if a.Txn == b.Txn {
+					continue
+				}
+				if a.Kind == OpRead && b.Kind == OpRead {
+					continue
+				}
+				g.AddEdge(a.Txn, b.Txn, EdgeConflict)
+			}
+		}
+	}
+	return g
+}
+
+// OneSTG builds the revised one-serializability testing graph of §4.1 for
+// the committed history restricted to the domain:
+//
+//   - nodes: committed non-copier transactions that operate in the domain;
+//   - READ-FROM edges Ta→Tb when Tb read (any copy of) X from Ta, with
+//     copier chains already collapsed by the recording contract;
+//   - write-order: non-copier writers of each logical item are chained in
+//     commit-sequence order (paths suffice per the "edge may be a path"
+//     remark);
+//   - read-before edges Tb→Tc when Tb READS-X-FROM Ta and Tc is a later
+//     (by the chosen write order) non-copier writer of X.
+//
+// By the Corollary of §4.1, an acyclic OneSTG certifies the history 1-SR.
+func (h *History) OneSTG(domain Domain) *Graph {
+	g := NewGraph()
+
+	isCopier := func(t proto.TxnID) bool {
+		info, ok := h.txns[t]
+		return ok && info.Class == proto.ClassCopier
+	}
+
+	// Collect per-item non-copier writers and reader relations.
+	writers := make(map[proto.Item][]TxnInfo) // committed non-copier writers of X
+	seenWriter := make(map[proto.Item]map[proto.TxnID]bool)
+	type readFrom struct {
+		reader, writer proto.TxnID
+	}
+	reads := make(map[proto.Item][]readFrom)
+
+	for _, op := range h.Ops(domain) {
+		if isCopier(op.Txn) {
+			continue // copiers are not vertices of the revised 1-STG
+		}
+		switch op.Kind {
+		case OpWrite:
+			// A write op whose Writer differs from the transaction is the
+			// copier-like part of a control transaction propagating someone
+			// else's version; it is not a logical write of this txn.
+			if op.Writer != op.Txn {
+				continue
+			}
+			if seenWriter[op.Item] == nil {
+				seenWriter[op.Item] = make(map[proto.TxnID]bool)
+			}
+			if !seenWriter[op.Item][op.Txn] {
+				seenWriter[op.Item][op.Txn] = true
+				writers[op.Item] = append(writers[op.Item], h.txns[op.Txn])
+			}
+			g.AddNode(op.Txn)
+		case OpRead:
+			// Resolve the writer; skip self-reads of buffered state (we
+			// never record those) and reads from copiers (already
+			// collapsed, but be defensive).
+			w := op.Writer
+			if isCopier(w) {
+				continue
+			}
+			if info, ok := h.txns[w]; ok && !info.Committed {
+				continue
+			}
+			g.AddNode(op.Txn)
+			if w != op.Txn {
+				g.AddEdge(w, op.Txn, EdgeReadFrom)
+				reads[op.Item] = append(reads[op.Item], readFrom{reader: op.Txn, writer: w})
+			}
+		}
+	}
+
+	// Write-order: chain writers of each item by commit sequence.
+	commitPos := make(map[proto.Item]map[proto.TxnID]int)
+	for item, ws := range writers {
+		sort.Slice(ws, func(i, j int) bool {
+			if ws[i].CommitSeq != ws[j].CommitSeq {
+				return ws[i].CommitSeq < ws[j].CommitSeq
+			}
+			return ws[i].ID < ws[j].ID
+		})
+		writers[item] = ws
+		pos := make(map[proto.TxnID]int, len(ws))
+		for i, w := range ws {
+			pos[w.ID] = i
+			if i > 0 {
+				g.AddEdge(ws[i-1].ID, w.ID, EdgeWriteOrder)
+			}
+		}
+		commitPos[item] = pos
+	}
+
+	// Read-before: reader precedes every writer later than the one it read.
+	for item, rs := range reads {
+		ws := writers[item]
+		pos := commitPos[item]
+		for _, rf := range rs {
+			i, ok := pos[rf.writer]
+			if !ok {
+				// The version read was written outside the domain's writer
+				// set (e.g. the synthetic initial transaction): every
+				// writer is "later".
+				i = -1
+			}
+			for j := i + 1; j < len(ws); j++ {
+				if ws[j].ID != rf.reader {
+					g.AddEdge(rf.reader, ws[j].ID, EdgeReadBefore)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// CertifyOneSR reports whether the revised 1-STG over the domain is acyclic
+// (a sufficient condition for one-serializability) and, when it is not, the
+// offending cycle.
+func (h *History) CertifyOneSR(domain Domain) (bool, []proto.TxnID) {
+	cycle := h.OneSTG(domain).Cycle()
+	return cycle == nil, cycle
+}

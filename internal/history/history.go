@@ -1,0 +1,196 @@
+// Package history records execution histories of the simulated DDBS and
+// implements the serializability theory of §4 of the paper: conflict graphs,
+// the revised one-serializability testing graph (1-STG) that accounts for
+// copier semantics, acyclicity certification, and a brute-force 1-SR
+// decision procedure used to validate the graph checker on small histories.
+//
+// Contract with the recording layer: every committed physical write carries
+// the transaction whose value it installs. For ordinary writes that is the
+// writing transaction itself; for copier refreshes (and the copier-like
+// part of type-1 control transactions) it is the original non-copier writer
+// whose version is being propagated. Reads record the writer of the version
+// they saw. Under that contract the indirect READ-FROM relation of §4.1 is
+// already resolved: a read "through" any chain of copiers reports the
+// original writer directly.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"siterecovery/internal/proto"
+)
+
+// OpKind distinguishes reads from writes.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+)
+
+// Op is one physical operation in the history.
+type Op struct {
+	Seq  int64 // global observation order
+	Txn  proto.TxnID
+	Kind OpKind
+	Item proto.Item
+	Site proto.SiteID
+	// Writer is, for reads, the transaction that wrote the version read;
+	// for writes, the transaction whose value is installed (the writer
+	// itself, or the original writer when a copier propagates a version).
+	Writer proto.TxnID
+}
+
+// TxnInfo describes one transaction in the history.
+type TxnInfo struct {
+	ID        proto.TxnID
+	Class     proto.TxnClass
+	Committed bool
+	CommitSeq uint64
+}
+
+// Recorder collects a history concurrently. Create with NewRecorder.
+type Recorder struct {
+	mu   sync.Mutex
+	seq  int64
+	ops  []Op
+	txns map[proto.TxnID]*TxnInfo
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{txns: make(map[proto.TxnID]*TxnInfo)}
+}
+
+// RegisterTxn declares a transaction and its class. Registering twice is a
+// no-op (the first class wins).
+func (r *Recorder) RegisterTxn(id proto.TxnID, class proto.TxnClass) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.txns[id]; !ok {
+		r.txns[id] = &TxnInfo{ID: id, Class: class}
+	}
+}
+
+// Read records that txn read item at site, seeing the version written by
+// writer.
+func (r *Recorder) Read(txn proto.TxnID, item proto.Item, site proto.SiteID, writer proto.TxnID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	r.ops = append(r.ops, Op{Seq: r.seq, Txn: txn, Kind: OpRead, Item: item, Site: site, Writer: writer})
+}
+
+// Write records that txn installed a committed value for item at site,
+// carrying writer's version (see the package contract).
+func (r *Recorder) Write(txn proto.TxnID, item proto.Item, site proto.SiteID, writer proto.TxnID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	r.ops = append(r.ops, Op{Seq: r.seq, Txn: txn, Kind: OpWrite, Item: item, Site: site, Writer: writer})
+}
+
+// Commit marks txn committed with its commit sequence number.
+func (r *Recorder) Commit(txn proto.TxnID, commitSeq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if info, ok := r.txns[txn]; ok {
+		info.Committed = true
+		info.CommitSeq = commitSeq
+	}
+}
+
+// Snapshot freezes the current history for analysis.
+func (r *Recorder) Snapshot() *History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := &History{txns: make(map[proto.TxnID]TxnInfo, len(r.txns))}
+	h.ops = make([]Op, len(r.ops))
+	copy(h.ops, r.ops)
+	for id, info := range r.txns {
+		h.txns[id] = *info
+	}
+	return h
+}
+
+// History is an immutable execution history.
+type History struct {
+	ops  []Op
+	txns map[proto.TxnID]TxnInfo
+}
+
+// Domain selects the sub-database a graph is built with respect to (§4.1
+// discusses serializability "with respect to a particular subset of the
+// database").
+type Domain func(proto.Item) bool
+
+// DomainDB selects the user database (everything but NS items).
+func DomainDB(item proto.Item) bool {
+	_, isNS := proto.IsNSItem(item)
+	return !isNS
+}
+
+// DomainNS selects the nominal session numbers.
+func DomainNS(item proto.Item) bool {
+	_, isNS := proto.IsNSItem(item)
+	return isNS
+}
+
+// DomainAll selects the augmented database DB ∪ NS.
+func DomainAll(proto.Item) bool { return true }
+
+// Ops returns the committed-transaction operations within the domain, in
+// observation order.
+func (h *History) Ops(domain Domain) []Op {
+	out := make([]Op, 0, len(h.ops))
+	for _, op := range h.ops {
+		if !domain(op.Item) {
+			continue
+		}
+		if info, ok := h.txns[op.Txn]; !ok || !info.Committed {
+			continue
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// Txns returns the committed transactions sorted by ID.
+func (h *History) Txns() []TxnInfo {
+	out := make([]TxnInfo, 0, len(h.txns))
+	for _, info := range h.txns {
+		if info.Committed {
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Txn looks up one transaction.
+func (h *History) Txn(id proto.TxnID) (TxnInfo, bool) {
+	info, ok := h.txns[id]
+	return info, ok
+}
+
+// String renders the committed history for debugging.
+func (h *History) String() string {
+	var b strings.Builder
+	for _, op := range h.Ops(DomainAll) {
+		kind := "R"
+		if op.Kind == OpWrite {
+			kind = "W"
+		}
+		class := "?"
+		if info, ok := h.txns[op.Txn]; ok {
+			class = info.Class.String()
+		}
+		fmt.Fprintf(&b, "%4d %s %s[%s@%s] writer=%s (%s)\n",
+			op.Seq, op.Txn, kind, op.Item, op.Site, op.Writer, class)
+	}
+	return b.String()
+}

@@ -1,0 +1,370 @@
+package history
+
+import (
+	"testing"
+
+	"siterecovery/internal/proto"
+)
+
+const initialTxn proto.TxnID = 1
+
+func newRecorderWithInitial() *Recorder {
+	r := NewRecorder()
+	r.RegisterTxn(initialTxn, proto.ClassInitial)
+	r.Commit(initialTxn, 0)
+	return r
+}
+
+func register(r *Recorder, id proto.TxnID, class proto.TxnClass) {
+	r.RegisterTxn(id, class)
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := newRecorderWithInitial()
+	register(r, 2, proto.ClassUser)
+	r.Read(2, "x", 1, initialTxn)
+	r.Write(2, "x", 1, 2)
+	r.Commit(2, 1)
+
+	register(r, 3, proto.ClassUser) // never commits
+	r.Read(3, "x", 1, 2)
+
+	h := r.Snapshot()
+	ops := h.Ops(DomainDB)
+	if len(ops) != 2 {
+		t.Fatalf("Ops = %d, want 2 (aborted txn ops excluded)", len(ops))
+	}
+	if ops[0].Kind != OpRead || ops[1].Kind != OpWrite {
+		t.Fatalf("op order wrong: %+v", ops)
+	}
+	txns := h.Txns()
+	if len(txns) != 2 { // initial + txn 2
+		t.Fatalf("Txns = %v", txns)
+	}
+	if info, ok := h.Txn(2); !ok || !info.Committed || info.CommitSeq != 1 {
+		t.Fatalf("Txn(2) = %+v, %v", info, ok)
+	}
+	if h.String() == "" {
+		t.Error("String must render something")
+	}
+}
+
+func TestDomains(t *testing.T) {
+	if !DomainDB("x") || DomainDB(proto.NSItem(1)) {
+		t.Error("DomainDB wrong")
+	}
+	if DomainNS("x") || !DomainNS(proto.NSItem(1)) {
+		t.Error("DomainNS wrong")
+	}
+	if !DomainAll("x") || !DomainAll(proto.NSItem(1)) {
+		t.Error("DomainAll wrong")
+	}
+}
+
+func TestGraphCycleDetection(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(1, 2, EdgeConflict)
+	g.AddEdge(2, 3, EdgeConflict)
+	if !g.Acyclic() {
+		t.Fatal("chain must be acyclic")
+	}
+	g.AddEdge(3, 1, EdgeConflict)
+	cycle := g.Cycle()
+	if cycle == nil {
+		t.Fatal("cycle not found")
+	}
+	if len(cycle) != 3 {
+		t.Fatalf("cycle = %v, want length 3", cycle)
+	}
+	if g.EdgeCount() != 3 {
+		t.Fatalf("EdgeCount = %d", g.EdgeCount())
+	}
+}
+
+func TestGraphSelfEdgeIgnored(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(1, 1, EdgeConflict)
+	if g.EdgeCount() != 0 || !g.Acyclic() {
+		t.Fatal("self edges must be ignored")
+	}
+}
+
+func TestConflictGraphOrdersByObservation(t *testing.T) {
+	r := newRecorderWithInitial()
+	register(r, 2, proto.ClassUser)
+	register(r, 3, proto.ClassUser)
+	r.Read(2, "x", 1, initialTxn)
+	r.Write(3, "x", 1, 3) // T3 writes after T2's read: T2 -> T3
+	r.Commit(2, 1)
+	r.Commit(3, 2)
+
+	g := r.Snapshot().ConflictGraph(DomainDB)
+	if !g.HasEdge(2, 3) || g.HasEdge(3, 2) {
+		t.Fatalf("CG edges wrong:\n%s", g)
+	}
+}
+
+func TestConflictGraphDetectsNonSerializableInterleaving(t *testing.T) {
+	// r1[x] w2[x] r2[y] w1[y] — the classic non-DSR interleaving.
+	r := newRecorderWithInitial()
+	register(r, 2, proto.ClassUser)
+	register(r, 3, proto.ClassUser)
+	r.Read(2, "x", 1, initialTxn)
+	r.Write(3, "x", 1, 3)
+	r.Read(3, "y", 1, initialTxn)
+	r.Write(2, "y", 1, 2)
+	r.Commit(2, 1)
+	r.Commit(3, 2)
+
+	g := r.Snapshot().ConflictGraph(DomainDB)
+	if g.Acyclic() {
+		t.Fatalf("CG must be cyclic:\n%s", g)
+	}
+}
+
+// TestPaperSection1Anomaly reproduces the paper's introductory example:
+// Ta reads X and writes Y, Tb reads Y and writes X; both items have copies
+// at sites 1 and 2; site 1 crashes between the reads and the writes, so the
+// writes land only at site 2. Copiers later refresh x1 and y1. No copier
+// schedule can repair this history: it is not one-serializable.
+func TestPaperSection1Anomaly(t *testing.T) {
+	r := newRecorderWithInitial()
+	ta, tb := proto.TxnID(2), proto.TxnID(3)
+	tc, td := proto.TxnID(4), proto.TxnID(5)
+	register(r, ta, proto.ClassUser)
+	register(r, tb, proto.ClassUser)
+	register(r, tc, proto.ClassCopier)
+	register(r, td, proto.ClassCopier)
+
+	r.Read(ta, "x", 1, initialTxn) // Ra[x1]
+	r.Read(tb, "y", 1, initialTxn) // Rb[y1]
+	// site 1 crashes
+	r.Write(ta, "y", 2, ta) // Wa[y2]
+	r.Write(tb, "x", 2, tb) // Wb[x2]
+	r.Commit(ta, 1)
+	r.Commit(tb, 2)
+	// site 1 recovers; copiers refresh from site 2, propagating the
+	// original writers' versions.
+	r.Read(tc, "x", 2, tb)
+	r.Write(tc, "x", 1, tb)
+	r.Commit(tc, 3)
+	r.Read(td, "y", 2, ta)
+	r.Write(td, "y", 1, ta)
+	r.Commit(td, 4)
+
+	h := r.Snapshot()
+
+	ok, cycle := h.CertifyOneSR(DomainDB)
+	if ok {
+		t.Fatalf("1-STG certified the anomaly:\n%s", h.OneSTG(DomainDB))
+	}
+	if len(cycle) == 0 {
+		t.Fatal("expected a diagnostic cycle")
+	}
+
+	res, err := h.OneSRBruteForce(DomainDB, true)
+	if err != nil {
+		t.Fatalf("brute force: %v", err)
+	}
+	if res.OneSR {
+		t.Fatalf("brute force found a serial witness %v for a non-1-SR history", res.Witness)
+	}
+}
+
+// TestCopierPropagationIsOneSR checks the revised READ-FROM semantics: a
+// reader of a copier-refreshed copy reads from the original writer, and the
+// resulting history is 1-SR.
+func TestCopierPropagationIsOneSR(t *testing.T) {
+	r := newRecorderWithInitial()
+	tw, cp, tr := proto.TxnID(2), proto.TxnID(3), proto.TxnID(4)
+	register(r, tw, proto.ClassUser)
+	register(r, cp, proto.ClassCopier)
+	register(r, tr, proto.ClassUser)
+
+	r.Write(tw, "x", 2, tw) // site 1 down: write lands at site 2 only
+	r.Commit(tw, 1)
+	r.Read(cp, "x", 2, tw) // copier refreshes x1 from x2
+	r.Write(cp, "x", 1, tw)
+	r.Commit(cp, 2)
+	r.Read(tr, "x", 1, tw) // reader sees tw through the copier
+	r.Commit(tr, 3)
+
+	h := r.Snapshot()
+	ok, cycle := h.CertifyOneSR(DomainDB)
+	if !ok {
+		t.Fatalf("expected 1-SR, cycle %v:\n%s", cycle, h.OneSTG(DomainDB))
+	}
+	g := h.OneSTG(DomainDB)
+	if !g.HasEdge(tw, tr) {
+		t.Fatalf("READ-FROM through copier missing:\n%s", g)
+	}
+
+	res, err := h.OneSRBruteForce(DomainDB, true)
+	if err != nil || !res.OneSR {
+		t.Fatalf("brute force = (%+v, %v), want 1-SR", res, err)
+	}
+}
+
+func TestOneSTGReadBeforeEdges(t *testing.T) {
+	// T2 reads initial x; T3 writes x. T2 must precede T3 (read-before).
+	r := newRecorderWithInitial()
+	register(r, 2, proto.ClassUser)
+	register(r, 3, proto.ClassUser)
+	r.Read(2, "x", 1, initialTxn)
+	r.Commit(2, 2)
+	r.Write(3, "x", 1, 3)
+	r.Commit(3, 1)
+
+	g := r.Snapshot().OneSTG(DomainDB)
+	if !g.HasEdge(2, 3) {
+		t.Fatalf("read-before edge missing:\n%s", g)
+	}
+}
+
+func TestOneSTGWriteOrderFollowsCommitSeq(t *testing.T) {
+	r := newRecorderWithInitial()
+	register(r, 2, proto.ClassUser)
+	register(r, 3, proto.ClassUser)
+	r.Write(3, "x", 1, 3)
+	r.Write(2, "x", 1, 2)
+	r.Commit(2, 10) // commits later despite smaller ID
+	r.Commit(3, 5)
+
+	g := r.Snapshot().OneSTG(DomainDB)
+	if !g.HasEdge(3, 2) || g.HasEdge(2, 3) {
+		t.Fatalf("write-order edge wrong:\n%s", g)
+	}
+}
+
+func TestOneSTGControlRefreshNotALogicalWrite(t *testing.T) {
+	// A type-1 control transaction refreshes its local copy of NS[2]
+	// propagating the version of an earlier control transaction. That
+	// refresh must not register the refresher as a writer of NS[2].
+	r := newRecorderWithInitial()
+	c1, c2 := proto.TxnID(2), proto.TxnID(3)
+	register(r, c1, proto.ClassControl1)
+	register(r, c2, proto.ClassControl1)
+
+	r.Write(c1, proto.NSItem(2), 1, c1) // c1 assigns NS[2]
+	r.Commit(c1, 1)
+	r.Read(c2, proto.NSItem(2), 1, c1)
+	r.Write(c2, proto.NSItem(2), 3, c1) // c2 refreshes its own copy: copier-like
+	r.Write(c2, proto.NSItem(3), 1, c2) // c2 assigns NS[3]: a real write
+	r.Commit(c2, 2)
+
+	g := r.Snapshot().OneSTG(DomainNS)
+	// c1 -> c2 via read-from; and there must be no write-order edge pair
+	// that would make them mutually ordered on NS[2].
+	if !g.HasEdge(c1, c2) {
+		t.Fatalf("read-from edge missing:\n%s", g)
+	}
+	if !g.Acyclic() {
+		t.Fatalf("control refresh created a cycle:\n%s", g)
+	}
+}
+
+func TestBruteForceDivergentCopiesRejected(t *testing.T) {
+	// x1 last written by T2, x2 last written by T3: the final transaction
+	// would read two versions — never 1-SR with the final check on.
+	r := newRecorderWithInitial()
+	register(r, 2, proto.ClassUser)
+	register(r, 3, proto.ClassUser)
+	r.Write(2, "x", 1, 2)
+	r.Commit(2, 1)
+	r.Write(3, "x", 2, 3)
+	r.Commit(3, 2)
+
+	res, err := r.Snapshot().OneSRBruteForce(DomainDB, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OneSR {
+		t.Fatal("divergent final copies must fail the final-state check")
+	}
+	// Without the final check the same history is fine.
+	res, err = r.Snapshot().OneSRBruteForce(DomainDB, false)
+	if err != nil || !res.OneSR {
+		t.Fatalf("without final check = (%+v, %v), want 1-SR", res, err)
+	}
+}
+
+func TestBruteForceFractiousReadsRejected(t *testing.T) {
+	// One transaction sees two different versions of the same item.
+	r := newRecorderWithInitial()
+	register(r, 2, proto.ClassUser)
+	register(r, 3, proto.ClassUser)
+	r.Write(2, "x", 1, 2)
+	r.Commit(2, 1)
+	r.Read(3, "x", 1, initialTxn)
+	r.Read(3, "x", 2, 2)
+	r.Commit(3, 2)
+
+	res, err := r.Snapshot().OneSRBruteForce(DomainDB, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OneSR {
+		t.Fatal("a transaction reading two versions of one item is never 1-SR")
+	}
+}
+
+func TestBruteForceCap(t *testing.T) {
+	r := newRecorderWithInitial()
+	for i := 2; i <= 12; i++ {
+		id := proto.TxnID(i)
+		register(r, id, proto.ClassUser)
+		r.Write(id, "x", 1, id)
+		r.Commit(id, uint64(i))
+	}
+	if _, err := r.Snapshot().OneSRBruteForce(DomainDB, false); err == nil {
+		t.Fatal("expected the brute-force cap to trigger")
+	}
+}
+
+func TestBruteForceWitnessOrder(t *testing.T) {
+	// T3 writes x, T2 reads it: only [3, 2] is equivalent.
+	r := newRecorderWithInitial()
+	register(r, 2, proto.ClassUser)
+	register(r, 3, proto.ClassUser)
+	r.Write(3, "x", 1, 3)
+	r.Commit(3, 1)
+	r.Read(2, "x", 1, 3)
+	r.Commit(2, 2)
+
+	res, err := r.Snapshot().OneSRBruteForce(DomainDB, false)
+	if err != nil || !res.OneSR {
+		t.Fatalf("result = (%+v, %v)", res, err)
+	}
+	if len(res.Witness) != 2 || res.Witness[0] != 3 || res.Witness[1] != 2 {
+		t.Fatalf("witness = %v, want [3 2]", res.Witness)
+	}
+}
+
+// TestTheoremThreeOnValidHistory mirrors Theorem 3 on a well-behaved run:
+// the CG over DB∪NS is acyclic and the 1-STG over DB is acyclic.
+func TestTheoremThreeOnValidHistory(t *testing.T) {
+	r := newRecorderWithInitial()
+	user, ctrl := proto.TxnID(2), proto.TxnID(3)
+	register(r, ctrl, proto.ClassControl2)
+	register(r, user, proto.ClassUser)
+
+	// Control transaction marks site 2 down in NS.
+	r.Read(ctrl, proto.NSItem(2), 1, initialTxn)
+	r.Write(ctrl, proto.NSItem(2), 1, ctrl)
+	r.Commit(ctrl, 1)
+
+	// User transaction reads the vector then operates on remaining copies.
+	r.Read(user, proto.NSItem(1), 1, initialTxn)
+	r.Read(user, proto.NSItem(2), 1, ctrl)
+	r.Read(user, "x", 1, initialTxn)
+	r.Write(user, "y", 1, user)
+	r.Commit(user, 2)
+
+	h := r.Snapshot()
+	if !h.ConflictGraph(DomainAll).Acyclic() {
+		t.Fatalf("CG cyclic:\n%s", h.ConflictGraph(DomainAll))
+	}
+	if ok, cycle := h.CertifyOneSR(DomainDB); !ok {
+		t.Fatalf("1-STG cyclic: %v", cycle)
+	}
+}

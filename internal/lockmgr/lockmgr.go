@@ -1,0 +1,483 @@
+// Package lockmgr is a per-site lock manager implementing strict two-phase
+// locking over named resources (physical data copies, including the copies
+// of the nominal session numbers).
+//
+// Two deadlock-resolution policies are provided, as an ablation of the
+// "works with a large group of concurrency control algorithms" claim:
+//
+//   - PolicyTimeout: a lock request that waits longer than the configured
+//     timeout fails with proto.ErrLockTimeout; the transaction manager
+//     aborts and retries the transaction.
+//   - PolicyWoundWait: an older transaction (smaller TxnID, IDs double as
+//     timestamps) wounds younger lock holders, whose in-flight and future
+//     requests fail with proto.ErrWounded; a younger transaction waits for
+//     older holders. Wait-for cycles are impossible.
+//
+// Both keep the conflict graph acyclic-by-construction over committed
+// transactions (class DCP/DSR), which is the premise of the paper's
+// Theorem 3.
+package lockmgr
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"siterecovery/internal/clock"
+	"siterecovery/internal/proto"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota + 1
+	Exclusive
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "X"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Policy selects the deadlock-resolution scheme.
+type Policy int
+
+// Policies.
+const (
+	PolicyTimeout Policy = iota + 1
+	PolicyWoundWait
+)
+
+// Config tunes a Manager.
+type Config struct {
+	// Clock supplies timer channels; defaults to the wall clock.
+	Clock clock.Clock
+	// Timeout bounds lock waits under PolicyTimeout (and acts as a safety
+	// net under PolicyWoundWait). Defaults to 2s.
+	Timeout time.Duration
+	// Policy defaults to PolicyTimeout.
+	Policy Policy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Policy == 0 {
+		c.Policy = PolicyTimeout
+	}
+	return c
+}
+
+// Stats counts lock-manager outcomes.
+type Stats struct {
+	Acquired uint64 // grants, including re-entrant ones
+	Waited   uint64 // grants that had to queue first
+	Timeouts uint64
+	Wounds   uint64 // transactions wounded
+}
+
+// Manager is one site's lock table. Create with New.
+type Manager struct {
+	cfg Config
+
+	mu    sync.Mutex
+	locks map[string]*lockState
+	txns  map[proto.TxnID]*txnState
+	stats Stats
+}
+
+type lockState struct {
+	holders map[proto.TxnID]Mode
+	queue   []*request
+}
+
+type request struct {
+	txn     proto.TxnID
+	mode    Mode
+	upgrade bool
+	ready   chan error // buffered; receives nil on grant, error on kill
+}
+
+type txnState struct {
+	held    map[string]Mode
+	wounded bool
+	// pending requests of this transaction, by resource, so a wound can
+	// fail them promptly
+	waiting map[string]*request
+}
+
+// New returns a lock manager.
+func New(cfg Config) *Manager {
+	return &Manager{
+		cfg:   cfg.withDefaults(),
+		locks: make(map[string]*lockState),
+		txns:  make(map[proto.TxnID]*txnState),
+	}
+}
+
+// Acquire obtains a lock on key in the given mode on behalf of txn,
+// blocking until granted, killed, timed out, or the context is done.
+// Re-entrant acquisition is a no-op; Shared→Exclusive upgrades are
+// supported and take priority over queued waiters (an upgrader already
+// excludes any queued Exclusive from ever being granted first).
+func (m *Manager) Acquire(ctx context.Context, txn proto.TxnID, key string, mode Mode) error {
+	m.mu.Lock()
+	ts := m.txnState(txn)
+	if ts.wounded {
+		m.mu.Unlock()
+		return fmt.Errorf("lock %q: %w", key, proto.ErrWounded)
+	}
+	ls := m.lockState(key)
+
+	held := ts.held[key]
+	if held >= mode {
+		m.stats.Acquired++
+		m.mu.Unlock()
+		return nil // re-entrant
+	}
+
+	req := &request{txn: txn, mode: mode, upgrade: held == Shared && mode == Exclusive}
+	if m.grantable(ls, req) {
+		m.grantLocked(ls, ts, key, req)
+		m.stats.Acquired++
+		m.mu.Unlock()
+		return nil
+	}
+
+	// Must wait.
+	req.ready = make(chan error, 1)
+	if req.upgrade {
+		// Upgrades go to the head of the queue: the upgrader's Shared hold
+		// already blocks every queued Exclusive, so ordering it first is
+		// the only deadlock-free choice.
+		ls.queue = append([]*request{req}, ls.queue...)
+	} else {
+		ls.queue = append(ls.queue, req)
+	}
+	ts.waiting[key] = req
+
+	if m.cfg.Policy == PolicyWoundWait {
+		m.woundYoungerHoldersLocked(ls, txn)
+	}
+	m.mu.Unlock()
+
+	timeout := m.cfg.Clock.After(m.cfg.Timeout)
+	select {
+	case err := <-req.ready:
+		if err != nil {
+			return fmt.Errorf("lock %q: %w", key, err)
+		}
+		m.mu.Lock()
+		m.stats.Acquired++
+		m.stats.Waited++
+		m.mu.Unlock()
+		return nil
+	case <-timeout:
+		granted, killErr := m.cancelWait(txn, key, req)
+		switch {
+		case killErr != nil:
+			return fmt.Errorf("lock %q: %w", key, killErr)
+		case granted:
+			return nil // grant won the race; the lock is held
+		default:
+			m.mu.Lock()
+			m.stats.Timeouts++
+			m.mu.Unlock()
+			return fmt.Errorf("lock %q: %w", key, proto.ErrLockTimeout)
+		}
+	case <-ctx.Done():
+		granted, killErr := m.cancelWait(txn, key, req)
+		switch {
+		case killErr != nil:
+			return fmt.Errorf("lock %q: %w", key, killErr)
+		case granted:
+			return nil
+		default:
+			return fmt.Errorf("lock %q: %w", key, ctx.Err())
+		}
+	}
+}
+
+// cancelWait removes a queued request after a timeout or cancellation and
+// promotes any waiters the removal unblocked. If the request was resolved
+// concurrently it reports the outcome instead: granted (the caller holds the
+// lock) or the kill error.
+func (m *Manager) cancelWait(txn proto.TxnID, key string, req *request) (granted bool, killErr error) {
+	m.mu.Lock()
+	ls := m.locks[key]
+	if ls != nil {
+		for i, r := range ls.queue {
+			if r == req {
+				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+				if ts := m.txns[txn]; ts != nil {
+					delete(ts.waiting, key)
+				}
+				grants := m.promoteLocked(key, ls)
+				m.mu.Unlock()
+				for _, g := range grants {
+					g.req.ready <- nil
+				}
+				return false, nil // successfully cancelled
+			}
+		}
+	}
+	m.mu.Unlock()
+	// Not in the queue: the request was resolved concurrently.
+	if err := <-req.ready; err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ReleaseAll releases every lock held by txn, fails its queued requests,
+// and forgets the transaction. It is the only release operation: strict
+// two-phase locking releases at commit or abort only.
+func (m *Manager) ReleaseAll(txn proto.TxnID) {
+	m.mu.Lock()
+	ts := m.txns[txn]
+	if ts == nil {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.txns, txn)
+
+	keys := make([]string, 0, len(ts.held)+len(ts.waiting))
+	for key := range ts.held {
+		keys = append(keys, key)
+	}
+	for key := range ts.waiting {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
+	var grants []grant
+	for _, key := range keys {
+		ls := m.locks[key]
+		if ls == nil {
+			continue
+		}
+		delete(ls.holders, txn)
+		if req := ts.waiting[key]; req != nil {
+			for i, r := range ls.queue {
+				if r == req {
+					ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+					break
+				}
+			}
+		}
+		grants = append(grants, m.promoteLocked(key, ls)...)
+		if len(ls.holders) == 0 && len(ls.queue) == 0 {
+			delete(m.locks, key)
+		}
+	}
+	m.mu.Unlock()
+	for _, g := range grants {
+		g.req.ready <- nil
+	}
+}
+
+// ReleaseOne releases txn's lock on a single key and promotes waiters.
+// Strict two-phase locking forbids early release of a lock that protected
+// an observed value; the only legitimate use is backing out of a lock whose
+// protected state was never read or written (e.g. a shared lock acquired on
+// a copy that turned out to be unreadable).
+func (m *Manager) ReleaseOne(txn proto.TxnID, key string) {
+	m.mu.Lock()
+	ts := m.txns[txn]
+	ls := m.locks[key]
+	if ts == nil || ls == nil {
+		m.mu.Unlock()
+		return
+	}
+	delete(ts.held, key)
+	delete(ls.holders, txn)
+	grants := m.promoteLocked(key, ls)
+	if len(ls.holders) == 0 && len(ls.queue) == 0 {
+		delete(m.locks, key)
+	}
+	m.mu.Unlock()
+	for _, g := range grants {
+		g.req.ready <- nil
+	}
+}
+
+// Wounded reports whether txn has been wounded by an older transaction.
+// Transaction managers check it at operation boundaries.
+func (m *Manager) Wounded(txn proto.TxnID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.txns[txn]
+	return ts != nil && ts.wounded
+}
+
+// Held returns the locks currently held by txn (for tests and debugging).
+func (m *Manager) Held(txn proto.TxnID) map[string]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.txns[txn]
+	out := make(map[string]Mode)
+	if ts != nil {
+		for k, v := range ts.held {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// CrashReset drops the whole lock table (volatile state) and fails every
+// waiter with proto.ErrSiteDown semantics via proto.ErrTxnAborted.
+func (m *Manager) CrashReset() {
+	m.mu.Lock()
+	var waiters []*request
+	for _, ls := range m.locks {
+		waiters = append(waiters, ls.queue...)
+	}
+	m.locks = make(map[string]*lockState)
+	m.txns = make(map[proto.TxnID]*txnState)
+	m.mu.Unlock()
+	for _, req := range waiters {
+		req.ready <- proto.ErrTxnAborted
+	}
+}
+
+// --- internals (m.mu held unless noted) ---
+
+func (m *Manager) txnState(txn proto.TxnID) *txnState {
+	ts, ok := m.txns[txn]
+	if !ok {
+		ts = &txnState{held: make(map[string]Mode), waiting: make(map[string]*request)}
+		m.txns[txn] = ts
+	}
+	return ts
+}
+
+func (m *Manager) lockState(key string) *lockState {
+	ls, ok := m.locks[key]
+	if !ok {
+		ls = &lockState{holders: make(map[proto.TxnID]Mode)}
+		m.locks[key] = ls
+	}
+	return ls
+}
+
+// grantable reports whether req can be granted right now, respecting FIFO
+// fairness: a fresh request is only granted immediately when nothing is
+// queued ahead of it (upgrades exempt).
+func (m *Manager) grantable(ls *lockState, req *request) bool {
+	if req.upgrade {
+		// Sole holder required.
+		return len(ls.holders) == 1
+	}
+	if len(ls.queue) > 0 {
+		return false
+	}
+	for _, mode := range ls.holders {
+		if mode == Exclusive || req.mode == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) grantLocked(ls *lockState, ts *txnState, key string, req *request) {
+	ls.holders[req.txn] = req.mode
+	ts.held[key] = req.mode
+	delete(ts.waiting, key)
+}
+
+type grant struct{ req *request }
+
+// promoteLocked grants queued requests that have become compatible, in
+// queue order, and returns the grants to signal outside the lock.
+func (m *Manager) promoteLocked(key string, ls *lockState) []grant {
+	var grants []grant
+	for len(ls.queue) > 0 {
+		req := ls.queue[0]
+		ts := m.txns[req.txn]
+		if ts == nil {
+			// Owner vanished (released/crashed); drop the stale request.
+			ls.queue = ls.queue[1:]
+			continue
+		}
+		if !m.compatibleWithHolders(ls, req) {
+			break
+		}
+		ls.queue = ls.queue[1:]
+		m.grantLocked(ls, ts, key, req)
+		grants = append(grants, grant{req: req})
+		if req.mode == Exclusive {
+			break
+		}
+	}
+	return grants
+}
+
+func (m *Manager) compatibleWithHolders(ls *lockState, req *request) bool {
+	if req.upgrade {
+		_, holds := ls.holders[req.txn]
+		return holds && len(ls.holders) == 1
+	}
+	for _, mode := range ls.holders {
+		if mode == Exclusive || req.mode == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// woundYoungerHoldersLocked implements wound-wait: the waiting transaction
+// wounds every younger holder of the contested lock. Wounded transactions
+// have their queued requests failed immediately and their future Acquire
+// calls rejected; their manager will abort them and ReleaseAll.
+func (m *Manager) woundYoungerHoldersLocked(ls *lockState, waiter proto.TxnID) {
+	var killed []*request
+	for holder := range ls.holders {
+		if holder <= waiter { // older or self: wait politely
+			continue
+		}
+		ts := m.txns[holder]
+		if ts == nil || ts.wounded {
+			continue
+		}
+		ts.wounded = true
+		m.stats.Wounds++
+		// Fail all of the victim's queued requests so it unblocks fast.
+		for key, req := range ts.waiting {
+			if victimLS := m.locks[key]; victimLS != nil {
+				for i, r := range victimLS.queue {
+					if r == req {
+						victimLS.queue = append(victimLS.queue[:i], victimLS.queue[i+1:]...)
+						break
+					}
+				}
+			}
+			delete(ts.waiting, key)
+			killed = append(killed, req)
+		}
+	}
+	for _, req := range killed {
+		req.ready <- proto.ErrWounded
+	}
+}

@@ -1,0 +1,390 @@
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"siterecovery/internal/proto"
+)
+
+func newMgr(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	return New(cfg)
+}
+
+func mustAcquire(t *testing.T, m *Manager, txn proto.TxnID, key string, mode Mode) {
+	t.Helper()
+	if err := m.Acquire(context.Background(), txn, key, mode); err != nil {
+		t.Fatalf("Acquire(%v, %q, %v): %v", txn, key, mode, err)
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := newMgr(t, Config{})
+	mustAcquire(t, m, 1, "x", Shared)
+	mustAcquire(t, m, 2, "x", Shared)
+	mustAcquire(t, m, 3, "x", Shared)
+	if got := len(m.Held(1)); got != 1 {
+		t.Fatalf("Held(1) = %d entries", got)
+	}
+}
+
+func TestExclusiveConflicts(t *testing.T) {
+	m := newMgr(t, Config{Timeout: 30 * time.Millisecond})
+	mustAcquire(t, m, 1, "x", Exclusive)
+
+	err := m.Acquire(context.Background(), 2, "x", Shared)
+	if !errors.Is(err, proto.ErrLockTimeout) {
+		t.Fatalf("conflicting acquire err = %v, want ErrLockTimeout", err)
+	}
+}
+
+func TestReentrancy(t *testing.T) {
+	m := newMgr(t, Config{})
+	mustAcquire(t, m, 1, "x", Shared)
+	mustAcquire(t, m, 1, "x", Shared)    // S then S
+	mustAcquire(t, m, 1, "x", Exclusive) // upgrade, sole holder
+	mustAcquire(t, m, 1, "x", Shared)    // X covers S
+	mustAcquire(t, m, 1, "x", Exclusive) // X then X
+	if m.Held(1)["x"] != Exclusive {
+		t.Fatalf("Held = %v, want X", m.Held(1))
+	}
+}
+
+func TestReleaseWakesWaiter(t *testing.T) {
+	m := newMgr(t, Config{Timeout: 5 * time.Second})
+	mustAcquire(t, m, 1, "x", Exclusive)
+
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), 2, "x", Exclusive) }()
+
+	time.Sleep(10 * time.Millisecond) // let the waiter queue
+	m.ReleaseAll(1)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waiter err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never granted after release")
+	}
+	if m.Held(2)["x"] != Exclusive {
+		t.Fatal("waiter does not hold the lock")
+	}
+}
+
+func TestFIFOGrantOrder(t *testing.T) {
+	m := newMgr(t, Config{Timeout: 5 * time.Second})
+	mustAcquire(t, m, 1, "x", Exclusive)
+
+	var mu sync.Mutex
+	var order []proto.TxnID
+	var wg sync.WaitGroup
+	grab := func(txn proto.TxnID) {
+		defer wg.Done()
+		if err := m.Acquire(context.Background(), txn, "x", Exclusive); err != nil {
+			t.Errorf("Acquire(%v): %v", txn, err)
+			return
+		}
+		mu.Lock()
+		order = append(order, txn)
+		mu.Unlock()
+		m.ReleaseAll(txn)
+	}
+	wg.Add(1)
+	go grab(2)
+	time.Sleep(20 * time.Millisecond)
+	wg.Add(1)
+	go grab(3)
+	time.Sleep(20 * time.Millisecond)
+
+	m.ReleaseAll(1)
+	wg.Wait()
+
+	if len(order) != 2 || order[0] != 2 || order[1] != 3 {
+		t.Fatalf("grant order = %v, want [2 3]", order)
+	}
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	m := newMgr(t, Config{Timeout: 5 * time.Second})
+	mustAcquire(t, m, 1, "x", Shared)
+	mustAcquire(t, m, 2, "x", Shared)
+
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), 1, "x", Exclusive) }()
+
+	select {
+	case err := <-done:
+		t.Fatalf("upgrade granted while another reader holds: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	m.ReleaseAll(2)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("upgrade err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("upgrade never granted")
+	}
+	if m.Held(1)["x"] != Exclusive {
+		t.Fatal("upgrade did not take effect")
+	}
+}
+
+func TestUpgradeJumpsQueue(t *testing.T) {
+	m := newMgr(t, Config{Timeout: 5 * time.Second})
+	mustAcquire(t, m, 1, "x", Shared)
+
+	// Txn 2 queues an X request behind the S holder.
+	xDone := make(chan error, 1)
+	go func() { xDone <- m.Acquire(context.Background(), 2, "x", Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+
+	// Txn 1 upgrades: must be granted before txn 2 despite queueing later.
+	upDone := make(chan error, 1)
+	go func() { upDone <- m.Acquire(context.Background(), 1, "x", Exclusive) }()
+
+	select {
+	case err := <-upDone:
+		if err != nil {
+			t.Fatalf("upgrade err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("upgrade starved behind queued X")
+	}
+	select {
+	case err := <-xDone:
+		t.Fatalf("queued X granted too early: %v", err)
+	default:
+	}
+
+	m.ReleaseAll(1)
+	if err := <-xDone; err != nil {
+		t.Fatalf("queued X err = %v", err)
+	}
+}
+
+func TestDeadlockResolvedByTimeout(t *testing.T) {
+	m := newMgr(t, Config{Timeout: 50 * time.Millisecond})
+	mustAcquire(t, m, 1, "x", Exclusive)
+	mustAcquire(t, m, 2, "y", Exclusive)
+
+	errs := make(chan error, 2)
+	go func() { errs <- m.Acquire(context.Background(), 1, "y", Exclusive) }()
+	go func() { errs <- m.Acquire(context.Background(), 2, "x", Exclusive) }()
+
+	timedOut := 0
+	for range 2 {
+		select {
+		case err := <-errs:
+			if errors.Is(err, proto.ErrLockTimeout) {
+				timedOut++
+			} else if err != nil {
+				t.Fatalf("unexpected error %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("deadlock not resolved")
+		}
+	}
+	if timedOut == 0 {
+		t.Fatal("expected at least one timeout in a deadlock")
+	}
+}
+
+func TestWoundWaitKillsYounger(t *testing.T) {
+	m := newMgr(t, Config{Policy: PolicyWoundWait, Timeout: 5 * time.Second})
+	// Younger transaction (higher ID) holds the lock.
+	mustAcquire(t, m, 10, "x", Exclusive)
+
+	// Older transaction wants it: wounds txn 10.
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), 5, "x", Exclusive) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !m.Wounded(10) {
+		if time.Now().After(deadline) {
+			t.Fatal("younger holder never wounded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Victim notices (its manager checks Wounded) and aborts.
+	if err := m.Acquire(context.Background(), 10, "y", Shared); !errors.Is(err, proto.ErrWounded) {
+		t.Fatalf("wounded txn Acquire err = %v, want ErrWounded", err)
+	}
+	m.ReleaseAll(10)
+
+	if err := <-done; err != nil {
+		t.Fatalf("older txn err = %v", err)
+	}
+}
+
+func TestWoundWaitYoungerWaitsForOlder(t *testing.T) {
+	m := newMgr(t, Config{Policy: PolicyWoundWait, Timeout: 5 * time.Second})
+	mustAcquire(t, m, 5, "x", Exclusive) // older holds
+
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), 10, "x", Exclusive) }()
+
+	time.Sleep(30 * time.Millisecond)
+	if m.Wounded(5) {
+		t.Fatal("older holder must not be wounded by a younger waiter")
+	}
+	m.ReleaseAll(5)
+	if err := <-done; err != nil {
+		t.Fatalf("younger waiter err = %v", err)
+	}
+}
+
+func TestWoundWaitUnblocksWaitingVictim(t *testing.T) {
+	m := newMgr(t, Config{Policy: PolicyWoundWait, Timeout: 5 * time.Second})
+	mustAcquire(t, m, 10, "x", Exclusive) // younger holds x
+	mustAcquire(t, m, 20, "y", Exclusive) // even younger holds y
+
+	// Txn 10 waits for y (held by 20): classic wait chain.
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- m.Acquire(context.Background(), 10, "y", Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+
+	// Older txn 5 requests x: wounds 10, which is blocked on y. The wound
+	// must fail 10's pending request immediately.
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), 5, "x", Exclusive) }()
+
+	select {
+	case err := <-waitErr:
+		if !errors.Is(err, proto.ErrWounded) {
+			t.Fatalf("victim wait err = %v, want ErrWounded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("wounded waiter never unblocked")
+	}
+
+	m.ReleaseAll(10) // victim aborts
+	if err := <-done; err != nil {
+		t.Fatalf("older txn err = %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	m := newMgr(t, Config{Timeout: time.Hour})
+	mustAcquire(t, m, 1, "x", Exclusive)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(ctx, 2, "x", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Acquire ignored cancellation")
+	}
+}
+
+func TestTimeoutRemovalPromotesQueue(t *testing.T) {
+	m := newMgr(t, Config{Timeout: 40 * time.Millisecond})
+	mustAcquire(t, m, 1, "x", Shared)
+
+	// Txn 2 queues X (will time out: S holder never releases during wait).
+	xErr := make(chan error, 1)
+	go func() { xErr <- m.Acquire(context.Background(), 2, "x", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+
+	// Txn 3 queues S behind the X. When the X times out, the S must be
+	// promoted even though nothing was released.
+	sErr := make(chan error, 1)
+	go func() {
+		sErr <- New(Config{}).Acquire(context.Background(), 3, "unused", Shared) // warmup noise
+	}()
+	<-sErr
+	go func() { sErr <- m.Acquire(context.Background(), 3, "x", Shared) }()
+
+	if err := <-xErr; !errors.Is(err, proto.ErrLockTimeout) {
+		t.Fatalf("X err = %v, want timeout", err)
+	}
+	select {
+	case err := <-sErr:
+		if err != nil {
+			t.Fatalf("queued S err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued S never promoted after the X timed out")
+	}
+}
+
+func TestCrashResetFailsWaiters(t *testing.T) {
+	m := newMgr(t, Config{Timeout: time.Hour})
+	mustAcquire(t, m, 1, "x", Exclusive)
+
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), 2, "x", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+
+	m.CrashReset()
+	select {
+	case err := <-done:
+		if !errors.Is(err, proto.ErrTxnAborted) {
+			t.Fatalf("err = %v, want ErrTxnAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("CrashReset did not fail the waiter")
+	}
+	if len(m.Held(1)) != 0 {
+		t.Fatal("CrashReset must drop all holdings")
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := newMgr(t, Config{Timeout: 20 * time.Millisecond})
+	mustAcquire(t, m, 1, "x", Exclusive)
+	_ = m.Acquire(context.Background(), 2, "x", Exclusive) // times out
+
+	st := m.Stats()
+	if st.Acquired != 1 || st.Timeouts != 1 {
+		t.Fatalf("Stats = %+v, want Acquired 1, Timeouts 1", st)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	m := newMgr(t, Config{Timeout: 500 * time.Millisecond})
+	keys := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for i := 1; i <= 24; i++ {
+		wg.Add(1)
+		go func(txn proto.TxnID) {
+			defer wg.Done()
+			for round := 0; round < 10; round++ {
+				k1 := keys[(int(txn)+round)%len(keys)]
+				k2 := keys[(int(txn)+round+1)%len(keys)]
+				if err := m.Acquire(context.Background(), txn, k1, Shared); err != nil {
+					m.ReleaseAll(txn)
+					continue
+				}
+				if err := m.Acquire(context.Background(), txn, k2, Exclusive); err != nil {
+					m.ReleaseAll(txn)
+					continue
+				}
+				m.ReleaseAll(txn)
+			}
+		}(proto.TxnID(i))
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("stress run wedged (likely lost wakeup)")
+	}
+}

@@ -1,0 +1,324 @@
+// Package netsim is an in-process network connecting the sites of the
+// simulated distributed database.
+//
+// Each site registers a handler; any site can Call any other. Calls incur a
+// configurable pseudo-random latency in each direction, may be dropped with
+// a configurable probability, and fail with proto.ErrSiteDown when the
+// target (or the reply path) is down. Sites run real goroutines, so calls
+// interleave exactly as concurrently as the protocol allows.
+//
+// The simulator models the paper's failure model: fail-stop site crashes are
+// the only failure kind, and "site down" is a definitive outcome (there is
+// no ambiguity between a slow site and a dead one), which is what entitles
+// any site to issue a type-2 control transaction after observing a failure.
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"siterecovery/internal/clock"
+	"siterecovery/internal/proto"
+)
+
+// Handler processes one inbound message at a site and returns the reply.
+type Handler func(ctx context.Context, from proto.SiteID, msg proto.Message) (proto.Message, error)
+
+// Config tunes the network.
+type Config struct {
+	// Clock supplies time; defaults to the wall clock.
+	Clock clock.Clock
+	// MinLatency and MaxLatency bound the one-way delivery delay, sampled
+	// uniformly. Both zero means instantaneous delivery.
+	MinLatency time.Duration
+	MaxLatency time.Duration
+	// LossRate is the probability in [0,1) that a direction of a call is
+	// dropped. Defaults to 0 (the paper's model has reliable links).
+	LossRate float64
+	// Seed seeds the latency/loss randomness. Zero means a fixed default,
+	// keeping runs reproducible unless the caller opts out.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxLatency < c.MinLatency {
+		c.MaxLatency = c.MinLatency
+	}
+	return c
+}
+
+// Stat counts outcomes for one message kind.
+type Stat struct {
+	Sent      uint64 // calls attempted
+	Delivered uint64 // handler invocations completed and replies returned
+	Dropped   uint64 // lost to the configured loss rate
+	Refused   uint64 // failed because a site was down
+}
+
+// Network connects registered sites. Create with New.
+type Network struct {
+	cfg Config
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	nodes map[proto.SiteID]*node
+	stats map[string]*Stat
+}
+
+type node struct {
+	handler Handler
+	down    bool
+	// group is the partition group; sites in different groups cannot
+	// communicate. 0 means unpartitioned.
+	group int
+}
+
+// New returns a network with the given configuration.
+func New(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	return &Network{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		nodes: make(map[proto.SiteID]*node),
+		stats: make(map[string]*Stat),
+	}
+}
+
+// Register attaches a handler for site. Re-registering replaces the handler.
+func (n *Network) Register(site proto.SiteID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[site] = &node{handler: h}
+}
+
+// SetDown marks a site crashed (true) or rejoined at the network level
+// (false). Messages to a down site are refused after the usual latency;
+// replies owed to a crashed caller are lost.
+func (n *Network) SetDown(site proto.SiteID, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if nd, ok := n.nodes[site]; ok {
+		nd.down = down
+	}
+}
+
+// Partition splits the network into groups: sites in different groups see
+// each other exactly as crashed (ErrSiteDown) — which is the ambiguity that
+// makes partitions dangerous for a protocol whose failure detector assumes
+// fail-stop crashes. Sites absent from every group form an implicit final
+// group. Call Heal to reconnect.
+func (n *Network) Partition(groups ...[]proto.SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, nd := range n.nodes {
+		nd.group = len(groups) + 1 // implicit leftover group
+	}
+	for i, group := range groups {
+		for _, site := range group {
+			if nd, ok := n.nodes[site]; ok {
+				nd.group = i + 1
+			}
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, nd := range n.nodes {
+		nd.group = 0
+	}
+}
+
+// IsDown reports whether the site is marked down.
+func (n *Network) IsDown(site proto.SiteID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[site]
+	return !ok || nd.down
+}
+
+// Sites lists the registered sites in ascending order.
+func (n *Network) Sites() []proto.SiteID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sites := make([]proto.SiteID, 0, len(n.nodes))
+	for s := range n.nodes {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	return sites
+}
+
+// Call sends msg from one site to another and waits for the reply. Transport
+// failures are proto.ErrSiteDown and proto.ErrDropped; any other error comes
+// from the remote handler and is part of the protocol, not the transport.
+func (n *Network) Call(ctx context.Context, from, to proto.SiteID, msg proto.Message) (proto.Message, error) {
+	kind := msg.Kind()
+	n.bump(kind, func(s *Stat) { s.Sent++ })
+
+	h, err := n.deliver(ctx, from, to, kind)
+	if err != nil {
+		return nil, err
+	}
+
+	resp, herr := h(ctx, from, msg)
+
+	// The reply path: lost if either endpoint has crashed meanwhile, or to
+	// random loss. The handler's side effects stand either way, exactly as
+	// on a real network.
+	if err := n.replyPath(ctx, from, to, kind); err != nil {
+		return nil, err
+	}
+	if herr != nil {
+		n.bump(kind, func(s *Stat) { s.Delivered++ })
+		return nil, fmt.Errorf("%v->%v %s: %w", from, to, kind, herr)
+	}
+	n.bump(kind, func(s *Stat) { s.Delivered++ })
+	return resp, nil
+}
+
+// deliver simulates the request path and resolves the target handler.
+// A crashed sender emits nothing: its process is dead.
+func (n *Network) deliver(ctx context.Context, from, to proto.SiteID, kind string) (Handler, error) {
+	n.mu.Lock()
+	sender, ok := n.nodes[from]
+	senderDown := !ok || sender.down
+	n.mu.Unlock()
+	if senderDown {
+		n.bump(kind, func(s *Stat) { s.Refused++ })
+		return nil, fmt.Errorf("send from crashed %v: %w", from, proto.ErrSiteDown)
+	}
+	if n.lost() {
+		n.bump(kind, func(s *Stat) { s.Dropped++ })
+		return nil, proto.ErrDropped
+	}
+	if err := n.sleep(ctx); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	src := n.nodes[from]
+	nd, ok := n.nodes[to]
+	var h Handler
+	if ok && !nd.down && (src == nil || src.group == nd.group || src.group == 0 || nd.group == 0) {
+		h = nd.handler
+	}
+	n.mu.Unlock()
+	if h == nil {
+		// A partitioned peer is indistinguishable from a crashed one —
+		// deliberately: that ambiguity is why the paper's protocol
+		// restricts itself to fail-stop site failures.
+		n.bump(kind, func(s *Stat) { s.Refused++ })
+		return nil, fmt.Errorf("deliver to %v: %w", to, proto.ErrSiteDown)
+	}
+	return h, nil
+}
+
+// replyPath simulates the response path.
+func (n *Network) replyPath(ctx context.Context, from, to proto.SiteID, kind string) error {
+	if n.lost() {
+		n.bump(kind, func(s *Stat) { s.Dropped++ })
+		return proto.ErrDropped
+	}
+	if err := n.sleep(ctx); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	target, tok := n.nodes[to]
+	caller, fok := n.nodes[from]
+	partitioned := tok && fok &&
+		target.group != caller.group && target.group != 0 && caller.group != 0
+	n.mu.Unlock()
+	if !tok || target.down {
+		n.bump(kind, func(s *Stat) { s.Refused++ })
+		return fmt.Errorf("reply from %v: %w", to, proto.ErrSiteDown)
+	}
+	if !fok || caller.down {
+		n.bump(kind, func(s *Stat) { s.Refused++ })
+		return fmt.Errorf("reply to crashed %v: %w", from, proto.ErrSiteDown)
+	}
+	if partitioned {
+		n.bump(kind, func(s *Stat) { s.Refused++ })
+		return fmt.Errorf("reply across partition %v->%v: %w", to, from, proto.ErrSiteDown)
+	}
+	return nil
+}
+
+func (n *Network) lost() bool {
+	if n.cfg.LossRate <= 0 {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64() < n.cfg.LossRate
+}
+
+func (n *Network) sleep(ctx context.Context) error {
+	d := n.latency()
+	if d <= 0 {
+		return ctx.Err()
+	}
+	select {
+	case <-n.cfg.Clock.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (n *Network) latency() time.Duration {
+	if n.cfg.MaxLatency == 0 {
+		return 0
+	}
+	if n.cfg.MaxLatency == n.cfg.MinLatency {
+		return n.cfg.MinLatency
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.MinLatency + time.Duration(n.rng.Int63n(int64(n.cfg.MaxLatency-n.cfg.MinLatency)))
+}
+
+func (n *Network) bump(kind string, f func(*Stat)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.stats[kind]
+	if !ok {
+		s = &Stat{}
+		n.stats[kind] = s
+	}
+	f(s)
+}
+
+// Stats returns a copy of the per-kind message counters.
+func (n *Network) Stats() map[string]Stat {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]Stat, len(n.stats))
+	for k, v := range n.stats {
+		out[k] = *v
+	}
+	return out
+}
+
+// TotalSent sums the Sent counter across message kinds, a cheap proxy for
+// protocol message cost.
+func (n *Network) TotalSent() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var total uint64
+	for _, v := range n.stats {
+		total += v.Sent
+	}
+	return total
+}

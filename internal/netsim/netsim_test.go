@@ -1,0 +1,259 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"siterecovery/internal/proto"
+)
+
+func echoHandler(t *testing.T) Handler {
+	t.Helper()
+	return func(_ context.Context, _ proto.SiteID, msg proto.Message) (proto.Message, error) {
+		if _, ok := msg.(proto.ProbeReq); ok {
+			return proto.ProbeResp{Operational: true, Session: 7}, nil
+		}
+		return nil, errors.New("unexpected message")
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	n := New(Config{})
+	n.Register(1, echoHandler(t))
+	n.Register(2, echoHandler(t))
+
+	resp, err := n.Call(context.Background(), 1, 2, proto.ProbeReq{})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	probe, ok := resp.(proto.ProbeResp)
+	if !ok || !probe.Operational || probe.Session != 7 {
+		t.Fatalf("unexpected response %#v", resp)
+	}
+}
+
+func TestCallToDownSite(t *testing.T) {
+	n := New(Config{})
+	n.Register(1, echoHandler(t))
+	n.Register(2, echoHandler(t))
+	n.SetDown(2, true)
+
+	_, err := n.Call(context.Background(), 1, 2, proto.ProbeReq{})
+	if !errors.Is(err, proto.ErrSiteDown) {
+		t.Fatalf("Call to down site: err = %v, want ErrSiteDown", err)
+	}
+
+	n.SetDown(2, false)
+	if _, err := n.Call(context.Background(), 1, 2, proto.ProbeReq{}); err != nil {
+		t.Fatalf("Call after rejoin: %v", err)
+	}
+}
+
+func TestCallToUnregisteredSite(t *testing.T) {
+	n := New(Config{})
+	n.Register(1, echoHandler(t))
+	_, err := n.Call(context.Background(), 1, 9, proto.ProbeReq{})
+	if !errors.Is(err, proto.ErrSiteDown) {
+		t.Fatalf("err = %v, want ErrSiteDown", err)
+	}
+}
+
+func TestHandlerErrorPassesThrough(t *testing.T) {
+	sentinel := errors.New("application-level failure")
+	n := New(Config{})
+	n.Register(1, echoHandler(t))
+	n.Register(2, func(context.Context, proto.SiteID, proto.Message) (proto.Message, error) {
+		return nil, sentinel
+	})
+	_, err := n.Call(context.Background(), 1, 2, proto.ProbeReq{})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestCrashDuringHandlerLosesReply(t *testing.T) {
+	n := New(Config{})
+	executed := false
+	n.Register(1, echoHandler(t))
+	n.Register(2, func(context.Context, proto.SiteID, proto.Message) (proto.Message, error) {
+		executed = true
+		n.SetDown(2, true) // crash between processing and reply
+		return proto.ProbeResp{}, nil
+	})
+	_, err := n.Call(context.Background(), 1, 2, proto.ProbeReq{})
+	if !errors.Is(err, proto.ErrSiteDown) {
+		t.Fatalf("err = %v, want ErrSiteDown", err)
+	}
+	if !executed {
+		t.Fatal("handler side effects must stand even when the reply is lost")
+	}
+}
+
+func TestCrashedCallerLosesReply(t *testing.T) {
+	n := New(Config{})
+	n.Register(1, echoHandler(t))
+	n.Register(2, func(context.Context, proto.SiteID, proto.Message) (proto.Message, error) {
+		n.SetDown(1, true) // the caller dies while the call is in flight
+		return proto.ProbeResp{}, nil
+	})
+	_, err := n.Call(context.Background(), 1, 2, proto.ProbeReq{})
+	if !errors.Is(err, proto.ErrSiteDown) {
+		t.Fatalf("err = %v, want ErrSiteDown", err)
+	}
+}
+
+func TestLatencyBounds(t *testing.T) {
+	n := New(Config{MinLatency: 2 * time.Millisecond, MaxLatency: 4 * time.Millisecond})
+	n.Register(1, echoHandler(t))
+	n.Register(2, echoHandler(t))
+
+	start := time.Now()
+	if _, err := n.Call(context.Background(), 1, 2, proto.ProbeReq{}); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Errorf("round trip took %v, want >= 4ms (two one-way latencies)", elapsed)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	n := New(Config{MinLatency: time.Hour, MaxLatency: time.Hour})
+	n.Register(1, echoHandler(t))
+	n.Register(2, echoHandler(t))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := n.Call(ctx, 1, 2, proto.ProbeReq{})
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Call did not honor cancellation")
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	n := New(Config{LossRate: 1.0})
+	n.Register(1, echoHandler(t))
+	n.Register(2, echoHandler(t))
+	_, err := n.Call(context.Background(), 1, 2, proto.ProbeReq{})
+	if !errors.Is(err, proto.ErrDropped) {
+		t.Fatalf("err = %v, want ErrDropped", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	n := New(Config{})
+	n.Register(1, echoHandler(t))
+	n.Register(2, echoHandler(t))
+	n.Register(3, echoHandler(t))
+	n.SetDown(3, true)
+
+	ctx := context.Background()
+	for range 5 {
+		if _, err := n.Call(ctx, 1, 2, proto.ProbeReq{}); err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+	}
+	for range 2 {
+		if _, err := n.Call(ctx, 1, 3, proto.ProbeReq{}); !errors.Is(err, proto.ErrSiteDown) {
+			t.Fatalf("err = %v, want ErrSiteDown", err)
+		}
+	}
+
+	stats := n.Stats()
+	got := stats["probe"]
+	if got.Sent != 7 || got.Delivered != 5 || got.Refused != 2 || got.Dropped != 0 {
+		t.Errorf("probe stats = %+v, want Sent 7 Delivered 5 Refused 2", got)
+	}
+	if total := n.TotalSent(); total != 7 {
+		t.Errorf("TotalSent = %d, want 7", total)
+	}
+}
+
+func TestSitesSorted(t *testing.T) {
+	n := New(Config{})
+	for _, s := range []proto.SiteID{5, 1, 3} {
+		n.Register(s, echoHandler(t))
+	}
+	got := n.Sites()
+	want := []proto.SiteID{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Sites = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sites = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	n := New(Config{MinLatency: 100 * time.Microsecond, MaxLatency: 300 * time.Microsecond})
+	n.Register(1, echoHandler(t))
+	n.Register(2, echoHandler(t))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 50)
+	for range 50 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := n.Call(context.Background(), 1, 2, proto.ProbeReq{}); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent Call: %v", err)
+	}
+}
+
+func TestPartitionSplitsAndHeals(t *testing.T) {
+	n := New(Config{})
+	for _, s := range []proto.SiteID{1, 2, 3} {
+		n.Register(s, echoHandler(t))
+	}
+	n.Partition([]proto.SiteID{1}, []proto.SiteID{2, 3})
+
+	ctx := context.Background()
+	// Across the cut: looks exactly like a crash.
+	if _, err := n.Call(ctx, 1, 2, proto.ProbeReq{}); !errors.Is(err, proto.ErrSiteDown) {
+		t.Fatalf("cross-partition call err = %v, want ErrSiteDown", err)
+	}
+	// Within a group: fine.
+	if _, err := n.Call(ctx, 2, 3, proto.ProbeReq{}); err != nil {
+		t.Fatalf("same-group call: %v", err)
+	}
+	n.Heal()
+	if _, err := n.Call(ctx, 1, 2, proto.ProbeReq{}); err != nil {
+		t.Fatalf("post-heal call: %v", err)
+	}
+}
+
+func TestPartitionImplicitLeftoverGroup(t *testing.T) {
+	n := New(Config{})
+	for _, s := range []proto.SiteID{1, 2, 3} {
+		n.Register(s, echoHandler(t))
+	}
+	// Only site 1 is named; 2 and 3 fall into the implicit leftover group
+	// together.
+	n.Partition([]proto.SiteID{1})
+	if _, err := n.Call(context.Background(), 2, 3, proto.ProbeReq{}); err != nil {
+		t.Fatalf("leftover-group call: %v", err)
+	}
+	if _, err := n.Call(context.Background(), 1, 3, proto.ProbeReq{}); !errors.Is(err, proto.ErrSiteDown) {
+		t.Fatalf("cross call err = %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+package proto
+
+import "errors"
+
+// Protocol error taxonomy. These sentinels cross the (in-process) network
+// and drive transaction-manager retry decisions, so they are matched with
+// errors.Is throughout.
+var (
+	// ErrSiteDown is the transport-level outcome of calling a crashed site.
+	ErrSiteDown = errors.New("site is down")
+
+	// ErrDropped is returned when the network simulator drops a message
+	// (only with a nonzero configured loss rate).
+	ErrDropped = errors.New("message dropped")
+
+	// ErrSessionMismatch is the data manager's rejection of a request whose
+	// carried session number differs from the site's actual session number.
+	// It means the sender's view of the system configuration is stale.
+	ErrSessionMismatch = errors.New("session number mismatch")
+
+	// ErrNotOperational rejects user operations at a site that is down for
+	// DDBS purposes or still recovering (actual session number 0).
+	ErrNotOperational = errors.New("site not operational")
+
+	// ErrUnreadable reports a read of a copy that is marked unreadable
+	// because it may have missed updates. Depending on policy the reader
+	// either triggers a copier or reads another copy.
+	ErrUnreadable = errors.New("copy marked unreadable")
+
+	// ErrLockTimeout reports that a lock request waited longer than the
+	// deadlock-resolution timeout.
+	ErrLockTimeout = errors.New("lock wait timed out")
+
+	// ErrWounded reports that a wound-wait lock manager killed the
+	// transaction in favour of an older one.
+	ErrWounded = errors.New("transaction wounded by older transaction")
+
+	// ErrTxnAborted reports an operation on behalf of a transaction the
+	// participant has already aborted.
+	ErrTxnAborted = errors.New("transaction already aborted")
+
+	// ErrUnknownTxn reports a prepare/commit/abort for a transaction the
+	// participant does not know (for example because it crashed and lost
+	// its volatile state).
+	ErrUnknownTxn = errors.New("unknown transaction")
+
+	// ErrUnavailable reports a logical operation that no interpretation
+	// could satisfy: no readable copy at any nominally-up site, or a write
+	// with zero nominally-up replicas.
+	ErrUnavailable = errors.New("no available copy")
+
+	// ErrNoQuorum reports that the quorum baseline could not assemble a
+	// read or write quorum.
+	ErrNoQuorum = errors.New("quorum not reachable")
+
+	// ErrTotalFailure reports that every replica of an item is lost to
+	// failed sites; the paper defers this case to a separate protocol.
+	ErrTotalFailure = errors.New("all copies at failed sites (totally failed item)")
+
+	// ErrAbortRequested is used by user transaction bodies to abort
+	// voluntarily; the retry wrapper does not retry it.
+	ErrAbortRequested = errors.New("abort requested")
+)
+
+// Retryable reports whether an error is a transient protocol outcome that a
+// transaction manager should handle by aborting and re-running the
+// transaction with a fresh view (stale session view, deadlock victim,
+// crashed participant, ...).
+func Retryable(err error) bool {
+	switch {
+	case errors.Is(err, ErrSessionMismatch),
+		errors.Is(err, ErrSiteDown),
+		errors.Is(err, ErrDropped),
+		errors.Is(err, ErrLockTimeout),
+		errors.Is(err, ErrWounded),
+		errors.Is(err, ErrNotOperational),
+		errors.Is(err, ErrTxnAborted),
+		errors.Is(err, ErrNoQuorum),
+		errors.Is(err, ErrUnreadable),
+		errors.Is(err, ErrUnavailable):
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,511 @@
+// Package recovery implements the site recovery procedure of §3.4 and the
+// copier transactions of §3.2:
+//
+//  1. the site turns its TM and DM on with as[k] = 0 (done by the caller
+//     via dm.Restart);
+//  2. it resolves in-doubt two-phase-commit state from its stable log and
+//     marks out-of-date copies unreadable, using one of the §5
+//     identification strategies;
+//  3. it runs a type-1 control transaction (via internal/session);
+//  4. on commit it loads the new session number into as[k] and is fully
+//     operational — data recovery continues concurrently via copiers;
+//  5. copier transactions refresh unreadable copies from readable copies at
+//     operational sites, either eagerly or on demand.
+//
+// The package also provides the cooperative-termination janitor the paper
+// assumes from the transaction-resolution literature [9, 10]: each site
+// periodically resolves in-flight transactions whose coordinator went
+// silent, with presumed-abort semantics.
+package recovery
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"siterecovery/internal/clock"
+	"siterecovery/internal/dm"
+	"siterecovery/internal/history"
+	"siterecovery/internal/netsim"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/replication"
+	"siterecovery/internal/session"
+	"siterecovery/internal/txn"
+)
+
+// Identify selects the §5 out-of-date identification strategy.
+type Identify int
+
+// Identification strategies.
+const (
+	// IdentifyMarkAll marks every local copy (the conservative basic
+	// algorithm of §3.4 step 2).
+	IdentifyMarkAll Identify = iota + 1
+	// IdentifyVersionDiff marks every copy but lets copiers compare
+	// version numbers and skip the data transfer for current copies (§5).
+	IdentifyVersionDiff
+	// IdentifyFailLock marks only the items fail-locked at operational
+	// sites during the failure [Bhargava 85].
+	IdentifyFailLock
+	// IdentifyMissingList is fail-locks plus inheritance of the entries
+	// about other still-down sites (the full missing list of §5).
+	IdentifyMissingList
+)
+
+// String implements fmt.Stringer.
+func (i Identify) String() string {
+	switch i {
+	case IdentifyMarkAll:
+		return "markall"
+	case IdentifyVersionDiff:
+		return "versiondiff"
+	case IdentifyFailLock:
+		return "faillock"
+	case IdentifyMissingList:
+		return "missinglist"
+	default:
+		return fmt.Sprintf("identify(%d)", int(i))
+	}
+}
+
+// CopierMode selects when copiers run (§3.2 leaves it open).
+type CopierMode int
+
+// Copier modes.
+const (
+	// CopierEager refreshes all marked copies as soon as the site is
+	// operational.
+	CopierEager CopierMode = iota + 1
+	// CopierOnDemand refreshes a copy when a read request first hits it.
+	CopierOnDemand
+)
+
+// Stats counts recovery activity.
+type Stats struct {
+	Recoveries        uint64
+	Marked            uint64 // copies marked unreadable across recoveries
+	CopiersRun        uint64 // copier transactions committed
+	DataCopies        uint64 // copier refreshes that transferred data
+	VersionSkips      uint64 // copier refreshes skipped by version compare
+	TotallyFailed     uint64 // copier gave up: no readable copy anywhere
+	TotalResolved     uint64 // totally failed items resurrected
+	SpoolReplayed     uint64 // spooled updates applied (spooler baseline)
+	InDoubtCommitted  uint64
+	InDoubtAborted    uint64
+	InDoubtUnresolved uint64
+}
+
+// Report summarizes one recovery.
+type Report struct {
+	Session           proto.Session
+	Marked            int
+	InDoubt           int
+	Replayed          int // spooled updates applied (spooler baseline)
+	TimeToOperational time.Duration
+}
+
+// Config assembles a recovery manager.
+type Config struct {
+	Site    proto.SiteID
+	TM      *txn.Manager
+	Local   *dm.Manager
+	Net     *netsim.Network
+	Catalog *replication.Catalog
+	Session *session.Manager
+	Clock   clock.Clock
+	// Recorder and Seq let the spooler baseline attribute its replay
+	// installs to a synthetic copier transaction in the history.
+	Recorder *history.Recorder
+	Seq      *txn.Sequencer
+	Identify
+	CopierMode CopierMode
+	// CopierWorkers sizes the copier pool. Defaults to 2.
+	CopierWorkers int
+	// QueueDepth bounds the copier queue. Defaults to 1024.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	if c.Identify == 0 {
+		c.Identify = IdentifyMarkAll
+	}
+	if c.CopierMode == 0 {
+		c.CopierMode = CopierEager
+	}
+	if c.CopierWorkers == 0 {
+		c.CopierWorkers = 2
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 1024
+	}
+	return c
+}
+
+// Manager drives recovery and copiers for one site. Create with New; Start
+// launches the copier workers, Stop shuts them down.
+type Manager struct {
+	cfg Config
+
+	mu      sync.Mutex
+	stats   Stats
+	pending map[proto.Item]bool
+
+	queue chan proto.Item
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// New returns a recovery manager.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	return &Manager{
+		cfg:     cfg,
+		pending: make(map[proto.Item]bool),
+		queue:   make(chan proto.Item, cfg.QueueDepth),
+	}
+}
+
+// Start launches the copier worker pool.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stop != nil {
+		return
+	}
+	m.stop = make(chan struct{})
+	for range m.cfg.CopierWorkers {
+		m.wg.Add(1)
+		go m.copierLoop(m.stop)
+	}
+}
+
+// Stop shuts the copier pool down and waits for it.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	stop := m.stop
+	m.stop = nil
+	m.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	m.wg.Wait()
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// RequestCopy enqueues a copier for item, deduplicating concurrent
+// requests. It is safe from the DM's unreadable-read callback.
+func (m *Manager) RequestCopy(item proto.Item) {
+	m.mu.Lock()
+	if m.pending[item] {
+		m.mu.Unlock()
+		return
+	}
+	m.pending[item] = true
+	m.mu.Unlock()
+	select {
+	case m.queue <- item:
+	default:
+		// Queue full: drop the dedupe claim so a later read re-triggers.
+		m.mu.Lock()
+		delete(m.pending, item)
+		m.mu.Unlock()
+	}
+}
+
+// Recover executes the §3.4 procedure. The caller must already have
+// restarted the DM (as[k] = 0) and reattached the site to the network. On
+// success the site is operational; copiers proceed concurrently.
+func (m *Manager) Recover(ctx context.Context) (Report, error) {
+	start := m.cfg.Clock.Now()
+	report := Report{}
+
+	// Step 2a: resolve in-doubt 2PC state from the stable log. Committed
+	// or unresolved outcomes imply the local copies of the transaction's
+	// write set are stale (the install died with the crash).
+	inDoubt := m.cfg.Local.RecoverInDoubt()
+	report.InDoubt = len(inDoubt)
+	for _, d := range inDoubt {
+		m.resolveInDoubt(ctx, d)
+	}
+
+	// Step 2b: identify and mark the copies that may have missed updates.
+	marked, err := m.markOutOfDate(ctx)
+	if err != nil {
+		return report, fmt.Errorf("recover %v: identify out-of-date: %w", m.cfg.Site, err)
+	}
+	report.Marked = marked
+	m.mu.Lock()
+	m.stats.Marked += uint64(marked)
+	m.mu.Unlock()
+
+	// Steps 3-4: claim nominally up, then load the session number.
+	sn, err := m.cfg.Session.ClaimUp(ctx)
+	if err != nil {
+		return report, fmt.Errorf("recover %v: %w", m.cfg.Site, err)
+	}
+	m.cfg.Local.SetSession(sn)
+	report.Session = sn
+	report.TimeToOperational = m.cfg.Clock.Since(start)
+
+	m.mu.Lock()
+	m.stats.Recoveries++
+	m.mu.Unlock()
+
+	// Step 5: data recovery proceeds concurrently with user transactions.
+	if m.cfg.CopierMode == CopierEager {
+		m.Flush()
+	}
+	return report, nil
+}
+
+// resolveInDoubt applies cooperative termination to one in-doubt
+// transaction found after the crash. Committed outcomes are redone from the
+// prepare record; undecided ones leave their write sets marked unreadable
+// (copiers will observe the eventual outcome through ordinary locking at
+// the operational sites).
+func (m *Manager) resolveInDoubt(ctx context.Context, d dm.InDoubtTxn) {
+	state, seq := m.queryDecision(ctx, d.Origin, d.Txn)
+	switch state {
+	case proto.StateCommitted:
+		_ = m.cfg.Local.ResolveRecoveredOutcome(d, true, seq)
+		m.mu.Lock()
+		m.stats.InDoubtCommitted++
+		m.mu.Unlock()
+	case proto.StateAborted, proto.StateUnknown:
+		// Unknown from a reachable coordinator is presumed abort.
+		_ = m.cfg.Local.ResolveRecoveredOutcome(d, false, 0)
+		m.mu.Lock()
+		m.stats.InDoubtAborted++
+		m.mu.Unlock()
+	default:
+		// Still undecided (coordinator active, or unreachable with no
+		// witness): stay conservative — mark the write set and leave the
+		// record in doubt.
+		for _, item := range d.Items() {
+			m.cfg.Local.Store().MarkUnreadable(item)
+		}
+		m.mu.Lock()
+		m.stats.InDoubtUnresolved++
+		m.mu.Unlock()
+	}
+}
+
+// queryDecision implements the decision lookup: coordinator first (its
+// answer is authoritative under presumed abort), then any witness.
+// It returns StatePrepared when the outcome is genuinely still open.
+func (m *Manager) queryDecision(ctx context.Context, origin proto.SiteID, id proto.TxnID) (proto.TxnState, uint64) {
+	if origin != 0 && origin != m.cfg.Site {
+		resp, err := m.cfg.Net.Call(ctx, m.cfg.Site, origin, proto.DecisionReq{Txn: id})
+		if err == nil {
+			if dr, ok := resp.(proto.DecisionResp); ok {
+				return dr.State, dr.CommitSeq
+			}
+		}
+	} else if origin == m.cfg.Site {
+		// We coordinated it ourselves: our own log is authoritative, and a
+		// restarted coordinator never resumes an undecided transaction.
+		state, seq := m.cfg.Local.Log().Outcome(id)
+		if state == proto.StatePrepared || state == proto.StateUnknown {
+			return proto.StateUnknown, 0
+		}
+		return state, seq
+	}
+	// Coordinator unreachable: ask the other sites for a witness.
+	sawOpen := false
+	for _, j := range m.cfg.Catalog.Sites() {
+		if j == m.cfg.Site || j == origin {
+			continue
+		}
+		resp, err := m.cfg.Net.Call(ctx, m.cfg.Site, j, proto.DecisionReq{Txn: id})
+		if err != nil {
+			continue
+		}
+		dr, ok := resp.(proto.DecisionResp)
+		if !ok {
+			continue
+		}
+		switch dr.State {
+		case proto.StateCommitted:
+			return proto.StateCommitted, dr.CommitSeq
+		case proto.StateAborted:
+			return proto.StateAborted, 0
+		case proto.StatePrepared:
+			sawOpen = true
+		}
+	}
+	if sawOpen {
+		return proto.StatePrepared, 0 // genuinely open: classic 2PC blocking
+	}
+	return proto.StatePrepared, 0 // no witness either way: stay conservative
+}
+
+// markOutOfDate applies the configured identification strategy and returns
+// how many copies were marked.
+func (m *Manager) markOutOfDate(ctx context.Context) (int, error) {
+	store := m.cfg.Local.Store()
+	switch m.cfg.Identify {
+	case IdentifyMarkAll, IdentifyVersionDiff:
+		return store.MarkAllUnreadable(), nil
+	case IdentifyFailLock, IdentifyMissingList:
+		marked := make(map[proto.Item]bool)
+		for _, j := range m.cfg.Catalog.Sites() {
+			if j == m.cfg.Site {
+				continue
+			}
+			resp, err := m.cfg.Net.Call(ctx, m.cfg.Site, j, proto.MissedFetchReq{For: m.cfg.Site})
+			if err != nil {
+				continue // down sites hold no live bookkeeping
+			}
+			mf, ok := resp.(proto.MissedFetchResp)
+			if !ok {
+				continue
+			}
+			for _, item := range mf.Missed {
+				marked[item] = true
+			}
+			if m.cfg.Identify == IdentifyMissingList {
+				m.cfg.Local.AdoptMissed(mf.Others)
+			}
+		}
+		for item := range marked {
+			store.MarkUnreadable(item)
+		}
+		return len(marked), nil
+	default:
+		return 0, fmt.Errorf("unknown identification strategy %d", m.cfg.Identify)
+	}
+}
+
+// Flush enqueues a copier for every currently unreadable local copy.
+func (m *Manager) Flush() {
+	for _, item := range m.cfg.Local.Store().UnreadableItems() {
+		m.RequestCopy(item)
+	}
+}
+
+// WaitCurrent blocks until no local copy is marked unreadable (fully
+// current), flushing the queue as needed, or until the context is done.
+func (m *Manager) WaitCurrent(ctx context.Context) error {
+	for {
+		items := m.cfg.Local.Store().UnreadableItems()
+		if len(items) == 0 {
+			return nil
+		}
+		m.Flush()
+		select {
+		case <-m.cfg.Clock.After(2 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func (m *Manager) copierLoop(stop <-chan struct{}) {
+	defer m.wg.Done()
+	for {
+		select {
+		case item := <-m.queue:
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			err := m.copyOne(ctx, item)
+			cancel()
+			m.mu.Lock()
+			delete(m.pending, item)
+			m.mu.Unlock()
+			if err != nil && errors.Is(err, proto.ErrTotalFailure) {
+				m.mu.Lock()
+				m.stats.TotallyFailed++
+				m.mu.Unlock()
+			}
+		case <-stop:
+			return
+		}
+	}
+}
+
+// copyOne runs one copier transaction for item (§3.2): it reads the nominal
+// session vector, pins the stale local copy with an exclusive lock, locates
+// a readable copy at an operational site, and installs its content under
+// the original writer's version.
+func (m *Manager) copyOne(ctx context.Context, item proto.Item) error {
+	var transferred, skipped bool
+	err := m.cfg.TM.RunClass(ctx, proto.ClassCopier, func(ctx context.Context, tx *txn.Tx) error {
+		transferred, skipped = false, false
+		if err := tx.LockLocalExclusive(ctx, item); err != nil {
+			return err
+		}
+		if !tx.LocalUnreadable(item) {
+			return nil // a user write already refreshed it
+		}
+		localVal, localVer, err := m.cfg.Local.Store().Committed(item)
+		if err != nil {
+			return err
+		}
+
+		replicas, err := m.cfg.Catalog.Replicas(item)
+		if err != nil {
+			return err
+		}
+		view := tx.View()
+		var lastErr error
+		for _, source := range replicas {
+			if source == m.cfg.Site || !view.Up(source) {
+				continue
+			}
+			v, ver, err := tx.RawRead(ctx, source, item, txn.RawReadOpt{
+				Mode:   proto.CheckSession,
+				Expect: view.Session(source),
+			})
+			if err != nil {
+				lastErr = err
+				if errors.Is(err, proto.ErrUnreadable) ||
+					errors.Is(err, proto.ErrSiteDown) ||
+					errors.Is(err, proto.ErrDropped) {
+					continue
+				}
+				return err
+			}
+			if m.cfg.Identify == IdentifyVersionDiff && ver == localVer {
+				// §5: compare version numbers first; the copy is current,
+				// so clear the mark without transferring data.
+				tx.BufferLocalRefresh(item, localVal, localVer)
+				skipped = true
+				return nil
+			}
+			tx.BufferLocalRefresh(item, v, ver)
+			transferred = true
+			return nil
+		}
+		if lastErr != nil {
+			return fmt.Errorf("copier %q: %w", item, lastErr)
+		}
+		// No readable copy at any operational site: the item is totally
+		// failed; a separate protocol (out of the paper's scope) would
+		// resolve it.
+		return fmt.Errorf("copier %q: %w", item, proto.ErrTotalFailure)
+	})
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.stats.CopiersRun++
+	if transferred {
+		m.stats.DataCopies++
+	}
+	if skipped {
+		m.stats.VersionSkips++
+	}
+	m.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,366 @@
+package recovery_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"siterecovery/internal/core"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/recovery"
+	"siterecovery/internal/replication"
+	"siterecovery/internal/txn"
+)
+
+func fullPlacement(items []proto.Item, sites int) map[proto.Item][]proto.SiteID {
+	placement := make(map[proto.Item][]proto.SiteID, len(items))
+	var all []proto.SiteID
+	for s := 1; s <= sites; s++ {
+		all = append(all, proto.SiteID(s))
+	}
+	for _, item := range items {
+		placement[item] = all
+	}
+	return placement
+}
+
+func newCluster(t *testing.T, cfg core.Config) *core.Cluster {
+	t.Helper()
+	c, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// writeRetry keeps writing until the detector has excluded crashed sites.
+func writeRetry(t *testing.T, c *core.Cluster, site proto.SiteID, item proto.Item, v proto.Value) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := c.Exec(context.Background(), site, func(ctx context.Context, tx *txn.Tx) error {
+			return tx.Write(ctx, item, v)
+		})
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("write %s at %v never succeeded: %v", item, site, err)
+		}
+	}
+}
+
+func TestVersionDiffSkipsCurrentCopies(t *testing.T) {
+	items := []proto.Item{"a", "b", "c", "d", "e", "f", "g", "h"}
+	cfg := core.Config{
+		Sites:     3,
+		Placement: fullPlacement(items, 3),
+		Identify:  recovery.IdentifyVersionDiff,
+	}
+	c := newCluster(t, cfg)
+	ctx := context.Background()
+
+	c.Crash(3)
+	// Update only two of the eight items while site 3 is down.
+	writeRetry(t, c, 1, "a", 10)
+	writeRetry(t, c, 1, "b", 20)
+
+	report, err := c.Recover(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Marked != len(items) {
+		t.Fatalf("version-diff marks everything: marked %d, want %d", report.Marked, len(items))
+	}
+	if err := c.WaitCurrent(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.Site(3).Recovery.Stats()
+	if st.DataCopies != 2 {
+		t.Errorf("DataCopies = %d, want 2 (only updated items transfer)", st.DataCopies)
+	}
+	if st.VersionSkips != uint64(len(items)-2) {
+		t.Errorf("VersionSkips = %d, want %d", st.VersionSkips, len(items)-2)
+	}
+}
+
+func TestMarkAllCopiesEverything(t *testing.T) {
+	items := []proto.Item{"a", "b", "c", "d"}
+	cfg := core.Config{
+		Sites:     3,
+		Placement: fullPlacement(items, 3),
+		Identify:  recovery.IdentifyMarkAll,
+	}
+	c := newCluster(t, cfg)
+	ctx := context.Background()
+
+	c.Crash(3)
+	writeRetry(t, c, 1, "a", 10)
+
+	if _, err := c.Recover(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitCurrent(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Site(3).Recovery.Stats()
+	if st.CopiersRun != uint64(len(items)) {
+		t.Errorf("CopiersRun = %d, want %d", st.CopiersRun, len(items))
+	}
+}
+
+func TestMissingListInheritance(t *testing.T) {
+	items := []proto.Item{"a", "b", "c"}
+	cfg := core.Config{
+		Sites:     4,
+		Placement: fullPlacement(items, 4),
+		Identify:  recovery.IdentifyMissingList,
+	}
+	c := newCluster(t, cfg)
+	ctx := context.Background()
+
+	// Both 3 and 4 go down; updates accrue entries for both.
+	c.Crash(3)
+	c.Crash(4)
+	writeRetry(t, c, 1, "a", 1)
+	writeRetry(t, c, 2, "b", 2)
+
+	// Site 3 recovers first and must inherit the entries about site 4.
+	if _, err := c.Recover(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitCurrent(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Site(3).DM.MissedFor(4)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("inherited missing list for 4 = %v, want [a b]", got)
+	}
+
+	// Now every site but 3 crashes; 4 can still recover precisely because
+	// 3 inherited the bookkeeping.
+	c.Crash(1)
+	c.Crash(2)
+	report, err := c.Recover(ctx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Marked != 2 {
+		t.Fatalf("site 4 marked %d items, want 2 (from inherited entries)", report.Marked)
+	}
+	if err := c.WaitCurrent(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := c.Site(4).Store.Committed("a")
+	if err != nil || v != 1 {
+		t.Fatalf("recovered a = (%d, %v), want 1", v, err)
+	}
+}
+
+func TestTotallyFailedItemDetected(t *testing.T) {
+	// Item "solo" lives only at sites 2 and 3. Both fail; 3 loses its
+	// state, recovers, and the copier cannot find any readable copy while
+	// 2 stays down: the item is totally failed.
+	placement := map[proto.Item][]proto.SiteID{
+		"solo":   {2, 3},
+		"shared": {1, 2, 3},
+	}
+	cfg := core.Config{
+		Sites:     3,
+		Placement: placement,
+		Identify:  recovery.IdentifyMarkAll,
+	}
+	c := newCluster(t, cfg)
+	ctx := context.Background()
+
+	c.Crash(2)
+	writeRetry(t, c, 1, "shared", 5)
+	// "solo" now has its only current copy at site 3... which crashes too.
+	c.Crash(3)
+
+	if _, err := c.Recover(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Site(3).Recovery.Stats().TotallyFailed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("copier never reported the totally-failed item")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The copy stays unreadable rather than serving stale data.
+	if !c.Site(3).Store.IsUnreadable("solo") {
+		t.Fatal("totally-failed copy must stay unreadable")
+	}
+	// Once site 2 recovers, BOTH copies of "solo" are marked: copiers
+	// cannot repair a totally failed item (each site sees only unreadable
+	// sources). The resolution extension resurrects the highest version
+	// once the full replica set is back.
+	if _, err := c.Recover(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Site(2).Recovery.ResolveTotalFailure(ctx, "solo"); err != nil {
+		t.Fatalf("ResolveTotalFailure: %v", err)
+	}
+	if err := c.WaitCurrent(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitCurrent(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if div := c.CopiesConverged(); len(div) != 0 {
+		t.Fatalf("divergent copies after resolution: %v", div)
+	}
+}
+
+func TestBaselineRecoveryForQuorum(t *testing.T) {
+	items := []proto.Item{"a"}
+	cfg := core.Config{
+		Sites:     3,
+		Placement: fullPlacement(items, 3),
+		Profile:   replication.Quorum,
+	}
+	c := newCluster(t, cfg)
+	ctx := context.Background()
+
+	c.Crash(3)
+	writeRetry(t, c, 1, "a", 30)
+
+	report, err := c.Recover(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Marked != 0 || report.Replayed != 0 {
+		t.Fatalf("baseline recovery must not mark or replay: %+v", report)
+	}
+	// Quorum reads heal around the stale copy.
+	var got proto.Value
+	err = c.Exec(ctx, 3, func(ctx context.Context, tx *txn.Tx) error {
+		v, err := tx.Read(ctx, "a")
+		got = v
+		return err
+	})
+	if err != nil || got != 30 {
+		t.Fatalf("quorum read after recovery = (%d, %v), want 30", got, err)
+	}
+}
+
+func TestJanitorStatsExposed(t *testing.T) {
+	items := []proto.Item{"a"}
+	cfg := core.Config{
+		Sites:           3,
+		Placement:       fullPlacement(items, 3),
+		JanitorInterval: 10 * time.Millisecond,
+	}
+	c := newCluster(t, cfg)
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Site(1).Janitor.Stats().Sweeps == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("janitor never swept")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestSpooledRecoveryReplaysInOrder(t *testing.T) {
+	items := []proto.Item{"a", "b"}
+	cfg := core.Config{
+		Sites:     3,
+		Placement: fullPlacement(items, 3),
+		Method:    core.MethodSpooler,
+	}
+	c := newCluster(t, cfg)
+	ctx := context.Background()
+
+	c.Crash(3)
+	// Several updates to the same item: replay must end on the newest.
+	for i := range 5 {
+		writeRetry(t, c, 1, "a", proto.Value(100+i))
+	}
+	writeRetry(t, c, 2, "b", 7)
+
+	report, err := c.Recover(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Replayed != 6 {
+		t.Fatalf("Replayed = %d, want 6", report.Replayed)
+	}
+	if v, _, _ := c.Site(3).Store.Committed("a"); v != 104 {
+		t.Fatalf("replayed a = %d, want the newest 104", v)
+	}
+	if v, _, _ := c.Site(3).Store.Committed("b"); v != 7 {
+		t.Fatalf("replayed b = %d, want 7", v)
+	}
+	st := c.Site(3).Recovery.Stats()
+	if st.SpoolReplayed != 6 {
+		t.Fatalf("SpoolReplayed = %d", st.SpoolReplayed)
+	}
+	// The spool at the peers is drained.
+	for _, s := range []proto.SiteID{1, 2} {
+		if n := c.Site(s).Spool.Pending(3); n != 0 {
+			t.Fatalf("site %v still spools %d updates", s, n)
+		}
+	}
+}
+
+func TestJanitorSweepResolvesStrandedLocks(t *testing.T) {
+	items := []proto.Item{"a"}
+	cfg := core.Config{
+		Sites:           3,
+		Placement:       fullPlacement(items, 3),
+		JanitorInterval: 10 * time.Millisecond,
+		JanitorStaleAge: 30 * time.Millisecond,
+		Hooks:           core.Hooks{},
+	}
+	var c *core.Cluster
+	crashed := make(chan struct{}, 1)
+	cfg.Hooks.OnPrepared = func(site proto.SiteID, id proto.TxnID) {
+		if site == 1 {
+			select {
+			case crashed <- struct{}{}:
+				c.Crash(1)
+			default:
+			}
+		}
+	}
+	cc, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = cc
+	c.Start()
+	t.Cleanup(c.Stop)
+	ctx := context.Background()
+
+	// Coordinator dies between votes and decision; participants are left
+	// prepared with locks held.
+	_ = c.Exec(ctx, 1, func(ctx context.Context, tx *txn.Tx) error {
+		return tx.Write(ctx, "a", 1)
+	})
+	if _, err := c.Recover(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Presumed abort via the janitor: eventually another transaction can
+	// lock the item again.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		err := c.Exec(ctx, 2, func(ctx context.Context, tx *txn.Tx) error {
+			return tx.Write(ctx, "a", 2)
+		})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stranded locks never released: %v", err)
+		}
+	}
+	aborts := c.Site(2).Janitor.Stats().ForcedAborts + c.Site(3).Janitor.Stats().ForcedAborts
+	if aborts == 0 {
+		t.Fatal("janitor recorded no forced aborts")
+	}
+}

@@ -1,0 +1,135 @@
+package recovery
+
+import (
+	"context"
+	"fmt"
+
+	"siterecovery/internal/proto"
+)
+
+// RecoverSpooled executes recovery under the message-spooler baseline
+// (§1's "first approach", Hammer & Shipman): the recovering site drains the
+// updates it missed from the spoolers and replays them before resuming
+// normal operations, so time-to-operational grows with the number of
+// missed updates.
+//
+// The ordering argument making the final drain complete: any writer that
+// misses this site commits — and therefore spools — before the type-1
+// control transaction commits, because the type-1's exclusive locks on the
+// NS copies wait out every session-vector share lock such a writer holds.
+// Writers starting after the type-1 include this site directly (their
+// operations are rejected with ErrNotOperational until the session loads,
+// and they retry).
+func (m *Manager) RecoverSpooled(ctx context.Context) (Report, error) {
+	start := m.cfg.Clock.Now()
+	report := Report{}
+
+	inDoubt := m.cfg.Local.RecoverInDoubt()
+	report.InDoubt = len(inDoubt)
+	for _, d := range inDoubt {
+		m.resolveInDoubt(ctx, d)
+	}
+
+	// Bulk pre-drain shortens the post-claim critical window.
+	report.Replayed += m.applySpool(ctx)
+
+	sn, err := m.cfg.Session.ClaimUp(ctx)
+	if err != nil {
+		return report, fmt.Errorf("recover (spooled) %v: %w", m.cfg.Site, err)
+	}
+
+	// Final drain: catches every update spooled before the type-1 commit.
+	report.Replayed += m.applySpool(ctx)
+
+	m.cfg.Local.SetSession(sn)
+	report.Session = sn
+	report.TimeToOperational = m.cfg.Clock.Since(start)
+
+	m.mu.Lock()
+	m.stats.Recoveries++
+	m.mu.Unlock()
+
+	// In-doubt leftovers (marked unreadable, not covered by the spool)
+	// still need copiers.
+	m.Flush()
+	return report, nil
+}
+
+// applySpool drains the spools held for this site at every reachable peer
+// and replays the updates in commit order. Replayed installs are attributed
+// to a synthetic copier transaction so history analysis sees them with
+// copier semantics.
+func (m *Manager) applySpool(ctx context.Context) int {
+	var updates []proto.SpooledUpdate
+	for _, j := range m.cfg.Catalog.Sites() {
+		if j == m.cfg.Site {
+			continue
+		}
+		resp, err := m.cfg.Net.Call(ctx, m.cfg.Site, j, proto.SpoolFetchReq{For: m.cfg.Site})
+		if err != nil {
+			continue
+		}
+		if sf, ok := resp.(proto.SpoolFetchResp); ok {
+			updates = append(updates, sf.Updates...)
+		}
+	}
+	if len(updates) == 0 {
+		return 0
+	}
+
+	var replayTxn proto.TxnID
+	if m.cfg.Recorder != nil && m.cfg.Seq != nil {
+		replayTxn = m.cfg.Seq.NextTxn()
+		m.cfg.Recorder.RegisterTxn(replayTxn, proto.ClassCopier)
+	}
+
+	applied := 0
+	store := m.cfg.Local.Store()
+	for _, u := range updates {
+		installed, err := store.InstallDirect(u.Item, u.Value, proto.Version{
+			Counter: u.CommitSeq, Writer: u.Writer,
+		})
+		if err != nil {
+			continue // no local copy: a spool entry for a dropped item
+		}
+		if installed {
+			applied++
+			if replayTxn != 0 {
+				m.cfg.Recorder.Write(replayTxn, u.Item, m.cfg.Site, u.Writer)
+			}
+		}
+	}
+	if replayTxn != 0 && m.cfg.Seq != nil {
+		m.cfg.Recorder.Commit(replayTxn, m.cfg.Seq.NextCommitSeq())
+	}
+	m.mu.Lock()
+	m.stats.SpoolReplayed += uint64(applied)
+	m.mu.Unlock()
+	return applied
+}
+
+// RecoverBaseline is the instant recovery used by the non-paper strategies
+// (strict ROWA never misses updates; the quorum baseline heals through
+// version voting; the naive baseline deliberately skips data recovery —
+// that omission is the §1 anomaly). In-doubt two-phase-commit state is
+// still resolved from the stable log.
+func (m *Manager) RecoverBaseline(ctx context.Context) (Report, error) {
+	start := m.cfg.Clock.Now()
+	report := Report{}
+
+	inDoubt := m.cfg.Local.RecoverInDoubt()
+	report.InDoubt = len(inDoubt)
+	for _, d := range inDoubt {
+		m.resolveInDoubt(ctx, d)
+	}
+
+	sn := m.cfg.Local.Store().NextSession()
+	m.cfg.Local.SetSession(sn)
+	report.Session = sn
+	report.TimeToOperational = m.cfg.Clock.Since(start)
+
+	m.mu.Lock()
+	m.stats.Recoveries++
+	m.mu.Unlock()
+	return report, nil
+}

@@ -1,0 +1,236 @@
+package session_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"siterecovery/internal/core"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/txn"
+)
+
+func newCluster(t *testing.T, sites int) *core.Cluster {
+	t.Helper()
+	placement := map[proto.Item][]proto.SiteID{}
+	for _, item := range []proto.Item{"x", "y"} {
+		var replicas []proto.SiteID
+		for s := 1; s <= sites; s++ {
+			replicas = append(replicas, proto.SiteID(s))
+		}
+		placement[item] = replicas
+	}
+	c, err := core.New(core.Config{
+		Sites:           sites,
+		Placement:       placement,
+		DisableDetector: true, // claims are driven explicitly in these tests
+		DisableJanitor:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func nsValue(t *testing.T, c *core.Cluster, at, about proto.SiteID) proto.Session {
+	t.Helper()
+	v, _, err := c.Site(at).Store.Committed(proto.NSItem(about))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proto.Session(v)
+}
+
+func TestClaimDownWritesZeroEverywhere(t *testing.T) {
+	c := newCluster(t, 3)
+	c.Crash(3)
+
+	err := c.Site(1).Session.ClaimDown(context.Background(), 3, core.InitialSession)
+	if err != nil {
+		t.Fatalf("ClaimDown: %v", err)
+	}
+	for _, at := range []proto.SiteID{1, 2} {
+		if got := nsValue(t, c, at, 3); got != proto.NoSession {
+			t.Errorf("ns_%d[3] = %d, want 0", at, got)
+		}
+	}
+	st := c.Site(1).Session.Stats()
+	if st.Type2Committed != 1 {
+		t.Errorf("Type2Committed = %d, want 1", st.Type2Committed)
+	}
+}
+
+func TestClaimDownStaleObservationSkips(t *testing.T) {
+	c := newCluster(t, 3)
+	c.Crash(3)
+
+	// A claim carrying a wrong (stale) session number must not zero the
+	// entry: the site it observed no longer exists in that incarnation.
+	err := c.Site(1).Session.ClaimDown(context.Background(), 3, core.InitialSession+7)
+	if err != nil {
+		t.Fatalf("ClaimDown: %v", err)
+	}
+	if got := nsValue(t, c, 1, 3); got != core.InitialSession {
+		t.Errorf("stale claim zeroed ns[3]: %d", got)
+	}
+	st := c.Site(1).Session.Stats()
+	if st.Type2Skipped != 1 {
+		t.Errorf("Type2Skipped = %d, want 1", st.Type2Skipped)
+	}
+}
+
+func TestClaimDownCannotZombieRecoveredSite(t *testing.T) {
+	c := newCluster(t, 3)
+	ctx := context.Background()
+
+	// Site 3 crashes and fully recovers before anyone claims it down.
+	c.Crash(3)
+	report, err := c.Recover(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Session == core.InitialSession {
+		t.Fatal("recovery must pick a fresh session number")
+	}
+
+	// A laggard claim based on the old incarnation arrives late: it must
+	// not mark the recovered site down.
+	if err := c.Site(1).Session.ClaimDown(ctx, 3, core.InitialSession); err != nil {
+		t.Fatalf("laggard ClaimDown: %v", err)
+	}
+	if got := nsValue(t, c, 1, 3); got != report.Session {
+		t.Errorf("recovered site zombied: ns[3] = %d, want %d", got, report.Session)
+	}
+}
+
+func TestClaimUpRefreshesVectorAndPublishesSession(t *testing.T) {
+	c := newCluster(t, 3)
+	ctx := context.Background()
+
+	// While site 3 is down, site 2 also fails and is claimed down, so the
+	// vector at the operational site has real content to propagate.
+	c.Crash(3)
+	c.Crash(2)
+	if err := c.Site(1).Session.ClaimDown(ctx, 2, core.InitialSession); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Site(1).Session.ClaimDown(ctx, 3, core.InitialSession); err != nil {
+		t.Fatal(err)
+	}
+
+	// Site 3 recovers: the full procedure runs a type-1 claim.
+	report, err := c.Recover(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Everyone nominally-up sees the new session for 3...
+	for _, at := range []proto.SiteID{1, 3} {
+		if got := nsValue(t, c, at, 3); got != report.Session {
+			t.Errorf("ns_%d[3] = %d, want %d", at, got, report.Session)
+		}
+	}
+	// ...and site 3's refreshed local vector knows site 2 is down.
+	if got := nsValue(t, c, 3, 2); got != proto.NoSession {
+		t.Errorf("refreshed ns_3[2] = %d, want 0", got)
+	}
+	if !c.Site(3).Operational() {
+		t.Error("site 3 must be operational")
+	}
+}
+
+func TestClaimUpSurvivesPeerCrashMidRecovery(t *testing.T) {
+	// §3.4 step 4: if the type-1 aborts because another site crashed, the
+	// recovering site excludes it with a type-2 and retries. We simulate
+	// the worst alignment: the only other peers crash one after another,
+	// leaving exactly one operational site.
+	c := newCluster(t, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	c.Crash(4)
+	// Crash 3 too: recovery of 4 must cope with 3 being gone, detected
+	// only when the type-1 tries to write to it (its nominal entry still
+	// says "up").
+	c.Crash(3)
+
+	report, err := c.Recover(ctx, 4)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	st := c.Site(4).Session.Stats()
+	if st.Type1Failed == 0 {
+		t.Error("expected at least one failed type-1 attempt (site 3 still nominally up)")
+	}
+	if st.Type2Committed == 0 {
+		t.Error("expected the recovering site to claim the crashed peer down")
+	}
+	// The vector converged: 3 is down, 4 carries the new session.
+	for _, at := range []proto.SiteID{1, 2, 4} {
+		if got := nsValue(t, c, at, 3); got != proto.NoSession {
+			t.Errorf("ns_%d[3] = %d, want 0", at, got)
+		}
+		if got := nsValue(t, c, at, 4); got != report.Session {
+			t.Errorf("ns_%d[4] = %d, want %d", at, got, report.Session)
+		}
+	}
+
+	// User transactions work at the recovered site.
+	err = c.Exec(ctx, 4, func(ctx context.Context, tx *txn.Tx) error {
+		return tx.Write(ctx, "x", 5)
+	})
+	if err != nil {
+		t.Fatalf("post-recovery write: %v", err)
+	}
+}
+
+func TestDetectorDrivesType2(t *testing.T) {
+	placement := map[proto.Item][]proto.SiteID{"x": {1, 2, 3}}
+	c, err := core.New(core.Config{
+		Sites:            3,
+		Placement:        placement,
+		DetectorDebounce: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	ctx := context.Background()
+
+	c.Crash(2)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := c.Exec(ctx, 1, func(ctx context.Context, tx *txn.Tx) error {
+			return tx.Write(ctx, "x", 1)
+		})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("write never recovered: %v", err)
+		}
+	}
+	if got := nsValue(t, c, 1, 2); got != proto.NoSession {
+		t.Fatalf("detector never excluded site 2: ns[2] = %d", got)
+	}
+}
+
+func TestSessionNumbersUniquePerSiteHistory(t *testing.T) {
+	c := newCluster(t, 3)
+	ctx := context.Background()
+	seen := map[proto.Session]bool{core.InitialSession: true}
+	for range 3 {
+		c.Crash(3)
+		report, err := c.Recover(ctx, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[report.Session] {
+			t.Fatalf("session number %d reused", report.Session)
+		}
+		seen[report.Session] = true
+	}
+}

@@ -1,0 +1,316 @@
+// Package storage is the per-site store of physical data copies.
+//
+// A Store models one site's disk-plus-memory state with an explicit split
+// between what survives a crash and what does not:
+//
+//   - stable (survives Crash): the committed value and version of every
+//     local physical copy, and the site's session-number counter;
+//   - volatile (lost on Crash): unreadable marks, and pending (uncommitted)
+//     writes buffered for in-flight transactions.
+//
+// Commits are modeled as force-at-commit: Install synchronously moves a
+// value into stable state. Page-level crash recovery (ARIES and friends) is
+// therefore unnecessary and out of scope; the write-ahead log in
+// internal/wal exists to remember two-phase-commit outcomes, not to redo
+// data.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"siterecovery/internal/proto"
+)
+
+// ErrNoCopy reports an operation on an item this site holds no copy of.
+var ErrNoCopy = fmt.Errorf("no local copy")
+
+// Copy is a snapshot of one physical copy.
+type Copy struct {
+	Item       proto.Item
+	Value      proto.Value
+	Version    proto.Version
+	Unreadable bool
+}
+
+type stableCopy struct {
+	value   proto.Value
+	version proto.Version
+}
+
+// Store holds one site's physical copies. Create with New.
+type Store struct {
+	site proto.SiteID
+
+	mu sync.Mutex
+	// stable state
+	copies  map[proto.Item]stableCopy
+	session proto.Session // highest session number ever used by this site
+	// volatile state
+	unreadable map[proto.Item]bool
+	pending    map[proto.TxnID]map[proto.Item]proto.Value
+}
+
+// New returns a store for site holding the given items, each initialized to
+// value 0 written by initialWriter (the synthetic initial transaction of the
+// serializability theory).
+func New(site proto.SiteID, items []proto.Item, initialWriter proto.TxnID) *Store {
+	s := &Store{
+		site:       site,
+		copies:     make(map[proto.Item]stableCopy, len(items)),
+		unreadable: make(map[proto.Item]bool),
+		pending:    make(map[proto.TxnID]map[proto.Item]proto.Value),
+	}
+	for _, item := range items {
+		s.copies[item] = stableCopy{version: proto.Version{Writer: initialWriter}}
+	}
+	return s
+}
+
+// Site returns the owning site.
+func (s *Store) Site() proto.SiteID { return s.site }
+
+// AddItem adds a local copy (used to lay out NS items and by tests).
+func (s *Store) AddItem(item proto.Item, initialWriter proto.TxnID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.copies[item]; !ok {
+		s.copies[item] = stableCopy{version: proto.Version{Writer: initialWriter}}
+	}
+}
+
+// HasCopy reports whether the site stores a copy of item.
+func (s *Store) HasCopy(item proto.Item) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.copies[item]
+	return ok
+}
+
+// Items lists the local copies in sorted order.
+func (s *Store) Items() []proto.Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	items := make([]proto.Item, 0, len(s.copies))
+	for item := range s.copies {
+		items = append(items, item)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	return items
+}
+
+// Committed returns the committed value and version of the local copy.
+// It does not consult the unreadable mark; callers gate on IsUnreadable.
+func (s *Store) Committed(item proto.Item) (proto.Value, proto.Version, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.copies[item]
+	if !ok {
+		return 0, proto.Version{}, fmt.Errorf("%v %q: %w", s.site, item, ErrNoCopy)
+	}
+	return c.value, c.version, nil
+}
+
+// IsUnreadable reports whether the copy is marked as possibly stale.
+func (s *Store) IsUnreadable(item proto.Item) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.unreadable[item]
+}
+
+// MarkUnreadable marks the copy as possibly stale. Marking an item with no
+// local copy is a no-op.
+func (s *Store) MarkUnreadable(item proto.Item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.copies[item]; ok {
+		s.unreadable[item] = true
+	}
+}
+
+// MarkAllUnreadable marks every local copy, the conservative step 2 of the
+// recovery procedure. NS items are exempt: their copies are refreshed by the
+// type-1 control transaction itself.
+func (s *Store) MarkAllUnreadable() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for item := range s.copies {
+		if _, isNS := proto.IsNSItem(item); isNS {
+			continue
+		}
+		s.unreadable[item] = true
+		n++
+	}
+	return n
+}
+
+// ClearUnreadable removes the stale mark from a copy.
+func (s *Store) ClearUnreadable(item proto.Item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.unreadable, item)
+}
+
+// UnreadableItems lists the currently marked copies in sorted order.
+func (s *Store) UnreadableItems() []proto.Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	items := make([]proto.Item, 0, len(s.unreadable))
+	for item := range s.unreadable {
+		items = append(items, item)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	return items
+}
+
+// BufferWrite records value as the pending write of txn on item. The value
+// becomes visible only when Install moves it to stable state.
+func (s *Store) BufferWrite(txn proto.TxnID, item proto.Item, value proto.Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.copies[item]; !ok {
+		return fmt.Errorf("%v %q: %w", s.site, item, ErrNoCopy)
+	}
+	m, ok := s.pending[txn]
+	if !ok {
+		m = make(map[proto.Item]proto.Value)
+		s.pending[txn] = m
+	}
+	m[item] = value
+	return nil
+}
+
+// PendingWrites returns a copy of txn's buffered writes.
+func (s *Store) PendingWrites(txn proto.TxnID) map[proto.Item]proto.Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.pending[txn]
+	out := make(map[proto.Item]proto.Value, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// HasPending reports whether txn has buffered writes here.
+func (s *Store) HasPending(txn proto.TxnID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.pending[txn]
+	return ok
+}
+
+// DropPending discards txn's buffered writes (abort path).
+func (s *Store) DropPending(txn proto.TxnID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pending, txn)
+}
+
+// InstallPending commits txn's buffered writes under the given version,
+// clearing unreadable marks on the written copies, and discards the buffer.
+// It returns the installed items.
+func (s *Store) InstallPending(txn proto.TxnID, version proto.Version) []proto.Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.pending[txn]
+	items := make([]proto.Item, 0, len(m))
+	for item, value := range m {
+		s.copies[item] = stableCopy{value: value, version: version}
+		delete(s.unreadable, item)
+		items = append(items, item)
+	}
+	delete(s.pending, txn)
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	return items
+}
+
+// InstallDirect commits a single value under an explicit version, bypassing
+// the pending buffer. Copier refreshes use it to install the source copy's
+// original version (the copier acts on behalf of the original writer, per
+// the revised READ-FROM semantics of §4.1), and the spooler baseline uses it
+// to replay missed updates. If the local copy already carries the same or a
+// newer version the install is skipped and the unreadable mark still
+// cleared; it returns whether the value was written.
+func (s *Store) InstallDirect(item proto.Item, value proto.Value, version proto.Version) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.copies[item]
+	if !ok {
+		return false, fmt.Errorf("%v %q: %w", s.site, item, ErrNoCopy)
+	}
+	installed := c.version.Less(version)
+	if installed {
+		s.copies[item] = stableCopy{value: value, version: version}
+	}
+	delete(s.unreadable, item)
+	return installed, nil
+}
+
+// Seed overwrites the value of a copy in place, keeping its initial
+// version. Cluster assembly uses it to lay down initial values (for
+// example, the nominal session numbers of an already-running system)
+// attributed to the synthetic initial transaction.
+func (s *Store) Seed(item proto.Item, value proto.Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.copies[item]
+	if !ok {
+		return fmt.Errorf("%v %q: %w", s.site, item, ErrNoCopy)
+	}
+	c.value = value
+	s.copies[item] = c
+	return nil
+}
+
+// NextSession durably advances and returns the site's session counter.
+// Session numbers are unique in the site's history (§3.1).
+func (s *Store) NextSession() proto.Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.session++
+	return s.session
+}
+
+// CurrentSessionCounter reports the highest session number used so far.
+func (s *Store) CurrentSessionCounter() proto.Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.session
+}
+
+// SetSessionCounter overrides the stable counter (session-recycling tests).
+func (s *Store) SetSessionCounter(v proto.Session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.session = v
+}
+
+// Crash wipes all volatile state: unreadable marks and pending writes.
+// Stable copies and the session counter survive.
+func (s *Store) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.unreadable = make(map[proto.Item]bool)
+	s.pending = make(map[proto.TxnID]map[proto.Item]proto.Value)
+}
+
+// Snapshot returns the state of every local copy, sorted by item, for
+// debugging and assertions.
+func (s *Store) Snapshot() []Copy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Copy, 0, len(s.copies))
+	for item, c := range s.copies {
+		out = append(out, Copy{
+			Item:       item,
+			Value:      c.value,
+			Version:    c.version,
+			Unreadable: s.unreadable[item],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Item < out[j].Item })
+	return out
+}

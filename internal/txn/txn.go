@@ -1,0 +1,785 @@
+// Package txn implements the transaction manager (TM) of one site: the
+// module that "supervises the execution of transactions and interprets
+// logical operations into requests for physical operations" (§2).
+//
+// The TM executes the ROWAA convention of §3.2 — each user transaction
+// implicitly reads the local copy of the nominal session vector before any
+// other operation, then interprets READ as one copy at a nominally-up site
+// and WRITE as all copies at nominally-up sites, carrying the perceived
+// session number on every physical request — as well as the baseline
+// interpretations (strict ROWA, naive write-available, majority quorum)
+// selected by the replication profile.
+//
+// It is also the two-phase-commit coordinator (presumed abort: the commit
+// decision is logged before commit messages go out; no abort is logged) and
+// the retry loop that re-runs transactions aborted by stale views, lock
+// conflicts, wounds, or site failures.
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"siterecovery/internal/clock"
+	"siterecovery/internal/dm"
+	"siterecovery/internal/history"
+	"siterecovery/internal/netsim"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/replication"
+	"siterecovery/internal/wal"
+)
+
+// Sequencer hands out cluster-unique transaction identifiers and commit
+// sequence numbers. It stands in for synchronized or Lamport clocks; the
+// protocol relies only on uniqueness and monotonicity.
+type Sequencer struct {
+	txn    atomic.Uint64
+	commit atomic.Uint64
+}
+
+// NewSequencer returns a sequencer whose first transaction ID is 2 (ID 1 is
+// reserved for the synthetic initial transaction of the history theory).
+func NewSequencer() *Sequencer {
+	s := &Sequencer{}
+	s.txn.Store(1)
+	return s
+}
+
+// InitialTxn is the ID of the synthetic transaction that wrote every
+// initial copy.
+const InitialTxn proto.TxnID = 1
+
+// NextTxn returns a fresh transaction ID.
+func (s *Sequencer) NextTxn() proto.TxnID { return proto.TxnID(s.txn.Add(1)) }
+
+// NextCommitSeq returns a fresh commit sequence number.
+func (s *Sequencer) NextCommitSeq() uint64 { return s.commit.Add(1) }
+
+// Callbacks hook TM events.
+type Callbacks struct {
+	// OnSiteDown fires when a physical operation fails with ErrSiteDown,
+	// carrying the nominal session number the transaction's view held for
+	// the site (NoSession when the transaction had no view). The session
+	// manager uses it to trigger a conditional type-2 control transaction.
+	// It must not block.
+	OnSiteDown func(site proto.SiteID, observed proto.Session)
+	// OnPrepared and OnDecided are fault-injection points for tests: they
+	// fire after every participant voted yes (before the commit decision
+	// is logged) and right after the decision is logged (before commit
+	// messages go out).
+	OnPrepared func(id proto.TxnID)
+	OnDecided  func(id proto.TxnID)
+}
+
+// Stats counts TM outcomes.
+type Stats struct {
+	Started   uint64 // Run invocations
+	Committed uint64
+	Aborted   uint64 // attempts that aborted (each retry counts)
+	GaveUp    uint64 // Run invocations that exhausted their attempts
+}
+
+// Config assembles a TM.
+type Config struct {
+	Site     proto.SiteID
+	Net      *netsim.Network
+	Local    *dm.Manager
+	Catalog  *replication.Catalog
+	Profile  replication.Profile
+	Recorder *history.Recorder
+	Seq      *Sequencer
+	Clock    clock.Clock
+	// MaxAttempts bounds Run's retry loop. Defaults to 12.
+	MaxAttempts int
+	// RetryBackoff is the base backoff between attempts (exponential with
+	// jitter, capped at 64x). Defaults to 2ms.
+	RetryBackoff time.Duration
+	// Seed seeds backoff jitter; 0 derives one from the site ID.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 12
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = int64(c.Site) + 1
+	}
+	return c
+}
+
+// Manager is one site's transaction manager. Create with New.
+type Manager struct {
+	cfg Config
+	cb  Callbacks
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	active map[proto.TxnID]bool
+	stats  Stats
+}
+
+// New returns a transaction manager.
+func New(cfg Config, cb Callbacks) *Manager {
+	cfg = cfg.withDefaults()
+	return &Manager{
+		cfg:    cfg,
+		cb:     cb,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		active: make(map[proto.TxnID]bool),
+	}
+}
+
+// Site returns the TM's site.
+func (m *Manager) Site() proto.SiteID { return m.cfg.Site }
+
+// Active reports whether this TM is still coordinating txn. It backs the
+// presumed-abort decision service: "still active" answers keep participants
+// waiting instead of presuming abort.
+func (m *Manager) Active(txn proto.TxnID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.active[txn]
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// CrashReset drops the coordinator's volatile state when its site crashes:
+// a restarted coordinator never resumes an undecided transaction, which is
+// exactly what lets participants presume abort.
+func (m *Manager) CrashReset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.active = make(map[proto.TxnID]bool)
+}
+
+// Run executes body as a user transaction, retrying on transient protocol
+// outcomes (stale session views, deadlock victims, crashed participants).
+// The body may run several times; it must be idempotent apart from its
+// transaction operations.
+func (m *Manager) Run(ctx context.Context, body func(context.Context, *Tx) error) error {
+	return m.RunClass(ctx, proto.ClassUser, body)
+}
+
+// RunClass runs body as a transaction of the given class. Copier and
+// control transactions use their dedicated classes; the session and
+// recovery packages build on this entry point.
+func (m *Manager) RunClass(ctx context.Context, class proto.TxnClass, body func(context.Context, *Tx) error) error {
+	m.mu.Lock()
+	m.stats.Started++
+	m.mu.Unlock()
+
+	var lastErr error
+	for attempt := 0; attempt < m.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt > 0 {
+			m.backoff(ctx, attempt)
+		}
+
+		tx, err := m.begin(ctx, class)
+		if err != nil {
+			lastErr = err
+			if !proto.Retryable(err) {
+				break
+			}
+			continue
+		}
+		err = body(ctx, tx)
+		if err == nil {
+			err = tx.Commit(ctx)
+			if err == nil {
+				m.mu.Lock()
+				m.stats.Committed++
+				m.mu.Unlock()
+				return nil
+			}
+		} else {
+			tx.Abort(ctx)
+		}
+		m.mu.Lock()
+		m.stats.Aborted++
+		m.mu.Unlock()
+		lastErr = err
+		if errors.Is(err, proto.ErrAbortRequested) || !proto.Retryable(err) {
+			break
+		}
+	}
+	m.mu.Lock()
+	m.stats.GaveUp++
+	m.mu.Unlock()
+	if lastErr == nil {
+		lastErr = ctx.Err()
+	}
+	return fmt.Errorf("transaction gave up: %w", lastErr)
+}
+
+func (m *Manager) backoff(ctx context.Context, attempt int) {
+	shift := attempt
+	if shift > 6 {
+		shift = 6
+	}
+	base := m.cfg.RetryBackoff * (1 << shift)
+	m.mu.Lock()
+	jitter := time.Duration(m.rng.Int63n(int64(base) + 1))
+	m.mu.Unlock()
+	select {
+	case <-m.cfg.Clock.After(base/2 + jitter):
+	case <-ctx.Done():
+	}
+}
+
+// begin starts one attempt: allocates the ID, registers it, and (for user
+// and copier transactions under a session-vector profile) performs the
+// implicit read of the local nominal session vector.
+func (m *Manager) begin(ctx context.Context, class proto.TxnClass) (*Tx, error) {
+	id := m.cfg.Seq.NextTxn()
+	meta := proto.TxnMeta{ID: id, Class: class, Origin: m.cfg.Site}
+	if m.cfg.Recorder != nil {
+		m.cfg.Recorder.RegisterTxn(id, class)
+	}
+	m.mu.Lock()
+	m.active[id] = true
+	m.mu.Unlock()
+
+	tx := &Tx{
+		m:         m,
+		meta:      meta,
+		written:   make(map[proto.Item]proto.Value),
+		readCache: make(map[proto.Item]proto.Value),
+		attempted: make(map[proto.SiteID]bool),
+		parts:     make(map[proto.SiteID]bool),
+		wparts:    make(map[proto.SiteID]bool),
+	}
+
+	needsView := m.cfg.Profile.UsesSessionVector &&
+		(class == proto.ClassUser || class == proto.ClassCopier)
+	if needsView {
+		if err := tx.readSessionVector(ctx); err != nil {
+			tx.Abort(ctx)
+			return nil, err
+		}
+	}
+	return tx, nil
+}
+
+// send routes a message to a site; calls to the own site go over the local
+// bus (no simulated network latency), matching the paper's observation that
+// the implicit session-vector read is a local, conflict-free operation.
+func (m *Manager) send(ctx context.Context, to proto.SiteID, msg proto.Message) (proto.Message, error) {
+	if to == m.cfg.Site {
+		return m.cfg.Local.Handle(ctx, m.cfg.Site, msg)
+	}
+	return m.cfg.Net.Call(ctx, m.cfg.Site, to, msg)
+}
+
+func (m *Manager) noteSiteDown(err error, site proto.SiteID, observed proto.Session) {
+	if !errors.Is(err, proto.ErrSiteDown) || m.cb.OnSiteDown == nil {
+		return
+	}
+	// A dead process observes nothing: when this site itself has crashed,
+	// its sends fail with ErrSiteDown too, and reporting the *target* down
+	// would poison the nominal session vector after recovery. The paper's
+	// precondition — a type-2 initiator must be sure the claimed site is
+	// actually down — forbids exactly this.
+	if !m.cfg.Local.Alive() {
+		return
+	}
+	m.cb.OnSiteDown(site, observed)
+}
+
+func (m *Manager) release(id proto.TxnID) {
+	m.mu.Lock()
+	delete(m.active, id)
+	m.mu.Unlock()
+}
+
+// Tx is one transaction attempt.
+type Tx struct {
+	m    *Manager
+	meta proto.TxnMeta
+	view replication.View
+
+	written   map[proto.Item]proto.Value
+	readCache map[proto.Item]proto.Value
+	attempted map[proto.SiteID]bool // sites any op was sent to
+	parts     map[proto.SiteID]bool // sites with a successful op
+	wparts    map[proto.SiteID]bool // sites with a successful write op (2PC participants)
+	wrote     bool
+	done      bool
+}
+
+// ID returns the transaction identifier.
+func (t *Tx) ID() proto.TxnID { return t.meta.ID }
+
+// Meta returns the transaction metadata.
+func (t *Tx) Meta() proto.TxnMeta { return t.meta }
+
+// View returns the nominal session vector read at begin (zero View for
+// profiles without session vectors).
+func (t *Tx) View() replication.View { return t.view }
+
+// readSessionVector performs the implicit first read of §3.2 against the
+// local copies of NS[1..n], under ordinary shared locks.
+func (t *Tx) readSessionVector(ctx context.Context) error {
+	expect := t.m.cfg.Local.Session()
+	if expect == proto.NoSession {
+		return fmt.Errorf("%v begin %v: %w", t.m.cfg.Site, t.meta.ID, proto.ErrNotOperational)
+	}
+	sessions := make(map[proto.SiteID]proto.Session, t.m.cfg.Catalog.NumSites())
+	for _, site := range t.m.cfg.Catalog.Sites() {
+		resp, err := t.physical(ctx, t.m.cfg.Site, proto.ReadReq{
+			Txn:    t.meta,
+			Item:   proto.NSItem(site),
+			Mode:   proto.CheckSession,
+			Expect: expect,
+		})
+		if err != nil {
+			return err
+		}
+		rr, ok := resp.(proto.ReadResp)
+		if !ok {
+			return fmt.Errorf("unexpected response %T to session-vector read", resp)
+		}
+		sessions[site] = proto.Session(rr.Value)
+	}
+	t.view = replication.View{Sessions: sessions}
+	return nil
+}
+
+// physical sends one physical operation and keeps the attempted/participant
+// bookkeeping. Write operations register the site as a two-phase-commit
+// participant; read-only sites are released without voting (the standard
+// read-only participant optimization).
+func (t *Tx) physical(ctx context.Context, site proto.SiteID, msg proto.Message) (proto.Message, error) {
+	t.attempted[site] = true
+	resp, err := t.m.send(ctx, site, msg)
+	if err != nil {
+		t.m.noteSiteDown(err, site, t.view.Session(site))
+		return nil, err
+	}
+	t.parts[site] = true
+	if _, isWrite := msg.(proto.WriteReq); isWrite {
+		t.wparts[site] = true
+	}
+	return resp, nil
+}
+
+// Read performs a logical READ under the profile's read policy.
+func (t *Tx) Read(ctx context.Context, item proto.Item) (proto.Value, error) {
+	if t.done {
+		return 0, fmt.Errorf("transaction %v already finished", t.meta.ID)
+	}
+	if v, ok := t.written[item]; ok {
+		return v, nil // read-your-writes
+	}
+	if v, ok := t.readCache[item]; ok {
+		return v, nil // repeatable read
+	}
+
+	var (
+		value proto.Value
+		err   error
+	)
+	switch t.m.cfg.Profile.Read {
+	case replication.ReadOneUp:
+		value, err = t.readOne(ctx, item, true)
+	case replication.ReadOneAny:
+		value, err = t.readOne(ctx, item, false)
+	case replication.ReadQuorum:
+		value, err = t.readQuorum(ctx, item)
+	default:
+		err = fmt.Errorf("unknown read policy %d", t.m.cfg.Profile.Read)
+	}
+	if err != nil {
+		return 0, err
+	}
+	t.readCache[item] = value
+	return value, nil
+}
+
+// readOne reads a single copy, local first. With useView set, only
+// nominally-up replicas are candidates and requests carry the perceived
+// session number (ROWAA); otherwise every replica is a candidate with no
+// session check (ROWA, naive).
+func (t *Tx) readOne(ctx context.Context, item proto.Item, useView bool) (proto.Value, error) {
+	replicas, err := t.m.cfg.Catalog.Replicas(item)
+	if err != nil {
+		return 0, err
+	}
+	candidates := t.orderCandidates(replicas, useView)
+	if len(candidates) == 0 {
+		return 0, fmt.Errorf("read %q: %w", item, proto.ErrUnavailable)
+	}
+
+	var lastErr error
+	for _, site := range candidates {
+		req := proto.ReadReq{
+			Txn:  t.meta,
+			Item: item,
+			Mode: t.m.cfg.Profile.CheckMode,
+		}
+		if useView {
+			req.Expect = t.view.Session(site)
+		}
+		if t.meta.Class == proto.ClassCopier {
+			req.Copier = true
+		}
+		resp, err := t.physical(ctx, site, req)
+		if err == nil {
+			rr, ok := resp.(proto.ReadResp)
+			if !ok {
+				return 0, fmt.Errorf("unexpected response %T to read", resp)
+			}
+			return rr.Value, nil
+		}
+		lastErr = err
+		// Unreadable or crashed copies fall back to the next candidate;
+		// session mismatches and lock failures abort the attempt (the
+		// view is stale or we are a deadlock victim).
+		if errors.Is(err, proto.ErrUnreadable) || errors.Is(err, proto.ErrSiteDown) || errors.Is(err, proto.ErrDropped) {
+			continue
+		}
+		return 0, err
+	}
+	return 0, fmt.Errorf("read %q: all candidates failed: %w", item, lastErr)
+}
+
+// orderCandidates filters (optionally by the view) and orders replica
+// sites: local copy first, then ascending site ID.
+func (t *Tx) orderCandidates(replicas []proto.SiteID, useView bool) []proto.SiteID {
+	out := make([]proto.SiteID, 0, len(replicas))
+	for _, site := range replicas {
+		if useView && !t.view.Up(site) {
+			continue
+		}
+		out = append(out, site)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := out[i] == t.m.cfg.Site, out[j] == t.m.cfg.Site
+		if li != lj {
+			return li
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// readQuorum reads a majority of copies and returns the newest version,
+// recording only the winning physical read.
+func (t *Tx) readQuorum(ctx context.Context, item proto.Item) (proto.Value, error) {
+	replicas, err := t.m.cfg.Catalog.Replicas(item)
+	if err != nil {
+		return 0, err
+	}
+	quorum, err := t.m.cfg.Catalog.Quorum(item)
+	if err != nil {
+		return 0, err
+	}
+
+	type result struct {
+		site proto.SiteID
+		resp proto.ReadResp
+		err  error
+	}
+	results := make([]result, len(replicas))
+	var wg sync.WaitGroup
+	for i, site := range replicas {
+		wg.Add(1)
+		go func(i int, site proto.SiteID) {
+			defer wg.Done()
+			resp, err := t.physicalConcurrent(ctx, site, proto.ReadReq{
+				Txn: t.meta, Item: item, Mode: proto.CheckNone,
+				ReadOld: true, NoRecord: true,
+			})
+			if err != nil {
+				results[i] = result{site: site, err: err}
+				return
+			}
+			rr, ok := resp.(proto.ReadResp)
+			if !ok {
+				results[i] = result{site: site, err: fmt.Errorf("unexpected response %T", resp)}
+				return
+			}
+			results[i] = result{site: site, resp: rr}
+		}(i, site)
+	}
+	wg.Wait()
+
+	var (
+		got    int
+		best   proto.ReadResp
+		bestAt proto.SiteID
+	)
+	for _, r := range results {
+		if r.err != nil {
+			continue
+		}
+		got++
+		if got == 1 || best.Version.Less(r.resp.Version) {
+			best = r.resp
+			bestAt = r.site
+		}
+	}
+	if got < quorum {
+		return 0, fmt.Errorf("read %q: %d of %d needed: %w", item, got, quorum, proto.ErrNoQuorum)
+	}
+	if t.m.cfg.Recorder != nil {
+		t.m.cfg.Recorder.Read(t.meta.ID, item, bestAt, best.Version.Writer)
+	}
+	return best.Value, nil
+}
+
+// physicalConcurrent is physical with locked bookkeeping, safe for fan-out.
+func (t *Tx) physicalConcurrent(ctx context.Context, site proto.SiteID, msg proto.Message) (proto.Message, error) {
+	t.m.mu.Lock()
+	t.attempted[site] = true
+	t.m.mu.Unlock()
+	resp, err := t.m.send(ctx, site, msg)
+	if err != nil {
+		t.m.noteSiteDown(err, site, t.view.Session(site))
+		return nil, err
+	}
+	t.m.mu.Lock()
+	t.parts[site] = true
+	t.m.mu.Unlock()
+	return resp, nil
+}
+
+// Write performs a logical WRITE under the profile's write policy.
+func (t *Tx) Write(ctx context.Context, item proto.Item, value proto.Value) error {
+	if t.done {
+		return fmt.Errorf("transaction %v already finished", t.meta.ID)
+	}
+	replicas, err := t.m.cfg.Catalog.Replicas(item)
+	if err != nil {
+		return err
+	}
+
+	var targets, missed []proto.SiteID
+	tolerateDown := false
+	minSuccess := 0
+	switch t.m.cfg.Profile.Write {
+	case replication.WriteAllUp:
+		for _, site := range replicas {
+			if t.view.Up(site) {
+				targets = append(targets, site)
+			} else {
+				missed = append(missed, site)
+			}
+		}
+		if len(targets) == 0 {
+			return fmt.Errorf("write %q: no nominally-up replica: %w", item, proto.ErrUnavailable)
+		}
+		minSuccess = len(targets)
+	case replication.WriteAll:
+		targets = replicas
+		minSuccess = len(targets)
+	case replication.WriteAvailable:
+		targets = replicas
+		tolerateDown = true
+		minSuccess = 1
+	case replication.WriteQuorum:
+		targets = replicas
+		tolerateDown = true
+		q, qerr := t.m.cfg.Catalog.Quorum(item)
+		if qerr != nil {
+			return qerr
+		}
+		minSuccess = q
+	default:
+		return fmt.Errorf("unknown write policy %d", t.m.cfg.Profile.Write)
+	}
+
+	succeeded := 0
+	for _, site := range targets {
+		req := proto.WriteReq{
+			Txn:      t.meta,
+			Item:     item,
+			Value:    value,
+			Mode:     t.m.cfg.Profile.CheckMode,
+			MissedBy: missed,
+		}
+		if t.m.cfg.Profile.CheckMode == proto.CheckSession {
+			req.Expect = t.view.Session(site)
+		}
+		if _, err := t.physical(ctx, site, req); err != nil {
+			if tolerateDown && (errors.Is(err, proto.ErrSiteDown) || errors.Is(err, proto.ErrDropped)) {
+				continue
+			}
+			return fmt.Errorf("write %q at %v: %w", item, site, err)
+		}
+		succeeded++
+	}
+	if succeeded < minSuccess {
+		if t.m.cfg.Profile.Write == replication.WriteQuorum {
+			return fmt.Errorf("write %q: %d of %d needed: %w", item, succeeded, minSuccess, proto.ErrNoQuorum)
+		}
+		return fmt.Errorf("write %q: %d of %d copies reachable: %w", item, succeeded, minSuccess, proto.ErrUnavailable)
+	}
+	t.written[item] = value
+	t.wrote = true
+	return nil
+}
+
+// Abort aborts the attempt, releasing state at every site it touched.
+func (t *Tx) Abort(ctx context.Context) {
+	if t.done {
+		return
+	}
+	t.done = true
+	if !t.m.cfg.Local.Alive() {
+		// A dead process sends nothing; janitors clean up the remote state.
+		t.m.release(t.meta.ID)
+		return
+	}
+	// Aborts release remote locks; deliver them even if the caller's
+	// context is already canceled.
+	t.broadcast(context.WithoutCancel(ctx), t.attempted, proto.AbortReq{Txn: t.meta})
+	// Presumed abort: the coordinator logs nothing; a decision query that
+	// finds neither an active transaction nor a log record means abort.
+	t.m.release(t.meta.ID)
+}
+
+// Commit runs two-phase commit over the participants and reports the
+// outcome. Read-only transactions skip 2PC and just release their locks.
+func (t *Tx) Commit(ctx context.Context) error {
+	if t.done {
+		return fmt.Errorf("transaction %v already finished", t.meta.ID)
+	}
+
+	if !t.wrote {
+		t.done = true
+		seq := t.m.cfg.Seq.NextCommitSeq()
+		if t.m.cfg.Recorder != nil {
+			t.m.cfg.Recorder.Commit(t.meta.ID, seq)
+		}
+		t.broadcast(ctx, t.attempted, proto.AbortReq{Txn: t.meta, ReadOnlyEnd: true})
+		t.m.release(t.meta.ID)
+		return nil
+	}
+
+	// Phase one: write participants must vote yes. Read-only participants
+	// skip voting entirely and are released after the decision.
+	participants := t.writeParticipantList()
+	for _, site := range participants {
+		resp, err := t.m.send(ctx, site, proto.PrepareReq{Txn: t.meta})
+		if err != nil {
+			t.m.noteSiteDown(err, site, t.view.Session(site))
+			t.failCommit(ctx)
+			return fmt.Errorf("prepare at %v: %w", site, err)
+		}
+		pr, ok := resp.(proto.PrepareResp)
+		if !ok || !pr.Vote {
+			t.failCommit(ctx)
+			return fmt.Errorf("prepare at %v: voted no: %w", site, proto.ErrTxnAborted)
+		}
+	}
+
+	if t.m.cb.OnPrepared != nil {
+		t.m.cb.OnPrepared(t.meta.ID)
+	}
+
+	// A coordinator whose site died cannot log a decision or send another
+	// message; the transaction's fate rests with cooperative termination.
+	if !t.m.cfg.Local.Alive() {
+		t.done = true
+		t.m.release(t.meta.ID)
+		return fmt.Errorf("coordinator %v died before deciding %v: %w",
+			t.m.cfg.Site, t.meta.ID, proto.ErrSiteDown)
+	}
+
+	// Decision: log locally before telling anyone (presumed abort logs
+	// commits only).
+	commitSeq := t.m.cfg.Seq.NextCommitSeq()
+	t.m.cfg.Local.Log().Append(wal.Record{
+		Type: wal.RecordCommit, Role: wal.RoleCoordinator,
+		Txn: t.meta.ID, CommitSeq: commitSeq,
+	})
+	if t.m.cfg.Recorder != nil {
+		t.m.cfg.Recorder.Commit(t.meta.ID, commitSeq)
+	}
+	if t.m.cb.OnDecided != nil {
+		t.m.cb.OnDecided(t.meta.ID)
+	}
+
+	// Phase two: the decision is durable, so its delivery must not depend
+	// on the caller's context — a client that walks away mid-commit must
+	// not strand participants on the janitor's timetable. Failures are
+	// still tolerated (crashed participants learn the outcome from the
+	// decision service or their own recovery).
+	t.done = true
+	deliverCtx := context.WithoutCancel(ctx)
+	for _, site := range participants {
+		if _, err := t.m.send(deliverCtx, site, proto.CommitReq{Txn: t.meta, CommitSeq: commitSeq}); err != nil {
+			t.m.noteSiteDown(err, site, t.view.Session(site))
+		}
+	}
+	// Release the read-only participants' locks (best effort; a crashed
+	// site has no locks to release).
+	readOnly := make(map[proto.SiteID]bool)
+	t.m.mu.Lock()
+	for site := range t.parts {
+		if !t.wparts[site] {
+			readOnly[site] = true
+		}
+	}
+	t.m.mu.Unlock()
+	if len(readOnly) > 0 {
+		t.broadcast(deliverCtx, readOnly, proto.AbortReq{Txn: t.meta, ReadOnlyEnd: true})
+	}
+	t.m.release(t.meta.ID)
+	return nil
+}
+
+// failCommit aborts after a failed prepare phase.
+func (t *Tx) failCommit(ctx context.Context) {
+	t.done = true
+	t.broadcast(context.WithoutCancel(ctx), t.attempted, proto.AbortReq{Txn: t.meta})
+	t.m.release(t.meta.ID)
+}
+
+func (t *Tx) writeParticipantList() []proto.SiteID {
+	t.m.mu.Lock()
+	out := make([]proto.SiteID, 0, len(t.wparts))
+	for site := range t.wparts {
+		out = append(out, site)
+	}
+	t.m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (t *Tx) broadcast(ctx context.Context, sites map[proto.SiteID]bool, msg proto.Message) {
+	t.m.mu.Lock()
+	list := make([]proto.SiteID, 0, len(sites))
+	for site := range sites {
+		list = append(list, site)
+	}
+	t.m.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	for _, site := range list {
+		_, err := t.m.send(ctx, site, msg)
+		if err != nil {
+			t.m.noteSiteDown(err, site, t.view.Session(site))
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"siterecovery/internal/dm"
+	"siterecovery/internal/history"
+	"siterecovery/internal/lockmgr"
+	"siterecovery/internal/netsim"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/replication"
+	"siterecovery/internal/storage"
+	"siterecovery/internal/wal"
+)
+
+// harness is a minimal three-site assembly for TM tests (the full assembly
+// lives in internal/core; this one wires only what the TM needs).
+type harness struct {
+	net *netsim.Network
+	cat *replication.Catalog
+	seq *Sequencer
+	rec *history.Recorder
+	dms map[proto.SiteID]*dm.Manager
+	tms map[proto.SiteID]*Manager
+}
+
+func newHarness(t *testing.T, profile replication.Profile, cb Callbacks) *harness {
+	t.Helper()
+	sites := []proto.SiteID{1, 2, 3}
+	placement := map[proto.Item][]proto.SiteID{
+		"x": {1, 2, 3},
+		"y": {1, 2, 3},
+		"z": {1, 2},
+	}
+	cat, err := replication.NewCatalog(sites, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.New(netsim.Config{})
+	rec := history.NewRecorder()
+	rec.RegisterTxn(InitialTxn, proto.ClassInitial)
+	rec.Commit(InitialTxn, 0)
+	seq := NewSequencer()
+
+	h := &harness{
+		net: net, cat: cat, seq: seq, rec: rec,
+		dms: make(map[proto.SiteID]*dm.Manager),
+		tms: make(map[proto.SiteID]*Manager),
+	}
+	for _, site := range sites {
+		var items []proto.Item
+		items = append(items, cat.ItemsAt(site)...)
+		for _, s := range sites {
+			items = append(items, proto.NSItem(s))
+		}
+		st := storage.New(site, items, InitialTxn)
+		for _, s := range sites {
+			if err := st.Seed(proto.NSItem(s), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st.SetSessionCounter(1)
+		locks := lockmgr.New(lockmgr.Config{Timeout: 150 * time.Millisecond})
+		d := dm.New(dm.Config{
+			Site: site, Store: st, Locks: locks, Log: wal.New(),
+			Recorder: rec, Tracking: dm.TrackMissingList,
+		}, dm.Callbacks{})
+		d.SetSession(1)
+		h.dms[site] = d
+		net.Register(site, d.Handle)
+		h.tms[site] = New(Config{
+			Site: site, Net: net, Local: d, Catalog: cat, Profile: profile,
+			Recorder: rec, Seq: seq, MaxAttempts: 6,
+		}, cb)
+	}
+	return h
+}
+
+func (h *harness) crash(site proto.SiteID) {
+	h.dms[site].Crash()
+	h.net.SetDown(site, true)
+}
+
+// markDown seeds the nominal session vector everywhere to say site is down
+// (as a committed type-2 control transaction would have).
+func (h *harness) markDown(t *testing.T, site proto.SiteID) {
+	t.Helper()
+	for _, d := range h.dms {
+		if err := d.Store().Seed(proto.NSItem(site), proto.Value(proto.NoSession)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestROWAAReadWriteCommit(t *testing.T) {
+	h := newHarness(t, replication.ROWAA, Callbacks{})
+	ctx := context.Background()
+
+	err := h.tms[1].Run(ctx, func(ctx context.Context, tx *Tx) error {
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 0 {
+			t.Errorf("initial x = %d", v)
+		}
+		return tx.Write(ctx, "x", 42)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// The write reached every replica.
+	for _, site := range []proto.SiteID{1, 2, 3} {
+		v, _, err := h.dms[site].Store().Committed("x")
+		if err != nil || v != 42 {
+			t.Errorf("site %v x = (%d, %v)", site, v, err)
+		}
+	}
+
+	// Another site reads it back.
+	err = h.tms[2].Run(ctx, func(ctx context.Context, tx *Tx) error {
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 42 {
+			t.Errorf("read back x = %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("read-back Run: %v", err)
+	}
+
+	if ok, cycle := h.rec.Snapshot().CertifyOneSR(history.DomainDB); !ok {
+		t.Fatalf("history not 1-SR: %v", cycle)
+	}
+}
+
+func TestReadYourWritesAndRepeatableRead(t *testing.T) {
+	h := newHarness(t, replication.ROWAA, Callbacks{})
+	err := h.tms[1].Run(context.Background(), func(ctx context.Context, tx *Tx) error {
+		if err := tx.Write(ctx, "x", 7); err != nil {
+			return err
+		}
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 7 {
+			t.Errorf("read-your-writes x = %d", v)
+		}
+		v1, err := tx.Read(ctx, "y")
+		if err != nil {
+			return err
+		}
+		v2, err := tx.Read(ctx, "y")
+		if err != nil {
+			return err
+		}
+		if v1 != v2 {
+			t.Errorf("repeatable read: %d != %d", v1, v2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestROWAAWriteSkipsNominallyDownSite(t *testing.T) {
+	h := newHarness(t, replication.ROWAA, Callbacks{})
+	h.crash(3)
+	h.markDown(t, 3)
+
+	err := h.tms[1].Run(context.Background(), func(ctx context.Context, tx *Tx) error {
+		if !tx.View().Up(1) || tx.View().Up(3) {
+			t.Errorf("view wrong: %+v", tx.View())
+		}
+		return tx.Write(ctx, "x", 9)
+	})
+	if err != nil {
+		t.Fatalf("Run with down site: %v", err)
+	}
+
+	for _, site := range []proto.SiteID{1, 2} {
+		if v, _, _ := h.dms[site].Store().Committed("x"); v != 9 {
+			t.Errorf("site %v x = %d", site, v)
+		}
+	}
+	// Missed-update bookkeeping recorded the down site.
+	for _, site := range []proto.SiteID{1, 2} {
+		got := h.dms[site].MissedFor(3)
+		if len(got) != 1 || got[0] != "x" {
+			t.Errorf("site %v MissedFor(3) = %v", site, got)
+		}
+	}
+}
+
+func TestROWAAWriteToActuallyDownSiteAborts(t *testing.T) {
+	var mu sync.Mutex
+	var detected []proto.SiteID
+	h := newHarness(t, replication.ROWAA, Callbacks{
+		OnSiteDown: func(site proto.SiteID, observed proto.Session) {
+			mu.Lock()
+			detected = append(detected, site)
+			mu.Unlock()
+			if observed != 1 {
+				t.Errorf("observed session = %d, want 1", observed)
+			}
+		},
+	})
+	h.crash(3) // down, but still nominally up in NS
+
+	err := h.tms[1].Run(context.Background(), func(ctx context.Context, tx *Tx) error {
+		return tx.Write(ctx, "x", 9)
+	})
+	if !errors.Is(err, proto.ErrSiteDown) {
+		t.Fatalf("err = %v, want ErrSiteDown", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(detected) == 0 || detected[0] != 3 {
+		t.Fatalf("failure detector calls = %v", detected)
+	}
+}
+
+func TestSessionMismatchAborts(t *testing.T) {
+	h := newHarness(t, replication.ROWAA, Callbacks{})
+	// Site 2's actual session moves on, but the NS copies still say 1.
+	h.dms[2].SetSession(7)
+
+	err := h.tms[1].Run(context.Background(), func(ctx context.Context, tx *Tx) error {
+		return tx.Write(ctx, "x", 1)
+	})
+	if !errors.Is(err, proto.ErrSessionMismatch) {
+		t.Fatalf("err = %v, want ErrSessionMismatch", err)
+	}
+}
+
+func TestROWAWriteUnavailableWhenAnyReplicaDown(t *testing.T) {
+	h := newHarness(t, replication.ROWA, Callbacks{})
+	h.crash(3)
+
+	err := h.tms[1].Run(context.Background(), func(ctx context.Context, tx *Tx) error {
+		return tx.Write(ctx, "x", 9)
+	})
+	if !errors.Is(err, proto.ErrSiteDown) {
+		t.Fatalf("strict ROWA write err = %v, want ErrSiteDown", err)
+	}
+
+	// But z lives only at sites 1,2 and stays writable.
+	err = h.tms[1].Run(context.Background(), func(ctx context.Context, tx *Tx) error {
+		return tx.Write(ctx, "z", 5)
+	})
+	if err != nil {
+		t.Fatalf("ROWA write to unaffected item: %v", err)
+	}
+}
+
+func TestNaiveWriteSucceedsDespiteDownReplica(t *testing.T) {
+	h := newHarness(t, replication.Naive, Callbacks{})
+	h.crash(3)
+
+	err := h.tms[1].Run(context.Background(), func(ctx context.Context, tx *Tx) error {
+		return tx.Write(ctx, "x", 9)
+	})
+	if err != nil {
+		t.Fatalf("naive write: %v", err)
+	}
+	if v, _, _ := h.dms[1].Store().Committed("x"); v != 9 {
+		t.Fatal("naive write did not land at up sites")
+	}
+}
+
+func TestQuorumReadWrite(t *testing.T) {
+	h := newHarness(t, replication.Quorum, Callbacks{})
+	ctx := context.Background()
+
+	if err := h.tms[1].Run(ctx, func(ctx context.Context, tx *Tx) error {
+		return tx.Write(ctx, "x", 30)
+	}); err != nil {
+		t.Fatalf("quorum write: %v", err)
+	}
+
+	h.crash(3)
+	// Majority still reachable: read must see the newest version.
+	err := h.tms[2].Run(ctx, func(ctx context.Context, tx *Tx) error {
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 30 {
+			t.Errorf("quorum read = %d", v)
+		}
+		return tx.Write(ctx, "x", 31)
+	})
+	if err != nil {
+		t.Fatalf("quorum after crash: %v", err)
+	}
+
+	h.crash(2)
+	// Only one replica left: no quorum.
+	err = h.tms[1].Run(ctx, func(ctx context.Context, tx *Tx) error {
+		_, err := tx.Read(ctx, "x")
+		return err
+	})
+	if !errors.Is(err, proto.ErrNoQuorum) {
+		t.Fatalf("err = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestReadOnlyTransactionSkips2PC(t *testing.T) {
+	h := newHarness(t, replication.ROWAA, Callbacks{})
+	before := h.dms[1].Log().Len()
+	err := h.tms[1].Run(context.Background(), func(ctx context.Context, tx *Tx) error {
+		_, err := tx.Read(ctx, "x")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := h.dms[1].Log().Len(); after != before {
+		t.Fatalf("read-only txn wrote %d log records", after-before)
+	}
+	// Locks are gone: a writer proceeds immediately.
+	if err := h.tms[1].Run(context.Background(), func(ctx context.Context, tx *Tx) error {
+		return tx.Write(ctx, "x", 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortRequestedNotRetried(t *testing.T) {
+	h := newHarness(t, replication.ROWAA, Callbacks{})
+	calls := 0
+	err := h.tms[1].Run(context.Background(), func(ctx context.Context, tx *Tx) error {
+		calls++
+		return proto.ErrAbortRequested
+	})
+	if !errors.Is(err, proto.ErrAbortRequested) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("body ran %d times, want 1", calls)
+	}
+	st := h.tms[1].Stats()
+	if st.Committed != 0 || st.Aborted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentIncrementsAreSerializable(t *testing.T) {
+	h := newHarness(t, replication.ROWAA, Callbacks{})
+	const (
+		workers = 4
+		rounds  = 8
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		site := proto.SiteID(w%3 + 1)
+		go func() {
+			defer wg.Done()
+			for range rounds {
+				err := h.tms[site].Run(context.Background(), func(ctx context.Context, tx *Tx) error {
+					v, err := tx.Read(ctx, "x")
+					if err != nil {
+						return err
+					}
+					return tx.Write(ctx, "x", v+1)
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("increment worker: %v", err)
+	}
+
+	for _, site := range []proto.SiteID{1, 2, 3} {
+		v, _, _ := h.dms[site].Store().Committed("x")
+		if v != workers*rounds {
+			t.Errorf("site %v x = %d, want %d", site, v, workers*rounds)
+		}
+	}
+	h1 := h.rec.Snapshot()
+	if !h1.ConflictGraph(history.DomainAll).Acyclic() {
+		t.Fatal("conflict graph cyclic: concurrency control broken")
+	}
+	if ok, cycle := h1.CertifyOneSR(history.DomainDB); !ok {
+		t.Fatalf("history not 1-SR: %v", cycle)
+	}
+}
+
+func TestSequencer(t *testing.T) {
+	s := NewSequencer()
+	first := s.NextTxn()
+	if first != 2 {
+		t.Fatalf("first txn ID = %v, want 2 (1 reserved for initial)", first)
+	}
+	if s.NextTxn() <= first {
+		t.Fatal("txn IDs not increasing")
+	}
+	if s.NextCommitSeq() != 1 || s.NextCommitSeq() != 2 {
+		t.Fatal("commit seq not sequential")
+	}
+}

@@ -1,0 +1,168 @@
+// Package wal is a per-site stable write-ahead log.
+//
+// Because internal/storage models force-at-commit durability, the log's job
+// is not data redo: it durably remembers two-phase-commit state so a site
+// can answer outcome queries (cooperative termination) and find its in-doubt
+// transactions after a crash. Records survive Crash unconditionally; the
+// log is the "stable storage" of the paper's model.
+package wal
+
+import (
+	"sync"
+
+	"siterecovery/internal/proto"
+)
+
+// RecordType classifies log records.
+type RecordType int
+
+// Record types.
+const (
+	// RecordPrepare is written by a participant when it votes yes. Until a
+	// decision record follows, the transaction is in doubt at this site.
+	RecordPrepare RecordType = iota + 1
+	// RecordCommit is a commit decision (coordinator) or a performed commit
+	// (participant).
+	RecordCommit
+	// RecordAbort is an abort decision or a performed abort.
+	RecordAbort
+)
+
+// Role says which 2PC role wrote the record.
+type Role int
+
+// Roles.
+const (
+	RoleCoordinator Role = iota + 1
+	RoleParticipant
+)
+
+// WriteRec is one buffered write captured by a participant prepare record,
+// sufficient to redo the install if the decision outlives the crash.
+// Refresh writes (copier-style) carry the original writer's version; plain
+// writes get their version from the commit sequence number at redo time.
+type WriteRec struct {
+	Item    proto.Item
+	Value   proto.Value
+	Refresh bool
+	Version proto.Version // set when Refresh
+}
+
+// Record is one durable log entry.
+type Record struct {
+	Type      RecordType
+	Role      Role
+	Txn       proto.TxnID
+	CommitSeq uint64       // set on RecordCommit
+	Writes    []WriteRec   // prepare records: the participant's write set
+	Origin    proto.SiteID // prepare records: the coordinator site
+}
+
+// Log is an append-only stable log. The zero value is not usable; create
+// with New.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+	// outcome index: last decision per transaction
+	state map[proto.TxnID]Record
+	// prepared index: participant prepare records awaiting a decision
+	prepared map[proto.TxnID]bool
+}
+
+// New returns an empty log.
+func New() *Log {
+	return &Log{
+		state:    make(map[proto.TxnID]Record),
+		prepared: make(map[proto.TxnID]bool),
+	}
+}
+
+// Append durably adds a record.
+func (l *Log) Append(rec Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.records = append(l.records, rec)
+	switch rec.Type {
+	case RecordPrepare:
+		if rec.Role == RoleParticipant {
+			l.prepared[rec.Txn] = true
+		}
+	case RecordCommit, RecordAbort:
+		l.state[rec.Txn] = rec
+		delete(l.prepared, rec.Txn)
+	}
+}
+
+// Outcome reports the durable outcome of txn at this site: StateCommitted or
+// StateAborted if decided, StatePrepared if this site voted yes and never
+// learned the decision, StateUnknown otherwise. For commits it also returns
+// the commit sequence number.
+func (l *Log) Outcome(txn proto.TxnID) (proto.TxnState, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if rec, ok := l.state[txn]; ok {
+		if rec.Type == RecordCommit {
+			return proto.StateCommitted, rec.CommitSeq
+		}
+		return proto.StateAborted, 0
+	}
+	if l.prepared[txn] {
+		return proto.StatePrepared, 0
+	}
+	return proto.StateUnknown, 0
+}
+
+// InDoubt lists transactions this site prepared but never saw decided.
+// A recovering site resolves these before serving.
+func (l *Log) InDoubt() []proto.TxnID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]proto.TxnID, 0, len(l.prepared))
+	for txn := range l.prepared {
+		out = append(out, txn)
+	}
+	return out
+}
+
+// PreparedItems returns the items of the write set logged with txn's
+// participant prepare record, or nil if none.
+func (l *Log) PreparedItems(txn proto.TxnID) []proto.Item {
+	writes, _ := l.PreparedRecord(txn)
+	items := make([]proto.Item, 0, len(writes))
+	for _, w := range writes {
+		items = append(items, w.Item)
+	}
+	return items
+}
+
+// PreparedRecord returns the write set and coordinator site logged with
+// txn's participant prepare record.
+func (l *Log) PreparedRecord(txn proto.TxnID) ([]WriteRec, proto.SiteID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := len(l.records) - 1; i >= 0; i-- {
+		rec := l.records[i]
+		if rec.Txn == txn && rec.Type == RecordPrepare && rec.Role == RoleParticipant {
+			out := make([]WriteRec, len(rec.Writes))
+			copy(out, rec.Writes)
+			return out, rec.Origin
+		}
+	}
+	return nil, 0
+}
+
+// Len reports the number of records (for tests and stats).
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Scan returns a copy of the full log in append order.
+func (l *Log) Scan() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.records))
+	copy(out, l.records)
+	return out
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"siterecovery/internal/clock"
+	"siterecovery/internal/core"
+	"siterecovery/internal/metrics"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/txn"
+)
+
+// DriverConfig tunes a closed-loop client driver.
+type DriverConfig struct {
+	// Clients is the number of concurrent clients. Each is pinned to a
+	// site round-robin over ClientSites (default: all cluster sites).
+	Clients     int
+	ClientSites []proto.SiteID
+	// Generator configures each client's transaction mix; every client
+	// gets its own seeded instance.
+	Generator GeneratorConfig
+	// ThinkTime pauses each client between transactions.
+	ThinkTime time.Duration
+	// Duration bounds the run (alternative: cancel the context).
+	Duration time.Duration
+	Clock    clock.Clock
+}
+
+// Result aggregates a driver run.
+type Result struct {
+	Committed uint64
+	Failed    uint64
+	Elapsed   time.Duration
+	Latency   *metrics.Histogram
+}
+
+// Throughput reports committed transactions per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Committed) / r.Elapsed.Seconds()
+}
+
+// Availability reports the committed fraction of attempts.
+func (r Result) Availability() float64 {
+	total := r.Committed + r.Failed
+	if total == 0 {
+		return 1
+	}
+	return float64(r.Committed) / float64(total)
+}
+
+// Run drives the cluster with closed-loop clients until the duration
+// elapses or the context is canceled. Each generated transaction reads its
+// read set and writes generator values to its write set.
+func Run(ctx context.Context, cluster *core.Cluster, cfg DriverConfig) (Result, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.New()
+	}
+	sites := cfg.ClientSites
+	if len(sites) == 0 {
+		sites = cluster.Sites()
+	}
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	var (
+		committed, failed metrics.Counter
+		hist              metrics.Histogram
+		wg                sync.WaitGroup
+	)
+	start := cfg.Clock.Now()
+	for i := range cfg.Clients {
+		gcfg := cfg.Generator
+		gcfg.Seed = cfg.Generator.Seed + int64(i)*7919
+		gen, err := NewGenerator(gcfg)
+		if err != nil {
+			return Result{}, err
+		}
+		site := sites[i%len(sites)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client(ctx, cluster, site, gen, cfg, &committed, &failed, &hist)
+		}()
+	}
+	wg.Wait()
+	return Result{
+		Committed: committed.Value(),
+		Failed:    failed.Value(),
+		Elapsed:   cfg.Clock.Since(start),
+		Latency:   &hist,
+	}, nil
+}
+
+func client(ctx context.Context, cluster *core.Cluster, site proto.SiteID, gen *Generator, cfg DriverConfig, committed, failed *metrics.Counter, hist *metrics.Histogram) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		spec := gen.Next()
+		t0 := cfg.Clock.Now()
+		err := cluster.Exec(ctx, site, func(ctx context.Context, tx *txn.Tx) error {
+			for _, item := range spec.Reads {
+				if _, err := tx.Read(ctx, item); err != nil {
+					return err
+				}
+			}
+			for _, item := range spec.Writes {
+				if err := tx.Write(ctx, item, gen.Value()); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		switch {
+		case err == nil:
+			committed.Inc()
+			hist.Observe(cfg.Clock.Since(t0))
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			return
+		default:
+			failed.Inc()
+		}
+		if cfg.ThinkTime > 0 {
+			select {
+			case <-cfg.Clock.After(cfg.ThinkTime):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// EventKind is a failure-schedule action.
+type EventKind int
+
+// Event kinds.
+const (
+	EventCrash EventKind = iota + 1
+	EventRecover
+)
+
+// Event is one scheduled fault action.
+type Event struct {
+	After time.Duration // offset from schedule start
+	Site  proto.SiteID
+	Kind  EventKind
+}
+
+// RunSchedule applies crash/recover events against the cluster, in order.
+// Recoveries run asynchronously (the paper's recovery returns quickly, but
+// the spooler baseline can take a while). It returns when all events have
+// fired and pending recoveries finished, or the context is done.
+func RunSchedule(ctx context.Context, cluster *core.Cluster, clk clock.Clock, events []Event) error {
+	if clk == nil {
+		clk = clock.New()
+	}
+	start := clk.Now()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for _, ev := range events {
+		wait := ev.After - clk.Since(start)
+		if wait > 0 {
+			select {
+			case <-clk.After(wait):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		switch ev.Kind {
+		case EventCrash:
+			cluster.Crash(ev.Site)
+		case EventRecover:
+			site := ev.Site
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, _ = cluster.Recover(ctx, site)
+			}()
+		}
+	}
+	return nil
+}
