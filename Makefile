@@ -1,0 +1,25 @@
+# Mirrors .github/workflows/ci.yml: `make test`, `make race`, and `make lint`
+# run exactly what the corresponding CI jobs run.
+
+GO ?= go
+
+.PHONY: all build test race lint bench
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

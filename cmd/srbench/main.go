@@ -15,23 +15,25 @@ import (
 	"time"
 
 	"siterecovery/internal/experiments"
+	"siterecovery/internal/obs"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		scale = flag.String("scale", "quick", "experiment scale: quick or full")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		scale   = flag.String("scale", "quick", "experiment scale: quick or full")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		showObs = flag.Bool("metrics", false, "print each experiment's protocol-metrics delta")
 	)
 	flag.Parse()
-	if err := realMain(*run, *scale, *csv, *list); err != nil {
+	if err := realMain(*run, *scale, *csv, *list, *showObs); err != nil {
 		fmt.Fprintln(os.Stderr, "srbench:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(run, scaleName string, csv, list bool) error {
+func realMain(run, scaleName string, csv, list, showObs bool) error {
 	if list {
 		for _, r := range experiments.All() {
 			fmt.Printf("%-4s %s\n     claim: %s\n", r.ID, r.Title, r.Claim)
@@ -62,8 +64,19 @@ func realMain(run, scaleName string, csv, list bool) error {
 		}
 	}
 
+	// With -metrics, every cluster the experiments build picks up this
+	// process-wide hub, and each experiment prints what it added to the
+	// registry. The trace ring is sized small: only the counters matter here.
+	var hub *obs.Hub
+	if showObs {
+		hub = obs.NewHub(obs.Options{TraceCapacity: 1})
+		obs.SetDefault(hub)
+		defer obs.SetDefault(nil)
+	}
+
 	for _, r := range selected {
 		fmt.Printf("### %s: %s\nclaim: %s\n", r.ID, r.Title, r.Claim)
+		before := hub.Snapshot()
 		start := time.Now()
 		table, err := r.Run(scale)
 		if err != nil {
@@ -75,6 +88,13 @@ func realMain(run, scaleName string, csv, list bool) error {
 			fmt.Print(table.String())
 		}
 		fmt.Printf("(%s in %s)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		if showObs {
+			fmt.Printf("%s protocol-metrics delta:\n", r.ID)
+			if err := hub.Snapshot().Diff(before).WriteText(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
 	}
 	return nil
 }

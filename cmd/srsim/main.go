@@ -7,6 +7,11 @@
 //
 //	srsim -sites 5 -items 50 -degree 3 -clients 8 -duration 2s \
 //	      -crash 3@300ms -recover 3@900ms -identify faillock
+//
+// With -trace and/or -metrics, srsim instead runs a deterministic scripted
+// crash/partition/recovery scenario and dumps the observability hub — the
+// event trace and the per-site metrics table — at exit. That output is
+// byte-identical across runs at the same seed.
 package main
 
 import (
@@ -58,11 +63,35 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		crashes  = flag.String("crash", "", "comma-separated crash events site@offset")
 		recovers = flag.String("recover", "", "comma-separated recover events site@offset")
+		trace    = flag.Bool("trace", false, "run the deterministic scenario and dump the event trace")
+		metrics  = flag.Bool("metrics", false, "run the deterministic scenario and dump the metrics table")
 	)
 	flag.Parse()
-	if err := run(*sites, *items, *degree, *clients, *duration, *profile, *identify, *spooler, *seed, *crashes, *recovers); err != nil {
+	var err error
+	if *trace || *metrics {
+		err = runObserve(*sites, *items, *degree, *seed, *identify, *metrics, *trace)
+	} else {
+		err = run(*sites, *items, *degree, *clients, *duration, *profile, *identify, *spooler, *seed, *crashes, *recovers)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "srsim:", err)
 		os.Exit(1)
+	}
+}
+
+// identifyByName resolves the -identify flag.
+func identifyByName(name string) (recovery.Identify, error) {
+	switch name {
+	case "markall":
+		return recovery.IdentifyMarkAll, nil
+	case "versiondiff":
+		return recovery.IdentifyVersionDiff, nil
+	case "faillock":
+		return recovery.IdentifyFailLock, nil
+	case "missinglist":
+		return recovery.IdentifyMissingList, nil
+	default:
+		return 0, fmt.Errorf("unknown identification %q", name)
 	}
 }
 
@@ -71,18 +100,9 @@ func run(sites, items, degree, clients int, duration time.Duration, profileName,
 	if err != nil {
 		return err
 	}
-	var ident recovery.Identify
-	switch identifyName {
-	case "markall":
-		ident = recovery.IdentifyMarkAll
-	case "versiondiff":
-		ident = recovery.IdentifyVersionDiff
-	case "faillock":
-		ident = recovery.IdentifyFailLock
-	case "missinglist":
-		ident = recovery.IdentifyMissingList
-	default:
-		return fmt.Errorf("unknown identification %q", identifyName)
+	ident, err := identifyByName(identifyName)
+	if err != nil {
+		return err
 	}
 	method := core.MethodCopiers
 	if spool {

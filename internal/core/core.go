@@ -35,6 +35,7 @@ import (
 	"siterecovery/internal/lockmgr"
 	"siterecovery/internal/metrics"
 	"siterecovery/internal/netsim"
+	"siterecovery/internal/obs"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/recovery"
 	"siterecovery/internal/replication"
@@ -112,6 +113,10 @@ type Config struct {
 	Clock clock.Clock
 	// Hooks are fault-injection points for tests.
 	Hooks Hooks
+	// Obs receives protocol events and metrics from every layer of every
+	// site. Defaults to the process-wide hub installed with obs.SetDefault
+	// (none by default); nil stays a zero-cost no-op sink.
+	Obs *obs.Hub
 }
 
 // Hooks expose two-phase-commit instants so tests can crash sites at the
@@ -152,6 +157,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Obs == nil {
+		c.Obs = obs.Default()
 	}
 	return c, nil
 }
@@ -232,6 +240,7 @@ func New(cfg Config) (*Cluster, error) {
 		MaxLatency: cfg.MaxLatency,
 		LossRate:   cfg.LossRate,
 		Seed:       cfg.Seed,
+		Obs:        cfg.Obs,
 	})
 	rec := history.NewRecorder()
 	rec.RegisterTxn(txn.InitialTxn, proto.ClassInitial)
@@ -289,6 +298,7 @@ func New(cfg Config) (*Cluster, error) {
 			Clock:    cfg.Clock,
 			Tracking: tracking,
 			Spool:    site.Spool,
+			Obs:      cfg.Obs,
 		}, dm.Callbacks{
 			OnUnreadableRead: func(item proto.Item) {
 				// Demand-trigger a copier; in eager mode the request
@@ -312,6 +322,7 @@ func New(cfg Config) (*Cluster, error) {
 			Recorder:     rec,
 			Seq:          seq,
 			Clock:        cfg.Clock,
+			Obs:          cfg.Obs,
 			MaxAttempts:  cfg.MaxAttempts,
 			RetryBackoff: cfg.RetryBackoff,
 			Seed:         cfg.Seed + int64(id),
@@ -340,6 +351,7 @@ func New(cfg Config) (*Cluster, error) {
 			Net:      net,
 			Catalog:  cat,
 			Clock:    cfg.Clock,
+			Obs:      cfg.Obs,
 			Debounce: cfg.DetectorDebounce,
 		})
 		site.Recovery = recovery.New(recovery.Config{
@@ -352,6 +364,7 @@ func New(cfg Config) (*Cluster, error) {
 			Clock:         cfg.Clock,
 			Recorder:      rec,
 			Seq:           seq,
+			Obs:           cfg.Obs,
 			Identify:      cfg.Identify,
 			CopierMode:    cfg.CopierMode,
 			CopierWorkers: cfg.CopierWorkers,
@@ -458,6 +471,10 @@ func (c *Cluster) Network() *netsim.Network { return c.net }
 
 // Sequencer returns the cluster-wide sequencer.
 func (c *Cluster) Sequencer() *txn.Sequencer { return c.seq }
+
+// Obs returns the observability hub the cluster emits into (nil when none
+// was configured).
+func (c *Cluster) Obs() *obs.Hub { return c.cfg.Obs }
 
 // Exec runs body as a user transaction coordinated by the given site,
 // recording latency and availability.

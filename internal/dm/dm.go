@@ -24,6 +24,7 @@ import (
 	"siterecovery/internal/clock"
 	"siterecovery/internal/history"
 	"siterecovery/internal/lockmgr"
+	"siterecovery/internal/obs"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/spooler"
 	"siterecovery/internal/storage"
@@ -70,6 +71,8 @@ type Config struct {
 	Recorder *history.Recorder
 	Clock    clock.Clock
 	Tracking Tracking
+	// Obs receives protocol events and metrics; nil is a no-op sink.
+	Obs *obs.Hub
 	// Spool, when set, enables the message-spooler baseline: committed
 	// writes that missed down sites are saved in the local spool store for
 	// replay at recovery (instead of, or in addition to, fail-lock
@@ -214,9 +217,11 @@ func (m *Manager) gate(meta proto.TxnMeta, mode proto.CheckMode, expect proto.Se
 		return nil
 	}
 	if m.session == proto.NoSession {
+		m.cfg.Obs.NotOperational(m.cfg.Site, meta.ID)
 		return fmt.Errorf("%v serving %v: %w", m.cfg.Site, meta.ID, proto.ErrNotOperational)
 	}
 	if expect != m.session {
+		m.cfg.Obs.SessionMismatch(m.cfg.Site, meta.ID, expect, m.session)
 		return fmt.Errorf("%v serving %v: carried %d, actual %d: %w",
 			m.cfg.Site, meta.ID, expect, m.session, proto.ErrSessionMismatch)
 	}

@@ -1,0 +1,295 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Key names one instrument in a Registry: which site it belongs to (0 means
+// cluster-wide), which subsystem emits it, and the metric name. The textual
+// form is "site3/txn/commit" ("cluster/..." for site 0).
+type Key struct {
+	Site      int
+	Subsystem string
+	Name      string
+}
+
+// String implements fmt.Stringer.
+func (k Key) String() string {
+	site := "cluster"
+	if k.Site != 0 {
+		site = fmt.Sprintf("site%d", k.Site)
+	}
+	return site + "/" + k.Subsystem + "/" + k.Name
+}
+
+// less orders keys for deterministic export: by site, subsystem, name.
+func (k Key) less(o Key) bool {
+	if k.Site != o.Site {
+		return k.Site < o.Site
+	}
+	if k.Subsystem != o.Subsystem {
+		return k.Subsystem < o.Subsystem
+	}
+	return k.Name < o.Name
+}
+
+// Gauge is a settable level (queue depths, marked-copy counts).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the level by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reads the level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// IntHist is a histogram over dimensionless integer samples (attempt counts,
+// batch sizes) with power-of-two buckets. Unlike Histogram it carries no time
+// unit, so its exports are deterministic whenever its inputs are.
+type IntHist struct {
+	mu      sync.Mutex
+	buckets [numBuckets]uint64
+	count   uint64
+	sum     int64
+	max     int64
+}
+
+// intBucketFor maps a sample to its power-of-two bucket index.
+func intBucketFor(v int64) int {
+	if v < 2 {
+		return 0
+	}
+	b := 0
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	if b >= numBuckets {
+		return numBuckets - 1
+	}
+	return b
+}
+
+// Observe records one sample.
+func (h *IntHist) Observe(v int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[intBucketFor(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of samples.
+func (h *IntHist) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum reports the total of all samples.
+func (h *IntHist) Sum() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Max reports the largest sample.
+func (h *IntHist) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Registry is a named collection of instruments keyed by site/subsystem/name.
+// Lookups get-or-create, so emitting code never registers up front. All
+// methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[Key]*Counter
+	gauges   map[Key]*Gauge
+	hists    map[Key]*IntHist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[Key]*Counter),
+		gauges:   make(map[Key]*Gauge),
+		hists:    make(map[Key]*IntHist),
+	}
+}
+
+// Counter returns the counter for key, creating it on first use.
+func (r *Registry) Counter(site int, subsystem, name string) *Counter {
+	k := Key{Site: site, Subsystem: subsystem, Name: name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for key, creating it on first use.
+func (r *Registry) Gauge(site int, subsystem, name string) *Gauge {
+	k := Key{Site: site, Subsystem: subsystem, Name: name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// IntHist returns the integer histogram for key, creating it on first use.
+func (r *Registry) IntHist(site int, subsystem, name string) *IntHist {
+	k := Key{Site: site, Subsystem: subsystem, Name: name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[k]
+	if !ok {
+		h = &IntHist{}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// SampleKind tags what a Sample was read from.
+type SampleKind string
+
+// Sample kinds.
+const (
+	KindCounter SampleKind = "counter"
+	KindGauge   SampleKind = "gauge"
+	KindHist    SampleKind = "hist"
+)
+
+// Sample is one instrument's state at snapshot time. Counters use Count;
+// gauges use Sum (the level); histograms use Count, Sum, and Max.
+type Sample struct {
+	Kind  SampleKind
+	Count uint64
+	Sum   int64
+	Max   int64
+}
+
+// Snapshot is a point-in-time copy of a registry's instruments.
+type Snapshot map[Key]Sample
+
+// Snapshot reads every instrument.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(Snapshot, len(r.counters)+len(r.gauges)+len(r.hists))
+	for k, c := range r.counters {
+		out[k] = Sample{Kind: KindCounter, Count: c.Value()}
+	}
+	for k, g := range r.gauges {
+		out[k] = Sample{Kind: KindGauge, Sum: g.Value()}
+	}
+	for k, h := range r.hists {
+		out[k] = Sample{Kind: KindHist, Count: h.Count(), Sum: h.Sum(), Max: h.Max()}
+	}
+	return out
+}
+
+// Diff subtracts prev from s: counter and histogram counts/sums become
+// deltas, gauges and maxima keep their current level. Entries whose delta is
+// entirely zero are dropped, so a diff reads as "what changed".
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	out := make(Snapshot, len(s))
+	for k, cur := range s {
+		d := cur
+		if p, ok := prev[k]; ok && cur.Kind != KindGauge {
+			d.Count = cur.Count - p.Count
+			d.Sum = cur.Sum - p.Sum
+		}
+		if d.Count == 0 && d.Sum == 0 && d.Max == 0 {
+			continue
+		}
+		out[k] = d
+	}
+	return out
+}
+
+// Keys returns the snapshot's keys in deterministic order.
+func (s Snapshot) Keys() []Key {
+	keys := make([]Key, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	return keys
+}
+
+// WriteText renders the snapshot as an aligned table, sorted by key, so the
+// same counts always produce byte-identical output.
+func (s Snapshot) WriteText(w io.Writer) error {
+	keys := s.Keys()
+	width := len("metric")
+	for _, k := range keys {
+		if n := len(k.String()); n > width {
+			width = n
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %-7s  %s\n", width, "metric", "kind", "value"); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		v := s[k]
+		var val string
+		switch v.Kind {
+		case KindCounter:
+			val = fmt.Sprintf("%d", v.Count)
+		case KindGauge:
+			val = fmt.Sprintf("%d", v.Sum)
+		case KindHist:
+			mean := "0"
+			if v.Count > 0 {
+				mean = fmt.Sprintf("%.2f", float64(v.Sum)/float64(v.Count))
+			}
+			val = fmt.Sprintf("count=%d sum=%d max=%d mean=%s", v.Count, v.Sum, v.Max, mean)
+		}
+		if _, err := fmt.Fprintf(w, "%-*s  %-7s  %s\n", width, k, v.Kind, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonSample is the wire form of one exported instrument.
+type jsonSample struct {
+	Metric string     `json:"metric"`
+	Kind   SampleKind `json:"kind"`
+	Count  uint64     `json:"count,omitempty"`
+	Sum    int64      `json:"sum,omitempty"`
+	Max    int64      `json:"max,omitempty"`
+}
+
+// WriteJSON renders the snapshot as a JSON array sorted by key.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	out := make([]jsonSample, 0, len(s))
+	for _, k := range s.Keys() {
+		v := s[k]
+		out = append(out, jsonSample{Metric: k.String(), Kind: v.Kind, Count: v.Count, Sum: v.Sum, Max: v.Max})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

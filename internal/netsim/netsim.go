@@ -18,10 +18,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"siterecovery/internal/clock"
+	"siterecovery/internal/obs"
 	"siterecovery/internal/proto"
 )
 
@@ -42,6 +44,8 @@ type Config struct {
 	// Seed seeds the latency/loss randomness. Zero means a fixed default,
 	// keeping runs reproducible unless the caller opts out.
 	Seed int64
+	// Obs receives drop/partition events and metrics; nil is a no-op sink.
+	Obs *obs.Hub
 }
 
 func (c Config) withDefaults() Config {
@@ -119,7 +123,6 @@ func (n *Network) SetDown(site proto.SiteID, down bool) {
 // group. Call Heal to reconnect.
 func (n *Network) Partition(groups ...[]proto.SiteID) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	for _, nd := range n.nodes {
 		nd.group = len(groups) + 1 // implicit leftover group
 	}
@@ -130,15 +133,32 @@ func (n *Network) Partition(groups ...[]proto.SiteID) {
 			}
 		}
 	}
+	n.mu.Unlock()
+	n.cfg.Obs.Partitioned(groupString(groups))
 }
 
 // Heal removes all partitions.
 func (n *Network) Heal() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	for _, nd := range n.nodes {
 		nd.group = 0
 	}
+	n.mu.Unlock()
+	n.cfg.Obs.Healed()
+}
+
+// groupString renders partition groups deterministically ("[1 2]|[3]").
+func groupString(groups [][]proto.SiteID) string {
+	parts := make([]string, len(groups))
+	for i, g := range groups {
+		ids := make([]int, len(g))
+		for j, s := range g {
+			ids[j] = int(s)
+		}
+		sort.Ints(ids)
+		parts[i] = fmt.Sprint(ids)
+	}
+	return strings.Join(parts, "|")
 }
 
 // IsDown reports whether the site is marked down.
@@ -202,6 +222,7 @@ func (n *Network) deliver(ctx context.Context, from, to proto.SiteID, kind strin
 	}
 	if n.lost() {
 		n.bump(kind, func(s *Stat) { s.Dropped++ })
+		n.cfg.Obs.MsgDropped(from, to, kind)
 		return nil, proto.ErrDropped
 	}
 	if err := n.sleep(ctx); err != nil {
@@ -229,6 +250,7 @@ func (n *Network) deliver(ctx context.Context, from, to proto.SiteID, kind strin
 func (n *Network) replyPath(ctx context.Context, from, to proto.SiteID, kind string) error {
 	if n.lost() {
 		n.bump(kind, func(s *Stat) { s.Dropped++ })
+		n.cfg.Obs.MsgDropped(to, from, kind)
 		return proto.ErrDropped
 	}
 	if err := n.sleep(ctx); err != nil {

@@ -1,0 +1,15 @@
+package obs
+
+import "sync/atomic"
+
+// defaultHub is the process-wide hub consulted by components whose Config
+// left Obs nil. It starts unset, so observability stays a zero-cost no-op
+// until a caller opts in with SetDefault.
+var defaultHub atomic.Pointer[Hub]
+
+// Default returns the process-wide hub, or nil when none was installed.
+func Default() *Hub { return defaultHub.Load() }
+
+// SetDefault installs h as the process-wide hub picked up by clusters built
+// after this call. Pass nil to uninstall.
+func SetDefault(h *Hub) { defaultHub.Store(h) }

@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"siterecovery/internal/clock"
+	"siterecovery/internal/metrics"
+	"siterecovery/internal/proto"
+)
+
+// Options tunes a Hub.
+type Options struct {
+	// Clock stamps events; defaults to the wall clock. Pass the cluster's
+	// clock so virtual-time runs trace in virtual time.
+	Clock clock.Clock
+	// TraceCapacity bounds the event ring; DefaultTraceCapacity if zero.
+	TraceCapacity int
+	// Registry receives the metric side of every emit; a fresh one is
+	// created if nil.
+	Registry *metrics.Registry
+}
+
+// Hub is the sink the protocol layers emit into: every emit both appends a
+// typed event to the tracer and bumps the corresponding registry
+// instrument. A nil *Hub is a valid no-op sink — every method checks the
+// receiver first and allocates nothing on that path, so hot paths can emit
+// unconditionally.
+type Hub struct {
+	clk clock.Clock
+	reg *metrics.Registry
+	tr  *Tracer
+}
+
+// NewHub returns a hub.
+func NewHub(opts Options) *Hub {
+	if opts.Clock == nil {
+		opts.Clock = clock.New()
+	}
+	if opts.Registry == nil {
+		opts.Registry = metrics.NewRegistry()
+	}
+	return &Hub{
+		clk: opts.Clock,
+		reg: opts.Registry,
+		tr:  NewTracer(opts.TraceCapacity),
+	}
+}
+
+// Registry returns the metric registry (nil on a nil hub).
+func (h *Hub) Registry() *metrics.Registry {
+	if h == nil {
+		return nil
+	}
+	return h.reg
+}
+
+// Tracer returns the event tracer (nil on a nil hub).
+func (h *Hub) Tracer() *Tracer {
+	if h == nil {
+		return nil
+	}
+	return h.tr
+}
+
+// Snapshot reads the registry (nil snapshot on a nil hub).
+func (h *Hub) Snapshot() metrics.Snapshot {
+	if h == nil {
+		return nil
+	}
+	return h.reg.Snapshot()
+}
+
+// emit stamps and appends one event.
+func (h *Hub) emit(e Event) {
+	e.At = h.clk.Now()
+	h.tr.Append(e)
+}
+
+// AbortReason classifies err into a short deterministic label for traces
+// and metrics ("session-mismatch", "site-down", ...). It is exported so
+// commands can annotate their own narration consistently.
+func AbortReason(err error) string {
+	switch {
+	case err == nil:
+		return "none"
+	case errors.Is(err, proto.ErrSessionMismatch):
+		return "session-mismatch"
+	case errors.Is(err, proto.ErrNotOperational):
+		return "not-operational"
+	case errors.Is(err, proto.ErrSiteDown):
+		return "site-down"
+	case errors.Is(err, proto.ErrDropped):
+		return "dropped"
+	case errors.Is(err, proto.ErrUnreadable):
+		return "unreadable"
+	case errors.Is(err, proto.ErrLockTimeout):
+		return "lock-timeout"
+	case errors.Is(err, proto.ErrWounded):
+		return "wounded"
+	case errors.Is(err, proto.ErrTxnAborted):
+		return "vote-no"
+	case errors.Is(err, proto.ErrNoQuorum):
+		return "no-quorum"
+	case errors.Is(err, proto.ErrUnavailable):
+		return "unavailable"
+	case errors.Is(err, proto.ErrTotalFailure):
+		return "total-failure"
+	case errors.Is(err, proto.ErrAbortRequested):
+		return "requested"
+	default:
+		return "other"
+	}
+}
+
+// TxnBegin records one transaction attempt starting.
+func (h *Hub) TxnBegin(site proto.SiteID, id proto.TxnID, class proto.TxnClass, attempt int) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "txn", "begin."+class.String()).Inc()
+	h.emit(Event{Type: EvTxnBegin, Site: site, Txn: id, Class: class, Attempt: attempt})
+}
+
+// TxnCommit records a committed attempt; attempt is the 1-based attempt
+// that succeeded, observed into the per-site attempts histogram.
+func (h *Hub) TxnCommit(site proto.SiteID, id proto.TxnID, class proto.TxnClass, attempt int) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "txn", "commit."+class.String()).Inc()
+	h.reg.IntHist(int(site), "txn", "attempts").Observe(int64(attempt))
+	h.emit(Event{Type: EvTxnCommit, Site: site, Txn: id, Class: class, Attempt: attempt})
+}
+
+// TxnAbort records an aborted attempt with its cause.
+func (h *Hub) TxnAbort(site proto.SiteID, id proto.TxnID, class proto.TxnClass, attempt int, err error) {
+	if h == nil {
+		return
+	}
+	reason := AbortReason(err)
+	h.reg.Counter(int(site), "txn", "abort."+reason).Inc()
+	h.emit(Event{Type: EvTxnAbort, Site: site, Txn: id, Class: class, Attempt: attempt, Detail: reason})
+}
+
+// TxnGiveUp records a retry loop exhausting its attempts.
+func (h *Hub) TxnGiveUp(site proto.SiteID, class proto.TxnClass, attempts int) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "txn", "giveup").Inc()
+	h.emit(Event{Type: EvTxnGiveUp, Site: site, Class: class, Attempt: attempts})
+}
+
+// SessionMismatch records a DM rejecting a request whose carried session
+// number did not match the actual one.
+func (h *Hub) SessionMismatch(site proto.SiteID, id proto.TxnID, carried, actual proto.Session) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "dm", "session_mismatch").Inc()
+	h.emit(Event{Type: EvSessionMismatch, Site: site, Txn: id, Expect: carried, Actual: actual})
+}
+
+// NotOperational records a DM rejecting a session-checked request while
+// recovering (as[k] = 0).
+func (h *Hub) NotOperational(site proto.SiteID, id proto.TxnID) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "dm", "not_operational").Inc()
+	h.emit(Event{Type: EvNotOperational, Site: site, Txn: id})
+}
+
+// SiteDownObserved records a TM observing a physical operation fail with
+// ErrSiteDown; observed is the session number its view held for the target.
+func (h *Hub) SiteDownObserved(observer, target proto.SiteID, observed proto.Session) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(observer), "txn", "site_down_observed").Inc()
+	h.emit(Event{Type: EvSiteDownObserved, Site: observer, Peer: target, Expect: observed})
+}
+
+// Control1 records a committed type-1 control transaction with the new
+// session number.
+func (h *Hub) Control1(site proto.SiteID, session proto.Session) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "session", "type1_committed").Inc()
+	h.emit(Event{Type: EvControl1, Site: site, Actual: session})
+}
+
+// Control1Fail records a failed type-1 attempt.
+func (h *Hub) Control1Fail(site proto.SiteID, err error) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "session", "type1_failed").Inc()
+	h.emit(Event{Type: EvControl1Fail, Site: site, Detail: AbortReason(err)})
+}
+
+// Control2 records a committed type-2 control transaction claiming the
+// listed sites down.
+func (h *Hub) Control2(site proto.SiteID, claimed []proto.SiteID) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "session", "type2_committed").Inc()
+	h.emit(Event{Type: EvControl2, Site: site, Detail: siteList(claimed)})
+}
+
+// Control2Skip records a type-2 claim found stale.
+func (h *Hub) Control2Skip(site proto.SiteID) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "session", "type2_skipped").Inc()
+	h.emit(Event{Type: EvControl2Skip, Site: site})
+}
+
+// Control2Fail records a failed type-2 attempt.
+func (h *Hub) Control2Fail(site proto.SiteID, err error) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "session", "type2_failed").Inc()
+	h.emit(Event{Type: EvControl2Fail, Site: site, Detail: AbortReason(err)})
+}
+
+// RecoveryStart records the §3.4 procedure beginning at site.
+func (h *Hub) RecoveryStart(site proto.SiteID) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "recovery", "started").Inc()
+	h.emit(Event{Type: EvRecoveryStart, Site: site})
+}
+
+// RecoveryDone records the site becoming operational under session with
+// marked copies left for the copiers.
+func (h *Hub) RecoveryDone(site proto.SiteID, session proto.Session, marked int) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "recovery", "completed").Inc()
+	h.reg.Counter(int(site), "recovery", "marked").Add(uint64(marked))
+	h.emit(Event{Type: EvRecoveryDone, Site: site, Actual: session, Attempt: marked})
+}
+
+// CopierCopy records a copier transferring item's data from source.
+func (h *Hub) CopierCopy(site proto.SiteID, item proto.Item, source proto.SiteID) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "copier", "data_copy").Inc()
+	h.emit(Event{Type: EvCopierCopy, Site: site, Item: item, Peer: source})
+}
+
+// CopierSkip records a copier clearing item's mark by version comparison.
+func (h *Hub) CopierSkip(site proto.SiteID, item proto.Item, source proto.SiteID) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "copier", "version_skip").Inc()
+	h.emit(Event{Type: EvCopierSkip, Site: site, Item: item, Peer: source})
+}
+
+// CopierTotalFailure records an item with no readable copy anywhere.
+func (h *Hub) CopierTotalFailure(site proto.SiteID, item proto.Item) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "copier", "total_failure").Inc()
+	h.emit(Event{Type: EvCopierTotalFailure, Site: site, Item: item})
+}
+
+// MsgDropped records the network losing a message of the given kind.
+func (h *Hub) MsgDropped(from, to proto.SiteID, kind string) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(0, "net", "dropped").Inc()
+	h.emit(Event{Type: EvMsgDropped, Site: from, Peer: to, Detail: kind})
+}
+
+// Partitioned records the network splitting into groups.
+func (h *Hub) Partitioned(detail string) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(0, "net", "partitions").Inc()
+	h.emit(Event{Type: EvPartition, Detail: detail})
+}
+
+// Healed records all partitions being removed.
+func (h *Hub) Healed() {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(0, "net", "heals").Inc()
+	h.emit(Event{Type: EvHeal})
+}
+
+// siteList renders sites compactly and deterministically ("2,5").
+func siteList(sites []proto.SiteID) string {
+	sorted := append([]proto.SiteID(nil), sites...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	parts := make([]string, len(sorted))
+	for i, s := range sorted {
+		parts[i] = fmt.Sprintf("%d", int(s))
+	}
+	return strings.Join(parts, ",")
+}

@@ -29,6 +29,7 @@ import (
 	"siterecovery/internal/dm"
 	"siterecovery/internal/history"
 	"siterecovery/internal/netsim"
+	"siterecovery/internal/obs"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/replication"
 	"siterecovery/internal/session"
@@ -119,6 +120,8 @@ type Config struct {
 	// installs to a synthetic copier transaction in the history.
 	Recorder *history.Recorder
 	Seq      *txn.Sequencer
+	// Obs receives protocol events and metrics; nil is a no-op sink.
+	Obs *obs.Hub
 	Identify
 	CopierMode CopierMode
 	// CopierWorkers sizes the copier pool. Defaults to 2.
@@ -157,7 +160,10 @@ type Manager struct {
 
 	queue chan proto.Item
 	stop  chan struct{}
-	wg    sync.WaitGroup
+	// cancel aborts the context all in-flight copier transactions run
+	// under, so Stop interrupts a blocked copyOne promptly.
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 }
 
 // New returns a recovery manager.
@@ -178,22 +184,29 @@ func (m *Manager) Start() {
 		return
 	}
 	m.stop = make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	m.cancel = cancel
 	for range m.cfg.CopierWorkers {
 		m.wg.Add(1)
-		go m.copierLoop(m.stop)
+		go m.copierLoop(ctx, m.stop)
 	}
 }
 
-// Stop shuts the copier pool down and waits for it.
+// Stop shuts the copier pool down and waits for it. Canceling the pool
+// context interrupts an in-flight copyOne instead of letting it run out its
+// own timeout.
 func (m *Manager) Stop() {
 	m.mu.Lock()
-	stop := m.stop
-	m.stop = nil
+	stop, cancel := m.stop, m.cancel
+	m.stop, m.cancel = nil, nil
 	m.mu.Unlock()
 	if stop == nil {
 		return
 	}
 	close(stop)
+	if cancel != nil {
+		cancel()
+	}
 	m.wg.Wait()
 }
 
@@ -230,6 +243,7 @@ func (m *Manager) RequestCopy(item proto.Item) {
 func (m *Manager) Recover(ctx context.Context) (Report, error) {
 	start := m.cfg.Clock.Now()
 	report := Report{}
+	m.cfg.Obs.RecoveryStart(m.cfg.Site)
 
 	// Step 2a: resolve in-doubt 2PC state from the stable log. Committed
 	// or unresolved outcomes imply the local copies of the transaction's
@@ -262,6 +276,7 @@ func (m *Manager) Recover(ctx context.Context) (Report, error) {
 	m.mu.Lock()
 	m.stats.Recoveries++
 	m.mu.Unlock()
+	m.cfg.Obs.RecoveryDone(m.cfg.Site, sn, marked)
 
 	// Step 5: data recovery proceeds concurrently with user transactions.
 	if m.cfg.CopierMode == CopierEager {
@@ -412,12 +427,15 @@ func (m *Manager) WaitCurrent(ctx context.Context) error {
 	}
 }
 
-func (m *Manager) copierLoop(stop <-chan struct{}) {
+func (m *Manager) copierLoop(poolCtx context.Context, stop <-chan struct{}) {
 	defer m.wg.Done()
 	for {
 		select {
 		case item := <-m.queue:
-			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			// Derive from the pool's lifetime so Stop cancels an
+			// in-flight copyOne promptly; the timeout stays as a bound
+			// on any single refresh.
+			ctx, cancel := context.WithTimeout(poolCtx, 30*time.Second)
 			err := m.copyOne(ctx, item)
 			cancel()
 			m.mu.Lock()
@@ -427,6 +445,7 @@ func (m *Manager) copierLoop(stop <-chan struct{}) {
 				m.mu.Lock()
 				m.stats.TotallyFailed++
 				m.mu.Unlock()
+				m.cfg.Obs.CopierTotalFailure(m.cfg.Site, item)
 			}
 		case <-stop:
 			return
@@ -440,8 +459,9 @@ func (m *Manager) copierLoop(stop <-chan struct{}) {
 // the original writer's version.
 func (m *Manager) copyOne(ctx context.Context, item proto.Item) error {
 	var transferred, skipped bool
+	var copySource proto.SiteID
 	err := m.cfg.TM.RunClass(ctx, proto.ClassCopier, func(ctx context.Context, tx *txn.Tx) error {
-		transferred, skipped = false, false
+		transferred, skipped, copySource = false, false, 0
 		if err := tx.LockLocalExclusive(ctx, item); err != nil {
 			return err
 		}
@@ -480,11 +500,11 @@ func (m *Manager) copyOne(ctx context.Context, item proto.Item) error {
 				// §5: compare version numbers first; the copy is current,
 				// so clear the mark without transferring data.
 				tx.BufferLocalRefresh(item, localVal, localVer)
-				skipped = true
+				skipped, copySource = true, source
 				return nil
 			}
 			tx.BufferLocalRefresh(item, v, ver)
-			transferred = true
+			transferred, copySource = true, source
 			return nil
 		}
 		if lastErr != nil {
@@ -507,5 +527,11 @@ func (m *Manager) copyOne(ctx context.Context, item proto.Item) error {
 		m.stats.VersionSkips++
 	}
 	m.mu.Unlock()
+	if transferred {
+		m.cfg.Obs.CopierCopy(m.cfg.Site, item, copySource)
+	}
+	if skipped {
+		m.cfg.Obs.CopierSkip(m.cfg.Site, item, copySource)
+	}
 	return nil
 }

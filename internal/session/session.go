@@ -30,6 +30,7 @@ import (
 	"siterecovery/internal/clock"
 	"siterecovery/internal/dm"
 	"siterecovery/internal/netsim"
+	"siterecovery/internal/obs"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/replication"
 	"siterecovery/internal/txn"
@@ -52,6 +53,8 @@ type Config struct {
 	Net     *netsim.Network
 	Catalog *replication.Catalog
 	Clock   clock.Clock
+	// Obs receives protocol events and metrics; nil is a no-op sink.
+	Obs *obs.Hub
 	// Debounce suppresses repeated type-2 claims for the same site within
 	// the window. Defaults to 50ms.
 	Debounce time.Duration
@@ -218,9 +221,11 @@ func (m *Manager) ClaimDownMany(ctx context.Context, claims map[proto.SiteID]pro
 	defer m.mu.Unlock()
 	if err != nil {
 		m.stats.Type2Failed++
+		m.cfg.Obs.Control2Fail(m.cfg.Site, err)
 		return fmt.Errorf("type-2 claim for %v: %w", claimed(claims), err)
 	}
 	m.stats.Type2Committed++
+	m.cfg.Obs.Control2(m.cfg.Site, claimed(claims))
 	return nil
 }
 
@@ -263,6 +268,7 @@ func (m *Manager) claimDownBody(ctx context.Context, tx *txn.Tx, claims map[prot
 		m.mu.Lock()
 		m.stats.Type2Skipped++
 		m.mu.Unlock()
+		m.cfg.Obs.Control2Skip(m.cfg.Site)
 		return nil // stale claim; empty transaction commits trivially
 	}
 
@@ -305,12 +311,14 @@ func (m *Manager) ClaimUp(ctx context.Context) (proto.Session, error) {
 			m.mu.Lock()
 			m.stats.Type1Committed++
 			m.mu.Unlock()
+			m.cfg.Obs.Control1(m.cfg.Site, sn)
 			return sn, nil
 		}
 		lastErr = err
 		m.mu.Lock()
 		m.stats.Type1Failed++
 		m.mu.Unlock()
+		m.cfg.Obs.Control1Fail(m.cfg.Site, err)
 		if failed.site != 0 {
 			// §3.4 step 4: exclude the newly crashed site, then retry.
 			_ = m.ClaimDown(ctx, failed.site, failed.observed)

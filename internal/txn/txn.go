@@ -30,6 +30,7 @@ import (
 	"siterecovery/internal/dm"
 	"siterecovery/internal/history"
 	"siterecovery/internal/netsim"
+	"siterecovery/internal/obs"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/replication"
 	"siterecovery/internal/wal"
@@ -95,6 +96,8 @@ type Config struct {
 	Recorder *history.Recorder
 	Seq      *Sequencer
 	Clock    clock.Clock
+	// Obs receives protocol events and metrics; nil is a no-op sink.
+	Obs *obs.Hub
 	// MaxAttempts bounds Run's retry loop. Defaults to 12.
 	MaxAttempts int
 	// RetryBackoff is the base backoff between attempts (exponential with
@@ -195,7 +198,7 @@ func (m *Manager) RunClass(ctx context.Context, class proto.TxnClass, body func(
 			m.backoff(ctx, attempt)
 		}
 
-		tx, err := m.begin(ctx, class)
+		tx, err := m.begin(ctx, class, attempt+1)
 		if err != nil {
 			lastErr = err
 			if !proto.Retryable(err) {
@@ -210,6 +213,7 @@ func (m *Manager) RunClass(ctx context.Context, class proto.TxnClass, body func(
 				m.mu.Lock()
 				m.stats.Committed++
 				m.mu.Unlock()
+				m.cfg.Obs.TxnCommit(m.cfg.Site, tx.meta.ID, class, attempt+1)
 				return nil
 			}
 		} else {
@@ -218,6 +222,7 @@ func (m *Manager) RunClass(ctx context.Context, class proto.TxnClass, body func(
 		m.mu.Lock()
 		m.stats.Aborted++
 		m.mu.Unlock()
+		m.cfg.Obs.TxnAbort(m.cfg.Site, tx.meta.ID, class, attempt+1, err)
 		lastErr = err
 		if errors.Is(err, proto.ErrAbortRequested) || !proto.Retryable(err) {
 			break
@@ -226,6 +231,7 @@ func (m *Manager) RunClass(ctx context.Context, class proto.TxnClass, body func(
 	m.mu.Lock()
 	m.stats.GaveUp++
 	m.mu.Unlock()
+	m.cfg.Obs.TxnGiveUp(m.cfg.Site, class, m.cfg.MaxAttempts)
 	if lastErr == nil {
 		lastErr = ctx.Err()
 	}
@@ -250,7 +256,7 @@ func (m *Manager) backoff(ctx context.Context, attempt int) {
 // begin starts one attempt: allocates the ID, registers it, and (for user
 // and copier transactions under a session-vector profile) performs the
 // implicit read of the local nominal session vector.
-func (m *Manager) begin(ctx context.Context, class proto.TxnClass) (*Tx, error) {
+func (m *Manager) begin(ctx context.Context, class proto.TxnClass, attempt int) (*Tx, error) {
 	id := m.cfg.Seq.NextTxn()
 	meta := proto.TxnMeta{ID: id, Class: class, Origin: m.cfg.Site}
 	if m.cfg.Recorder != nil {
@@ -259,6 +265,7 @@ func (m *Manager) begin(ctx context.Context, class proto.TxnClass) (*Tx, error) 
 	m.mu.Lock()
 	m.active[id] = true
 	m.mu.Unlock()
+	m.cfg.Obs.TxnBegin(m.cfg.Site, id, class, attempt)
 
 	tx := &Tx{
 		m:         m,
@@ -275,6 +282,7 @@ func (m *Manager) begin(ctx context.Context, class proto.TxnClass) (*Tx, error) 
 	if needsView {
 		if err := tx.readSessionVector(ctx); err != nil {
 			tx.Abort(ctx)
+			m.cfg.Obs.TxnAbort(m.cfg.Site, id, class, attempt, err)
 			return nil, err
 		}
 	}
@@ -292,7 +300,7 @@ func (m *Manager) send(ctx context.Context, to proto.SiteID, msg proto.Message) 
 }
 
 func (m *Manager) noteSiteDown(err error, site proto.SiteID, observed proto.Session) {
-	if !errors.Is(err, proto.ErrSiteDown) || m.cb.OnSiteDown == nil {
+	if !errors.Is(err, proto.ErrSiteDown) {
 		return
 	}
 	// A dead process observes nothing: when this site itself has crashed,
@@ -303,7 +311,10 @@ func (m *Manager) noteSiteDown(err error, site proto.SiteID, observed proto.Sess
 	if !m.cfg.Local.Alive() {
 		return
 	}
-	m.cb.OnSiteDown(site, observed)
+	m.cfg.Obs.SiteDownObserved(m.cfg.Site, site, observed)
+	if m.cb.OnSiteDown != nil {
+		m.cb.OnSiteDown(site, observed)
+	}
 }
 
 func (m *Manager) release(id proto.TxnID) {
