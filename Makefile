@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench
+.PHONY: all build test race lint bench trace
 
 all: lint build test
 
@@ -20,6 +20,14 @@ lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needs to be run on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping (CI runs it)"; fi
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Mirrors the trace-artifacts CI job: export the deterministic scripted
+# scenario and derive the offline report.
+trace:
+	$(GO) run ./cmd/srsim -trace -metrics -export trace.jsonl
+	$(GO) run ./cmd/srtrace trace.jsonl

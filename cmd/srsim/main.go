@@ -10,8 +10,19 @@
 //
 // With -trace and/or -metrics, srsim instead runs a deterministic scripted
 // crash/partition/recovery scenario and dumps the observability hub — the
-// event trace and the per-site metrics table — at exit. That output is
-// byte-identical across runs at the same seed.
+// event trace and/or the per-site metrics table — at exit. The scripted
+// scenario stamps events from a logical step clock, so that output (JSONL
+// timestamps included) is byte-identical across runs at the same seed;
+// pipe the export through srtrace for availability windows and latency
+// percentiles.
+//
+// With -http addr, srsim serves live introspection while the interactive
+// workload runs: /metrics (Prometheus text), /trace?n=K (recent events),
+// and /sites (per-site session status).
+//
+// -export FILE streams every event of whichever mode runs to FILE as JSONL
+// — deterministic under the scripted scenario (-trace/-metrics), wall-clock
+// stamped under the interactive workload.
 package main
 
 import (
@@ -25,6 +36,9 @@ import (
 	"time"
 
 	"siterecovery/internal/core"
+	"siterecovery/internal/obs"
+	"siterecovery/internal/obs/export"
+	"siterecovery/internal/obshttp"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/recovery"
 	"siterecovery/internal/replication"
@@ -65,13 +79,15 @@ func main() {
 		recovers = flag.String("recover", "", "comma-separated recover events site@offset")
 		trace    = flag.Bool("trace", false, "run the deterministic scenario and dump the event trace")
 		metrics  = flag.Bool("metrics", false, "run the deterministic scenario and dump the metrics table")
+		export   = flag.String("export", "", "stream every traced event to this JSONL file (follows the selected mode)")
+		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /trace, /sites) on this address during the interactive run")
 	)
 	flag.Parse()
 	var err error
-	if *trace || *metrics {
-		err = runObserve(*sites, *items, *degree, *seed, *identify, *metrics, *trace)
+	if *httpAddr == "" && (*trace || *metrics) {
+		err = runObserve(*sites, *items, *degree, *seed, *identify, *metrics, *trace, *export)
 	} else {
-		err = run(*sites, *items, *degree, *clients, *duration, *profile, *identify, *spooler, *seed, *crashes, *recovers)
+		err = run(*sites, *items, *degree, *clients, *duration, *profile, *identify, *spooler, *seed, *crashes, *recovers, *httpAddr, *export)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "srsim:", err)
@@ -95,7 +111,7 @@ func identifyByName(name string) (recovery.Identify, error) {
 	}
 }
 
-func run(sites, items, degree, clients int, duration time.Duration, profileName, identifyName string, spool bool, seed int64, crashes, recovers string) error {
+func run(sites, items, degree, clients int, duration time.Duration, profileName, identifyName string, spool bool, seed int64, crashes, recovers, httpAddr, exportPath string) error {
 	prof, err := replication.ProfileByName(profileName)
 	if err != nil {
 		return err
@@ -107,6 +123,26 @@ func run(sites, items, degree, clients int, duration time.Duration, profileName,
 	method := core.MethodCopiers
 	if spool {
 		method = core.MethodSpooler
+	}
+
+	// Observability: only pay for the hub when someone is looking at it.
+	var hub *obs.Hub
+	var sink *export.JSONL
+	if httpAddr != "" || exportPath != "" {
+		var sinks []obs.Sink
+		if exportPath != "" {
+			sink, err = export.Create(exportPath)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if cerr := sink.Close(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "srsim: export:", cerr)
+				}
+			}()
+			sinks = append(sinks, sink)
+		}
+		hub = obs.NewHub(obs.Options{Sinks: sinks})
 	}
 
 	var schedule eventFlags
@@ -129,12 +165,22 @@ func run(sites, items, degree, clients int, duration time.Duration, profileName,
 		Identify:  ident,
 		Method:    method,
 		Seed:      seed,
+		Obs:       hub,
 	})
 	if err != nil {
 		return err
 	}
 	cluster.Start()
 	defer cluster.Stop()
+
+	if httpAddr != "" {
+		srv, err := obshttp.Start(httpAddr, obshttp.Config{Hub: hub, Sites: siteStatus(cluster)})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("introspection: http://%s/ (metrics, trace, sites)\n", srv.Addr())
+	}
 
 	fmt.Printf("cluster: %d sites, %d items, %d-way replication, profile=%s, identify=%s, method=%v\n",
 		sites, items, degree, prof.Name, ident, method)
@@ -230,6 +276,23 @@ func run(sites, items, degree, clients int, duration time.Duration, profileName,
 type driverResult struct {
 	res workload.Result
 	err error
+}
+
+// siteStatus adapts a cluster to the introspection server's /sites feed.
+func siteStatus(cluster *core.Cluster) func() []obshttp.SiteStatus {
+	return func() []obshttp.SiteStatus {
+		out := make([]obshttp.SiteStatus, 0, len(cluster.Sites()))
+		for _, id := range cluster.Sites() {
+			s := cluster.Site(id)
+			out = append(out, obshttp.SiteStatus{
+				Site:        int(id),
+				Up:          s.Up(),
+				Operational: s.Operational(),
+				Session:     uint64(s.DM.Session()),
+			})
+		}
+		return out
+	}
 }
 
 func splitNonEmpty(s string) []string {

@@ -7,8 +7,10 @@ import (
 	"os"
 	"time"
 
+	"siterecovery/internal/clock"
 	"siterecovery/internal/core"
 	"siterecovery/internal/obs"
+	"siterecovery/internal/obs/export"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/txn"
 	"siterecovery/internal/workload"
@@ -19,8 +21,12 @@ import (
 // hub at the end. With zero network latency, no background detector or
 // janitor, and a single copier worker, every protocol message happens in a
 // fixed order, so the trace and the metrics table are byte-identical across
-// runs at the same seed — which is what makes them diffable in CI.
-func runObserve(sites, items, degree int, seed int64, identifyName string, showMetrics, showTrace bool) error {
+// runs at the same seed — which is what makes them diffable in CI. The hub
+// stamps events from a logical step clock (one tick per event), so even the
+// timestamps, the latency histograms they feed, and the JSONL export are
+// deterministic; durations in that trace count protocol events, not wall
+// time.
+func runObserve(sites, items, degree int, seed int64, identifyName string, showMetrics, showTrace bool, exportPath string) error {
 	if sites < 3 {
 		return fmt.Errorf("observability demo needs at least 3 sites (have %d)", sites)
 	}
@@ -32,7 +38,24 @@ func runObserve(sites, items, degree int, seed int64, identifyName string, showM
 		return err
 	}
 
-	hub := obs.NewHub(obs.Options{})
+	var sinks []obs.Sink
+	var sink *export.JSONL
+	if exportPath != "" {
+		sink, err = export.Create(exportPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := sink.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "srsim: export:", cerr)
+			}
+		}()
+		sinks = append(sinks, sink)
+	}
+	hub := obs.NewHub(obs.Options{
+		Clock: clock.NewStep(time.Unix(0, 0).UTC(), time.Millisecond),
+		Sinks: sinks,
+	})
 	cluster, err := core.New(core.Config{
 		Sites:           sites,
 		Placement:       workload.UniformPlacement(items, degree, sites, seed),
@@ -185,9 +208,17 @@ func runObserve(sites, items, degree int, seed int64, identifyName string, showM
 	if showTrace {
 		tr := hub.Tracer()
 		fmt.Printf("\n--- trace (%d events) ---\n", tr.Len())
-		if err := tr.WriteText(os.Stdout, obs.TextOptions{}); err != nil {
+		// Step-clock offsets are deterministic, so the timed rendering is
+		// still byte-stable across runs.
+		if err := tr.WriteText(os.Stdout, obs.TextOptions{Times: true}); err != nil {
 			return err
 		}
+	}
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("\nexported %d events to %s\n", sink.Count(), exportPath)
 	}
 	return nil
 }

@@ -1,0 +1,377 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"siterecovery/internal/obs"
+	"siterecovery/internal/proto"
+)
+
+// LatencyStats summarizes a duration sample set with exact nearest-rank
+// percentiles (unlike the live registry's bucketed upper bounds, the
+// offline analysis holds every sample).
+type LatencyStats struct {
+	Count  int   `json:"count"`
+	P50NS  int64 `json:"p50_ns"`
+	P95NS  int64 `json:"p95_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	MaxNS  int64 `json:"max_ns"`
+	MeanNS int64 `json:"mean_ns"`
+}
+
+// latencyStats computes nearest-rank percentiles over samples.
+func latencyStats(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(q float64) int64 {
+		r := int(math.Ceil(q * float64(len(sorted))))
+		if r < 1 {
+			r = 1
+		}
+		return int64(sorted[r-1])
+	}
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return LatencyStats{
+		Count:  len(sorted),
+		P50NS:  rank(0.50),
+		P95NS:  rank(0.95),
+		P99NS:  rank(0.99),
+		MaxNS:  int64(sorted[len(sorted)-1]),
+		MeanNS: int64(sum) / int64(len(sorted)),
+	}
+}
+
+// SiteReport is one site's availability window: the fraction of the trace's
+// span the site was nominally up (up at trace start, down from EvSiteCrash,
+// up again from EvRecoveryDone).
+type SiteReport struct {
+	Site         int     `json:"site"`
+	Crashes      int     `json:"crashes"`
+	Recoveries   int     `json:"recoveries"`
+	UpNS         int64   `json:"up_ns"`
+	Availability float64 `json:"availability"`
+}
+
+// AbortReport counts one abort reason.
+type AbortReport struct {
+	Reason string `json:"reason"`
+	Count  int    `json:"count"`
+}
+
+// TxnReport aggregates the transaction lifecycle events.
+type TxnReport struct {
+	Begun         int           `json:"begun"`
+	Committed     int           `json:"committed"`
+	Aborted       int           `json:"aborted"`
+	GiveUps       int           `json:"giveups"`
+	AbortRate     float64       `json:"abort_rate"`
+	CommitLatency LatencyStats  `json:"commit_latency"`
+	AbortLatency  LatencyStats  `json:"abort_latency"`
+	Aborts        []AbortReport `json:"aborts"`
+}
+
+// RecoveryReport aggregates §3.4 recovery runs.
+type RecoveryReport struct {
+	Started   int          `json:"started"`
+	Completed int          `json:"completed"`
+	Marked    int          `json:"marked_copies"`
+	Latency   LatencyStats `json:"latency"`
+}
+
+// CopierReport aggregates the background refresh traffic.
+type CopierReport struct {
+	Copies        int     `json:"copies"`
+	Skips         int     `json:"skips"`
+	TotalFailures int     `json:"total_failures"`
+	WindowNS      int64   `json:"window_ns"`
+	CopiesPerSec  float64 `json:"copies_per_sec"`
+}
+
+// SessionReport aggregates session-number traffic: control transactions and
+// the stale requests the session checks rejected. Each mismatch is
+// attributed to the most recent committed control transaction before it.
+type SessionReport struct {
+	Mismatches          int     `json:"mismatches"`
+	NotOperational      int     `json:"not_operational"`
+	Type1               int     `json:"type1_committed"`
+	Type1Failed         int     `json:"type1_failed"`
+	Type2               int     `json:"type2_committed"`
+	Type2Skipped        int     `json:"type2_skipped"`
+	Type2Failed         int     `json:"type2_failed"`
+	MismatchAfterType1  int     `json:"mismatch_after_type1"`
+	MismatchAfterType2  int     `json:"mismatch_after_type2"`
+	MismatchBeforeAny   int     `json:"mismatch_before_any_control"`
+	MismatchPerControl  float64 `json:"mismatch_per_control"`
+	SiteDownObservation int     `json:"site_down_observed"`
+}
+
+// NetReport aggregates the network-fault events.
+type NetReport struct {
+	Dropped    int `json:"dropped"`
+	Partitions int `json:"partitions"`
+	Heals      int `json:"heals"`
+}
+
+// Analysis is everything srtrace derives from one exported trace.
+type Analysis struct {
+	Events   int            `json:"events"`
+	SpanNS   int64          `json:"span_ns"`
+	Sites    []SiteReport   `json:"sites"`
+	Txns     TxnReport      `json:"txns"`
+	Recovery RecoveryReport `json:"recovery"`
+	Copiers  CopierReport   `json:"copiers"`
+	Session  SessionReport  `json:"session"`
+	Net      NetReport      `json:"net"`
+}
+
+// Analyze derives the paper's evaluation metrics from an exported event
+// stream. Events must be in emit order (as written by the JSONL exporter);
+// all derived quantities are deterministic functions of the input.
+func Analyze(events []obs.Event) *Analysis {
+	a := &Analysis{Events: len(events)}
+	if len(events) == 0 {
+		return a
+	}
+	start, end := events[0].At, events[len(events)-1].At
+	a.SpanNS = end.Sub(start).Nanoseconds()
+
+	type siteState struct {
+		up                  bool
+		since               time.Time
+		upTotal             time.Duration
+		crashes, recoveries int
+	}
+	sites := map[proto.SiteID]*siteState{}
+	site := func(id proto.SiteID) *siteState {
+		s, ok := sites[id]
+		if !ok {
+			// Every site is nominally up when the trace opens: the cluster
+			// models an already-running system.
+			s = &siteState{up: true, since: start}
+			sites[id] = s
+		}
+		return s
+	}
+
+	spans := map[[2]uint64]time.Time{} // (site, txn) -> begin
+	recStart := map[proto.SiteID]time.Time{}
+	var recLat, commitLat, abortLat []time.Duration
+	aborts := map[string]int{}
+	var copierFirst, copierLast time.Time
+	lastControl := 0 // 0 none, 1 type-1, 2 type-2
+
+	for _, e := range events {
+		if e.Site != 0 {
+			site(e.Site)
+		}
+		if e.Peer != 0 {
+			site(e.Peer)
+		}
+		switch e.Type {
+		case obs.EvTxnBegin:
+			a.Txns.Begun++
+			spans[[2]uint64{uint64(e.Site), uint64(e.Txn)}] = e.At
+		case obs.EvTxnCommit:
+			a.Txns.Committed++
+			k := [2]uint64{uint64(e.Site), uint64(e.Txn)}
+			if begin, ok := spans[k]; ok {
+				commitLat = append(commitLat, e.At.Sub(begin))
+				delete(spans, k)
+			}
+		case obs.EvTxnAbort:
+			a.Txns.Aborted++
+			aborts[e.Detail]++
+			k := [2]uint64{uint64(e.Site), uint64(e.Txn)}
+			if begin, ok := spans[k]; ok {
+				abortLat = append(abortLat, e.At.Sub(begin))
+				delete(spans, k)
+			}
+		case obs.EvTxnGiveUp:
+			a.Txns.GiveUps++
+		case obs.EvSiteCrash:
+			s := site(e.Site)
+			s.crashes++
+			if s.up {
+				s.upTotal += e.At.Sub(s.since)
+				s.up = false
+			}
+		case obs.EvRecoveryStart:
+			recStart[e.Site] = e.At
+		case obs.EvRecoveryDone:
+			a.Recovery.Completed++
+			a.Recovery.Marked += e.Attempt
+			if begin, ok := recStart[e.Site]; ok {
+				recLat = append(recLat, e.At.Sub(begin))
+				delete(recStart, e.Site)
+			}
+			s := site(e.Site)
+			s.recoveries++
+			if !s.up {
+				s.up = true
+				s.since = e.At
+			}
+		case obs.EvCopierCopy, obs.EvCopierSkip, obs.EvCopierTotalFailure:
+			if copierFirst.IsZero() {
+				copierFirst = e.At
+			}
+			copierLast = e.At
+			switch e.Type {
+			case obs.EvCopierCopy:
+				a.Copiers.Copies++
+			case obs.EvCopierSkip:
+				a.Copiers.Skips++
+			case obs.EvCopierTotalFailure:
+				a.Copiers.TotalFailures++
+			}
+		case obs.EvSessionMismatch:
+			a.Session.Mismatches++
+			switch lastControl {
+			case 1:
+				a.Session.MismatchAfterType1++
+			case 2:
+				a.Session.MismatchAfterType2++
+			default:
+				a.Session.MismatchBeforeAny++
+			}
+		case obs.EvNotOperational:
+			a.Session.NotOperational++
+		case obs.EvSiteDownObserved:
+			a.Session.SiteDownObservation++
+		case obs.EvControl1:
+			a.Session.Type1++
+			lastControl = 1
+		case obs.EvControl1Fail:
+			a.Session.Type1Failed++
+		case obs.EvControl2:
+			a.Session.Type2++
+			lastControl = 2
+		case obs.EvControl2Skip:
+			a.Session.Type2Skipped++
+		case obs.EvControl2Fail:
+			a.Session.Type2Failed++
+		case obs.EvMsgDropped:
+			a.Net.Dropped++
+		case obs.EvPartition:
+			a.Net.Partitions++
+		case obs.EvHeal:
+			a.Net.Heals++
+		}
+	}
+	a.Recovery.Started = a.Recovery.Completed + len(recStart)
+
+	// Close the books: accumulate the final up-interval of each site.
+	ids := make([]proto.SiteID, 0, len(sites))
+	for id := range sites {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s := sites[id]
+		if s.up {
+			s.upTotal += end.Sub(s.since)
+		}
+		avail := 1.0
+		if a.SpanNS > 0 {
+			avail = float64(s.upTotal.Nanoseconds()) / float64(a.SpanNS)
+		}
+		a.Sites = append(a.Sites, SiteReport{
+			Site:         int(id),
+			Crashes:      s.crashes,
+			Recoveries:   s.recoveries,
+			UpNS:         s.upTotal.Nanoseconds(),
+			Availability: avail,
+		})
+	}
+
+	if n := a.Txns.Committed + a.Txns.Aborted; n > 0 {
+		a.Txns.AbortRate = float64(a.Txns.Aborted) / float64(n)
+	}
+	a.Txns.CommitLatency = latencyStats(commitLat)
+	a.Txns.AbortLatency = latencyStats(abortLat)
+	reasons := make([]string, 0, len(aborts))
+	for r := range aborts {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		a.Txns.Aborts = append(a.Txns.Aborts, AbortReport{Reason: r, Count: aborts[r]})
+	}
+
+	a.Recovery.Latency = latencyStats(recLat)
+
+	if !copierFirst.IsZero() {
+		a.Copiers.WindowNS = copierLast.Sub(copierFirst).Nanoseconds()
+		if a.Copiers.WindowNS > 0 {
+			a.Copiers.CopiesPerSec = float64(a.Copiers.Copies) / (float64(a.Copiers.WindowNS) / float64(time.Second))
+		}
+	}
+
+	if controls := a.Session.Type1 + a.Session.Type2; controls > 0 {
+		a.Session.MismatchPerControl = float64(a.Session.Mismatches) / float64(controls)
+	}
+	return a
+}
+
+// dur renders nanoseconds as a duration string.
+func dur(ns int64) string { return time.Duration(ns).String() }
+
+// lat renders one LatencyStats line.
+func lat(s LatencyStats) string {
+	if s.Count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d p50=%s p95=%s p99=%s max=%s mean=%s",
+		s.Count, dur(s.P50NS), dur(s.P95NS), dur(s.P99NS), dur(s.MaxNS), dur(s.MeanNS))
+}
+
+// WriteText renders the analysis as a deterministic human-readable report.
+func (a *Analysis) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events over %s\n", a.Events, dur(a.SpanNS))
+
+	b.WriteString("\navailability (fraction of trace span nominally up):\n")
+	if len(a.Sites) == 0 {
+		b.WriteString("  no sites observed\n")
+	}
+	for _, s := range a.Sites {
+		fmt.Fprintf(&b, "  site%-3d up=%-14s avail=%.4f crashes=%d recoveries=%d\n",
+			s.Site, dur(s.UpNS), s.Availability, s.Crashes, s.Recoveries)
+	}
+
+	fmt.Fprintf(&b, "\nrecovery (start -> operational):\n  runs: started=%d completed=%d marked-copies=%d\n  latency: %s\n",
+		a.Recovery.Started, a.Recovery.Completed, a.Recovery.Marked, lat(a.Recovery.Latency))
+
+	fmt.Fprintf(&b, "\ncopier refresh:\n  copies=%d skips=%d total-failures=%d window=%s rate=%.2f copies/s\n",
+		a.Copiers.Copies, a.Copiers.Skips, a.Copiers.TotalFailures, dur(a.Copiers.WindowNS), a.Copiers.CopiesPerSec)
+
+	fmt.Fprintf(&b, "\ntransactions:\n  begun=%d committed=%d aborted=%d giveups=%d abort-rate=%.4f\n",
+		a.Txns.Begun, a.Txns.Committed, a.Txns.Aborted, a.Txns.GiveUps, a.Txns.AbortRate)
+	fmt.Fprintf(&b, "  commit latency: %s\n  abort latency:  %s\n", lat(a.Txns.CommitLatency), lat(a.Txns.AbortLatency))
+	for _, ab := range a.Txns.Aborts {
+		fmt.Fprintf(&b, "  abort[%s]=%d\n", ab.Reason, ab.Count)
+	}
+
+	fmt.Fprintf(&b, "\nsession checks:\n  mismatches=%d (after-type1=%d after-type2=%d before-any=%d) not-operational=%d site-down-observed=%d\n",
+		a.Session.Mismatches, a.Session.MismatchAfterType1, a.Session.MismatchAfterType2,
+		a.Session.MismatchBeforeAny, a.Session.NotOperational, a.Session.SiteDownObservation)
+	fmt.Fprintf(&b, "  control txns: type1=%d (failed=%d) type2=%d (skipped=%d failed=%d) mismatch/control=%.4f\n",
+		a.Session.Type1, a.Session.Type1Failed, a.Session.Type2,
+		a.Session.Type2Skipped, a.Session.Type2Failed, a.Session.MismatchPerControl)
+
+	fmt.Fprintf(&b, "\nnetwork: dropped=%d partitions=%d heals=%d\n",
+		a.Net.Dropped, a.Net.Partitions, a.Net.Heals)
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"siterecovery/internal/obs"
+)
+
+func at(ms int64) time.Time { return time.Unix(0, ms*int64(time.Millisecond)).UTC() }
+
+// timeline is a hand-built 10ms trace with one crash/recovery cycle on
+// site2, one commit and one abort on site1, a type-1 control followed by a
+// session mismatch, and two copier copies 1ms apart.
+func timeline() []obs.Event {
+	evs := []obs.Event{
+		{Type: obs.EvTxnBegin, Site: 1, Txn: 1},
+		{Type: obs.EvTxnCommit, Site: 1, Txn: 1}, // 1ms commit latency
+		{Type: obs.EvSiteCrash, Site: 2},         // site2 down at 2ms
+		{Type: obs.EvTxnBegin, Site: 1, Txn: 2},
+		{Type: obs.EvTxnAbort, Site: 1, Txn: 2, Detail: "site-down"},
+		{Type: obs.EvControl1, Site: 1, Actual: 2},
+		{Type: obs.EvSessionMismatch, Site: 1, Txn: 3, Expect: 1, Actual: 2},
+		{Type: obs.EvRecoveryStart, Site: 2}, // 7ms
+		{Type: obs.EvCopierCopy, Site: 2, Item: "x", Peer: 1},
+		{Type: obs.EvCopierCopy, Site: 2, Item: "y", Peer: 1},
+		{Type: obs.EvRecoveryDone, Site: 2, Attempt: 5}, // 10ms: 3ms latency
+	}
+	for i := range evs {
+		evs[i].Seq = uint64(i)
+		evs[i].At = at(int64(i))
+	}
+	return evs
+}
+
+func TestAnalyzeTimeline(t *testing.T) {
+	a := Analyze(timeline())
+
+	if a.Events != 11 || a.SpanNS != 10*int64(time.Millisecond) {
+		t.Fatalf("events=%d span=%s", a.Events, dur(a.SpanNS))
+	}
+
+	// Site1 never crashes: up the whole span. Site2 is up for the first 2ms
+	// and again at the final instant, so 2ms of a 10ms span = 0.2.
+	if len(a.Sites) != 2 {
+		t.Fatalf("sites = %+v", a.Sites)
+	}
+	s1, s2 := a.Sites[0], a.Sites[1]
+	if s1.Site != 1 || s1.Availability != 1.0 || s1.Crashes != 0 {
+		t.Errorf("site1 report %+v", s1)
+	}
+	if s2.Site != 2 || s2.Crashes != 1 || s2.Recoveries != 1 {
+		t.Errorf("site2 report %+v", s2)
+	}
+	if math.Abs(s2.Availability-0.2) > 1e-9 {
+		t.Errorf("site2 availability = %v, want 0.2", s2.Availability)
+	}
+
+	if a.Txns.Begun != 2 || a.Txns.Committed != 1 || a.Txns.Aborted != 1 {
+		t.Errorf("txns %+v", a.Txns)
+	}
+	if a.Txns.AbortRate != 0.5 {
+		t.Errorf("abort rate = %v, want 0.5", a.Txns.AbortRate)
+	}
+	if got := a.Txns.CommitLatency; got.Count != 1 || got.P50NS != int64(time.Millisecond) {
+		t.Errorf("commit latency %+v, want one 1ms sample", got)
+	}
+	if len(a.Txns.Aborts) != 1 || a.Txns.Aborts[0] != (AbortReport{Reason: "site-down", Count: 1}) {
+		t.Errorf("abort breakdown %+v", a.Txns.Aborts)
+	}
+
+	if a.Recovery.Started != 1 || a.Recovery.Completed != 1 || a.Recovery.Marked != 5 {
+		t.Errorf("recovery %+v", a.Recovery)
+	}
+	if a.Recovery.Latency.P50NS != 3*int64(time.Millisecond) {
+		t.Errorf("recovery latency = %s, want 3ms", dur(a.Recovery.Latency.P50NS))
+	}
+
+	if a.Copiers.Copies != 2 || a.Copiers.WindowNS != int64(time.Millisecond) {
+		t.Errorf("copiers %+v", a.Copiers)
+	}
+	if math.Abs(a.Copiers.CopiesPerSec-2000) > 1e-9 {
+		t.Errorf("copier rate = %v, want 2000/s", a.Copiers.CopiesPerSec)
+	}
+
+	// The mismatch arrived after the committed type-1 control.
+	if a.Session.Mismatches != 1 || a.Session.MismatchAfterType1 != 1 || a.Session.MismatchBeforeAny != 0 {
+		t.Errorf("session %+v", a.Session)
+	}
+	if a.Session.Type1 != 1 || a.Session.MismatchPerControl != 1.0 {
+		t.Errorf("session controls %+v", a.Session)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if a.Events != 0 || len(a.Sites) != 0 {
+		t.Fatalf("empty analysis %+v", a)
+	}
+	var b bytes.Buffer
+	if err := a.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b.Bytes(), []byte("no sites observed")) {
+		t.Errorf("empty report:\n%s", b.String())
+	}
+}
+
+// TestAnalyzeUnmatchedRecovery covers a trace that ends mid-recovery: the
+// run counts as started but yields no latency sample, and the site stays
+// down to the end of the span.
+func TestAnalyzeUnmatchedRecovery(t *testing.T) {
+	evs := []obs.Event{
+		{Type: obs.EvSiteCrash, Site: 3},
+		{Type: obs.EvRecoveryStart, Site: 3},
+		{Type: obs.EvMsgDropped, Site: 3, Peer: 1, Detail: "read"},
+	}
+	for i := range evs {
+		evs[i].Seq = uint64(i)
+		evs[i].At = at(int64(i))
+	}
+	a := Analyze(evs)
+	if a.Recovery.Started != 1 || a.Recovery.Completed != 0 || a.Recovery.Latency.Count != 0 {
+		t.Errorf("recovery %+v", a.Recovery)
+	}
+	if len(a.Sites) != 2 { // site3 and the observed peer site1
+		t.Fatalf("sites %+v", a.Sites)
+	}
+	if s3 := a.Sites[1]; s3.Site != 3 || s3.Availability != 0 {
+		t.Errorf("site3 %+v, want 0 availability after an unrecovered crash", s3)
+	}
+	if a.Net.Dropped != 1 {
+		t.Errorf("net %+v", a.Net)
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	if got := latencyStats(nil); got != (LatencyStats{}) {
+		t.Errorf("empty samples gave %+v", got)
+	}
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Microsecond // 1..100µs
+	}
+	got := latencyStats(samples)
+	want := LatencyStats{
+		Count:  100,
+		P50NS:  50 * int64(time.Microsecond),
+		P95NS:  95 * int64(time.Microsecond),
+		P99NS:  99 * int64(time.Microsecond),
+		MaxNS:  100 * int64(time.Microsecond),
+		MeanNS: 50_500, // mean of 1..100µs
+	}
+	if got != want {
+		t.Errorf("latencyStats = %+v, want %+v", got, want)
+	}
+	// The input must not be reordered: latencyStats sorts a copy.
+	if samples[0] != time.Microsecond {
+		t.Error("latencyStats mutated its input")
+	}
+}
+
+// TestAnalysisDeterminism requires identical text and JSON renderings for
+// repeated analyses of the same trace.
+func TestAnalysisDeterminism(t *testing.T) {
+	render := func() (string, string) {
+		a := Analyze(timeline())
+		var txt bytes.Buffer
+		if err := a.WriteText(&txt); err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return txt.String(), string(js)
+	}
+	t1, j1 := render()
+	t2, j2 := render()
+	if t1 != t2 {
+		t.Error("text reports differ across runs")
+	}
+	if j1 != j2 {
+		t.Error("JSON reports differ across runs")
+	}
+}

@@ -45,6 +45,66 @@ func (Real) Sleep(d time.Duration) { time.Sleep(d) }
 // Since implements Clock.
 func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
 
+// Step is a logical clock for deterministic traces: every Now advances the
+// clock by a fixed tick before returning it, so a strictly ordered sequence
+// of observations gets strictly increasing, reproducible timestamps that
+// depend only on how many observations preceded them — never on the
+// scheduler or the wall clock. Durations measured between two Step
+// timestamps count observations, which makes them byte-stable across runs
+// of a deterministic scenario.
+//
+// Step is meant for stamping (an obs.Hub's Options.Clock); it is a poor
+// clock to *wait* on — After and Sleep jump time forward by d and return
+// immediately, so a goroutine polling it will spin rather than park.
+type Step struct {
+	mu   sync.Mutex
+	now  time.Time
+	tick time.Duration
+}
+
+var _ Clock = (*Step)(nil)
+
+// NewStep returns a step clock starting at start, advancing by tick per Now
+// (time.Millisecond if tick is non-positive).
+func NewStep(start time.Time, tick time.Duration) *Step {
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	return &Step{now: start, tick: tick}
+}
+
+// Now implements Clock: it advances the clock by one tick and returns it.
+func (s *Step) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = s.now.Add(s.tick)
+	return s.now
+}
+
+// After implements Clock: it jumps the clock forward by d and fires
+// immediately.
+func (s *Step) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	s.mu.Lock()
+	if d > 0 {
+		s.now = s.now.Add(d)
+	}
+	ch <- s.now
+	s.mu.Unlock()
+	return ch
+}
+
+// Sleep implements Clock: it jumps the clock forward by d without blocking.
+func (s *Step) Sleep(d time.Duration) { <-s.After(d) }
+
+// Since implements Clock. It reads the clock without advancing it, so
+// measuring a span does not perturb it.
+func (s *Step) Since(t time.Time) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now.Sub(t)
+}
+
 // Virtual is a manually advanced clock for deterministic tests.
 // The zero value is not usable; construct with NewVirtual.
 type Virtual struct {

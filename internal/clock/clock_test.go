@@ -122,3 +122,53 @@ func TestVirtualSleepBlocksUntilAdvance(t *testing.T) {
 		t.Fatal("Sleep did not return after Advance")
 	}
 }
+
+func TestStepAdvancesPerNow(t *testing.T) {
+	s := NewStep(time.Unix(0, 0), time.Millisecond)
+	first := s.Now()
+	second := s.Now()
+	if got := first.Sub(time.Unix(0, 0)); got != time.Millisecond {
+		t.Errorf("first Now at +%v, want +1ms", got)
+	}
+	if got := second.Sub(first); got != time.Millisecond {
+		t.Errorf("Now advanced by %v, want 1ms", got)
+	}
+	// Since must read without advancing: two spans measured back to back
+	// over the same mark agree.
+	if a, b := s.Since(first), s.Since(first); a != b {
+		t.Errorf("Since perturbed the clock: %v then %v", a, b)
+	}
+}
+
+func TestStepDeterministicSequence(t *testing.T) {
+	run := func() []time.Time {
+		s := NewStep(time.Unix(0, 0), time.Millisecond)
+		out := make([]time.Time, 5)
+		for i := range out {
+			out[i] = s.Now()
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStepAfterFiresImmediately(t *testing.T) {
+	s := NewStep(time.Unix(0, 0), time.Millisecond)
+	select {
+	case at := <-s.After(time.Second):
+		if got := at.Sub(time.Unix(0, 0)); got != time.Second {
+			t.Errorf("After fired at +%v, want +1s", got)
+		}
+	default:
+		t.Fatal("After must fire immediately on a step clock")
+	}
+	s.Sleep(time.Second) // must not block
+	if got := s.Since(time.Unix(0, 0)); got != 2*time.Second {
+		t.Errorf("clock at +%v after two 1s jumps, want +2s", got)
+	}
+}

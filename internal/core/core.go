@@ -505,6 +505,7 @@ func (c *Cluster) Crash(id proto.SiteID) {
 	s.up = false
 	s.mu.Unlock()
 
+	c.cfg.Obs.SiteCrash(id)
 	c.net.SetDown(id, true)
 	c.stopWorkers(s)
 	s.DM.Crash()

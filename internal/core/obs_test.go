@@ -64,6 +64,7 @@ func TestObservabilityThroughCrashRecover(t *testing.T) {
 	for _, want := range []obs.EventType{
 		obs.EvTxnBegin,
 		obs.EvTxnCommit,
+		obs.EvSiteCrash,
 		obs.EvSiteDownObserved,
 		obs.EvControl2,
 		obs.EvRecoveryStart,

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -91,11 +93,77 @@ func (h *IntHist) Observe(v int64) {
 	}
 }
 
+// intBucketUpper returns the inclusive upper bound of bucket i.
+func intBucketUpper(i int) int64 {
+	if i == 0 {
+		return 1
+	}
+	return int64(1)<<uint(i+1) - 1
+}
+
 // Count reports the number of samples.
 func (h *IntHist) Count() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.count
+}
+
+// Quantile reports an upper bound for the q-quantile (0 < q <= 1) from the
+// bucket boundaries, or 0 with no samples. Like everything else about
+// IntHist it is deterministic whenever the inputs are.
+func (h *IntHist) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *IntHist) quantileLocked(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= target {
+			if i == numBuckets-1 {
+				// The overflow bucket has no meaningful upper bound; the
+				// observed max is the tighter answer.
+				return h.max
+			}
+			if upper := intBucketUpper(i); upper < h.max {
+				return upper
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// merge folds other's samples into h.
+func (h *IntHist) merge(other *IntHist) {
+	other.mu.Lock()
+	buckets, count, sum, max := other.buckets, other.count, other.sum, other.max
+	other.mu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, n := range buckets {
+		h.buckets[i] += n
+	}
+	h.count += count
+	h.sum += sum
+	if max > h.max {
+		h.max = max
+	}
 }
 
 // Sum reports the total of all samples.
@@ -170,6 +238,25 @@ func (r *Registry) IntHist(site int, subsystem, name string) *IntHist {
 	return h
 }
 
+// MergedIntHist folds every site's histogram named subsystem/name into one
+// detached histogram, so cluster-wide percentiles can be read off per-site
+// instruments without the emitters aggregating twice.
+func (r *Registry) MergedIntHist(subsystem, name string) *IntHist {
+	r.mu.Lock()
+	matched := make([]*IntHist, 0, 8)
+	for k, h := range r.hists {
+		if k.Subsystem == subsystem && k.Name == name {
+			matched = append(matched, h)
+		}
+	}
+	r.mu.Unlock()
+	out := &IntHist{}
+	for _, h := range matched {
+		out.merge(h)
+	}
+	return out
+}
+
 // SampleKind tags what a Sample was read from.
 type SampleKind string
 
@@ -181,12 +268,18 @@ const (
 )
 
 // Sample is one instrument's state at snapshot time. Counters use Count;
-// gauges use Sum (the level); histograms use Count, Sum, and Max.
+// gauges use Sum (the level); histograms use Count, Sum, Max, and the
+// bucket-bound percentiles P50/P95/P99.
 type Sample struct {
 	Kind  SampleKind
 	Count uint64
 	Sum   int64
 	Max   int64
+	// P50, P95, and P99 are bucket-upper-bound quantiles for histograms
+	// (zero for other kinds). Like Max they are levels, not deltas: Diff
+	// keeps the current value because quantiles of a difference cannot be
+	// derived from two summaries.
+	P50, P95, P99 int64
 }
 
 // Snapshot is a point-in-time copy of a registry's instruments.
@@ -204,7 +297,12 @@ func (r *Registry) Snapshot() Snapshot {
 		out[k] = Sample{Kind: KindGauge, Sum: g.Value()}
 	}
 	for k, h := range r.hists {
-		out[k] = Sample{Kind: KindHist, Count: h.Count(), Sum: h.Sum(), Max: h.Max()}
+		h.mu.Lock()
+		out[k] = Sample{
+			Kind: KindHist, Count: h.count, Sum: h.sum, Max: h.max,
+			P50: h.quantileLocked(0.50), P95: h.quantileLocked(0.95), P99: h.quantileLocked(0.99),
+		}
+		h.mu.Unlock()
 	}
 	return out
 }
@@ -264,7 +362,8 @@ func (s Snapshot) WriteText(w io.Writer) error {
 			if v.Count > 0 {
 				mean = fmt.Sprintf("%.2f", float64(v.Sum)/float64(v.Count))
 			}
-			val = fmt.Sprintf("count=%d sum=%d max=%d mean=%s", v.Count, v.Sum, v.Max, mean)
+			val = fmt.Sprintf("count=%d sum=%d max=%d mean=%s p50=%d p95=%d p99=%d",
+				v.Count, v.Sum, v.Max, mean, v.P50, v.P95, v.P99)
 		}
 		if _, err := fmt.Fprintf(w, "%-*s  %-7s  %s\n", width, k, v.Kind, val); err != nil {
 			return err
@@ -280,6 +379,9 @@ type jsonSample struct {
 	Count  uint64     `json:"count,omitempty"`
 	Sum    int64      `json:"sum,omitempty"`
 	Max    int64      `json:"max,omitempty"`
+	P50    int64      `json:"p50,omitempty"`
+	P95    int64      `json:"p95,omitempty"`
+	P99    int64      `json:"p99,omitempty"`
 }
 
 // WriteJSON renders the snapshot as a JSON array sorted by key.
@@ -287,9 +389,106 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	out := make([]jsonSample, 0, len(s))
 	for _, k := range s.Keys() {
 		v := s[k]
-		out = append(out, jsonSample{Metric: k.String(), Kind: v.Kind, Count: v.Count, Sum: v.Sum, Max: v.Max})
+		out = append(out, jsonSample{
+			Metric: k.String(), Kind: v.Kind, Count: v.Count, Sum: v.Sum, Max: v.Max,
+			P50: v.P50, P95: v.P95, P99: v.P99,
+		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// promName sanitizes one key segment for a Prometheus metric name: every
+// run of characters outside [a-zA-Z0-9_] collapses to a single underscore.
+func promName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	lastUnderscore := false
+	for _, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		if r == '_' && lastUnderscore {
+			continue
+		}
+		lastUnderscore = r == '_'
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promFamily names the exposition family for a key: "sr_<subsystem>_<name>"
+// with a "_total" suffix for counters, per the Prometheus conventions.
+func promFamily(k Key, kind SampleKind) string {
+	name := "sr_" + promName(k.Subsystem) + "_" + promName(k.Name)
+	if kind == KindCounter {
+		return name + "_total"
+	}
+	return name
+}
+
+// promSite renders the site label value ("cluster" for site 0).
+func promSite(site int) string {
+	if site == 0 {
+		return "cluster"
+	}
+	return fmt.Sprintf("%d", site)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples labeled by
+// site, histograms as summaries with p50/p95/p99 quantile samples plus
+// _sum/_count/_max series. Families are sorted by name and sites within a
+// family by id, so equal snapshots render byte-identically.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	// Group keys into exposition families; distinct subsystem/name pairs
+	// that sanitize to the same family share one TYPE header.
+	type entry struct {
+		key Key
+		v   Sample
+	}
+	families := make(map[string][]entry)
+	kinds := make(map[string]SampleKind)
+	for k, v := range s {
+		fam := promFamily(k, v.Kind)
+		families[fam] = append(families[fam], entry{k, v})
+		kinds[fam] = v.Kind
+	}
+	names := make([]string, 0, len(families))
+	for fam := range families {
+		names = append(names, fam)
+	}
+	sort.Strings(names)
+
+	for _, fam := range names {
+		entries := families[fam]
+		sort.Slice(entries, func(i, j int) bool { return entries[i].key.less(entries[j].key) })
+		kind := kinds[fam]
+		promKind := map[SampleKind]string{KindCounter: "counter", KindGauge: "gauge", KindHist: "summary"}[kind]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, promKind); err != nil {
+			return err
+		}
+		for _, e := range entries {
+			site := promSite(e.key.Site)
+			var err error
+			switch kind {
+			case KindCounter:
+				_, err = fmt.Fprintf(w, "%s{site=%q} %d\n", fam, site, e.v.Count)
+			case KindGauge:
+				_, err = fmt.Fprintf(w, "%s{site=%q} %d\n", fam, site, e.v.Sum)
+			case KindHist:
+				// A summary family admits only quantile samples plus _sum
+				// and _count; the observed max has no legal series here.
+				_, err = fmt.Fprintf(w, "%s{site=%q,quantile=\"0.5\"} %d\n%s{site=%q,quantile=\"0.95\"} %d\n%s{site=%q,quantile=\"0.99\"} %d\n%s_sum{site=%q} %d\n%s_count{site=%q} %d\n",
+					fam, site, e.v.P50, fam, site, e.v.P95, fam, site, e.v.P99,
+					fam, site, e.v.Sum, fam, site, e.v.Count)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

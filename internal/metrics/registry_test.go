@@ -159,3 +159,126 @@ func TestSnapshotWriteJSON(t *testing.T) {
 		t.Errorf("entry 1 = %+v", got[1])
 	}
 }
+
+func TestIntHistQuantile(t *testing.T) {
+	h := &IntHist{}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty hist p50 = %d, want 0", got)
+	}
+	// 100 samples of 1, one of 1000: p50 sits in the {0,1} bucket, p99+
+	// reaches the outlier's bucket, capped at the observed max.
+	for i := 0; i < 100; i++ {
+		h.Observe(1)
+	}
+	h.Observe(1000)
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("p50 = %d, want 1", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("p100 = %d, want the observed max 1000", got)
+	}
+	if got := h.Quantile(0.995); got != 1000 {
+		t.Errorf("p99.5 = %d, want capped at max 1000", got)
+	}
+}
+
+func TestMergedIntHist(t *testing.T) {
+	r := NewRegistry()
+	r.IntHist(1, "txn", "commit_latency_us").Observe(10)
+	r.IntHist(2, "txn", "commit_latency_us").Observe(20)
+	r.IntHist(2, "txn", "commit_latency_us").Observe(400)
+	r.IntHist(1, "txn", "attempts").Observe(999) // different name: excluded
+
+	m := r.MergedIntHist("txn", "commit_latency_us")
+	if got := m.Count(); got != 3 {
+		t.Fatalf("merged count = %d, want 3", got)
+	}
+	if got := m.Sum(); got != 430 {
+		t.Errorf("merged sum = %d, want 430", got)
+	}
+	if got := m.Max(); got != 400 {
+		t.Errorf("merged max = %d, want 400", got)
+	}
+	if got := m.Quantile(0.5); got > 31 {
+		t.Errorf("merged p50 = %d, want a small-bucket bound", got)
+	}
+}
+
+func TestSnapshotHistPercentiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.IntHist(1, "txn", "commit_latency_us")
+	for i := 0; i < 99; i++ {
+		h.Observe(8)
+	}
+	h.Observe(5000)
+	s := r.Snapshot()[Key{Site: 1, Subsystem: "txn", Name: "commit_latency_us"}]
+	if s.P50 == 0 || s.P50 > 15 {
+		t.Errorf("P50 = %d, want the 8-sample bucket bound", s.P50)
+	}
+	if s.P99 != s.P50 {
+		t.Errorf("P99 = %d, want %d (99 of 100 samples are 8)", s.P99, s.P50)
+	}
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "p50=") || !strings.Contains(b.String(), "p99=") {
+		t.Errorf("WriteText lacks percentiles:\n%s", b.String())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(1, "txn", "commit.user").Add(3)
+	r.Counter(2, "txn", "commit.user").Add(5)
+	r.Counter(0, "net", "dropped").Inc()
+	r.Gauge(1, "copier", "queue").Set(7)
+	r.IntHist(1, "txn", "attempts").Observe(2)
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sr_txn_commit_user_total counter\n" +
+			"sr_txn_commit_user_total{site=\"1\"} 3\n" +
+			"sr_txn_commit_user_total{site=\"2\"} 5\n",
+		"sr_net_dropped_total{site=\"cluster\"} 1\n",
+		"# TYPE sr_copier_queue gauge\nsr_copier_queue{site=\"1\"} 7\n",
+		"# TYPE sr_txn_attempts summary\n",
+		"sr_txn_attempts_count{site=\"1\"} 1\n",
+		"sr_txn_attempts_sum{site=\"1\"} 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family, even with several sites.
+	if got := strings.Count(out, "# TYPE sr_txn_commit_user_total"); got != 1 {
+		t.Errorf("family header appears %d times, want 1", got)
+	}
+
+	var b2 strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("repeated exposition of the same state differs")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"commit.user":     "commit_user",
+		"abort.site-down": "abort_site_down",
+		"already_ok":      "already_ok",
+		"a..b--c":         "a_b_c",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

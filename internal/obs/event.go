@@ -77,7 +77,32 @@ const (
 	EvPartition
 	// EvHeal: all partitions removed.
 	EvHeal
+	// EvSiteCrash: Site fail-stopped (detached from the network, volatile
+	// state lost). Paired with EvRecoveryDone it bounds the site's
+	// unavailability window, which is what the offline analysis measures.
+	EvSiteCrash
 )
+
+// EventTypes returns every defined event type in declaration order. Exports
+// and analysis tools iterate it so a newly added type cannot be silently
+// missing from their mappings (the round-trip tests walk it too).
+func EventTypes() []EventType {
+	types := make([]EventType, 0, int(EvSiteCrash))
+	for t := EvTxnBegin; t <= EvSiteCrash; t++ {
+		types = append(types, t)
+	}
+	return types
+}
+
+// ParseEventType maps an EventType's String() form back to the type.
+func ParseEventType(s string) (EventType, bool) {
+	for _, t := range EventTypes() {
+		if t.String() == s {
+			return t, true
+		}
+	}
+	return 0, false
+}
 
 // String implements fmt.Stringer.
 func (t EventType) String() string {
@@ -122,6 +147,8 @@ func (t EventType) String() string {
 		return "net.partition"
 	case EvHeal:
 		return "net.heal"
+	case EvSiteCrash:
+		return "site.crash"
 	default:
 		return fmt.Sprintf("event(%d)", int(t))
 	}

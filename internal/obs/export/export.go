@@ -1,0 +1,144 @@
+// Package export streams obs events out of a hub as JSON Lines, one event
+// per line, in emit order — the durable complement to the hub's bounded
+// ring buffer. A JSONL value plugs into obs.Options.Sinks; the Decode side
+// reads an exported stream back for offline analysis (cmd/srtrace).
+//
+// Write errors do not interrupt the traced run: the exporter latches the
+// first error, drops subsequent events, and reports the error from Flush
+// and Close, so a full disk degrades observability rather than the
+// protocol under observation.
+package export
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"siterecovery/internal/obs"
+)
+
+// JSONL is an obs.Sink writing one JSON object per event per line.
+type JSONL struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	enc *json.Encoder
+	err error
+	n   uint64
+}
+
+var _ obs.Sink = (*JSONL)(nil)
+
+// NewJSONL wraps w in a buffered JSONL exporter. The caller owns w; use
+// Flush before reading what was written.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Create opens (truncating) a JSONL export file. Close flushes and closes
+// it.
+func Create(path string) (*JSONL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("create export file: %w", err)
+	}
+	j := NewJSONL(f)
+	j.c = f
+	return j, nil
+}
+
+// Emit implements obs.Sink.
+func (j *JSONL) Emit(e obs.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	// json.Encoder.Encode appends the newline that delimits JSONL records.
+	if err := j.enc.Encode(e); err != nil {
+		j.err = err
+		return
+	}
+	j.n++
+}
+
+// Count reports how many events were successfully encoded.
+func (j *JSONL) Count() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Flush pushes buffered bytes to the underlying writer and reports the
+// first error the exporter hit, if any.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err == nil {
+		j.err = j.w.Flush()
+	} else {
+		j.w.Flush() // best-effort: keep what was encoded before the error
+	}
+	return j.err
+}
+
+// Close flushes and, when the exporter owns a file (Create), closes it.
+func (j *JSONL) Close() error {
+	err := j.Flush()
+	j.mu.Lock()
+	c := j.c
+	j.c = nil
+	j.mu.Unlock()
+	if c != nil {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Decode reads a JSONL event stream back into memory. It tolerates blank
+// lines and stops with an error naming the offending line otherwise.
+func Decode(r io.Reader) ([]obs.Event, error) {
+	var out []obs.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e obs.Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("line %d: %w", line, err)
+	}
+	return out, nil
+}
+
+// DecodeFile reads an exported trace from path ("-" means stdin).
+func DecodeFile(path string) ([]obs.Event, error) {
+	if path == "-" {
+		return Decode(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
+}

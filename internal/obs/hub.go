@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"siterecovery/internal/clock"
 	"siterecovery/internal/metrics"
@@ -21,6 +23,18 @@ type Options struct {
 	// Registry receives the metric side of every emit; a fresh one is
 	// created if nil.
 	Registry *metrics.Registry
+	// Sinks receive every stamped event as it is emitted, in emit order,
+	// after the event enters the ring. The set is fixed at construction so
+	// the fan-out loop needs no locking on the hot path.
+	Sinks []Sink
+}
+
+// Sink receives events streamed out of a Hub as they happen — the escape
+// hatch from the bounded ring for long runs. Emit is called synchronously
+// from whichever goroutine emitted, so implementations must be safe for
+// concurrent use, fast, and must not call back into the hub.
+type Sink interface {
+	Emit(Event)
 }
 
 // Hub is the sink the protocol layers emit into: every emit both appends a
@@ -29,10 +43,27 @@ type Options struct {
 // receiver first and allocates nothing on that path, so hot paths can emit
 // unconditionally.
 type Hub struct {
-	clk clock.Clock
-	reg *metrics.Registry
-	tr  *Tracer
+	clk   clock.Clock
+	reg   *metrics.Registry
+	tr    *Tracer
+	sinks []Sink
+
+	// spans tracks open transaction attempts (TxnBegin seen, outcome not
+	// yet) so commit/abort can observe the attempt's latency into the
+	// registry. Keyed per coordinating site because TxnIDs are
+	// cluster-unique but retried under the same ID.
+	spanMu sync.Mutex
+	spans  map[spanKey]time.Time
 }
+
+type spanKey struct {
+	site proto.SiteID
+	txn  proto.TxnID
+}
+
+// maxOpenSpans bounds the span table against leaks from begins that never
+// see an outcome (a crashed coordinator's in-flight attempts).
+const maxOpenSpans = 1 << 16
 
 // NewHub returns a hub.
 func NewHub(opts Options) *Hub {
@@ -43,9 +74,11 @@ func NewHub(opts Options) *Hub {
 		opts.Registry = metrics.NewRegistry()
 	}
 	return &Hub{
-		clk: opts.Clock,
-		reg: opts.Registry,
-		tr:  NewTracer(opts.TraceCapacity),
+		clk:   opts.Clock,
+		reg:   opts.Registry,
+		tr:    NewTracer(opts.TraceCapacity),
+		sinks: append([]Sink(nil), opts.Sinks...),
+		spans: make(map[spanKey]time.Time),
 	}
 }
 
@@ -73,10 +106,38 @@ func (h *Hub) Snapshot() metrics.Snapshot {
 	return h.reg.Snapshot()
 }
 
-// emit stamps and appends one event.
-func (h *Hub) emit(e Event) {
+// emit stamps and appends one event, fans it out to the sinks, and returns
+// the stamped event so span bookkeeping can reuse its timestamp.
+func (h *Hub) emit(e Event) Event {
 	e.At = h.clk.Now()
-	h.tr.Append(e)
+	e = h.tr.Append(e)
+	for _, s := range h.sinks {
+		s.Emit(e)
+	}
+	return e
+}
+
+// spanBegin opens a latency span for one transaction attempt.
+func (h *Hub) spanBegin(site proto.SiteID, id proto.TxnID, at time.Time) {
+	h.spanMu.Lock()
+	defer h.spanMu.Unlock()
+	if len(h.spans) >= maxOpenSpans {
+		return
+	}
+	h.spans[spanKey{site, id}] = at
+}
+
+// spanEnd closes the span and reports the attempt's duration.
+func (h *Hub) spanEnd(site proto.SiteID, id proto.TxnID, at time.Time) (time.Duration, bool) {
+	h.spanMu.Lock()
+	defer h.spanMu.Unlock()
+	k := spanKey{site, id}
+	begin, ok := h.spans[k]
+	if !ok {
+		return 0, false
+	}
+	delete(h.spans, k)
+	return at.Sub(begin), true
 }
 
 // AbortReason classifies err into a short deterministic label for traces
@@ -121,7 +182,8 @@ func (h *Hub) TxnBegin(site proto.SiteID, id proto.TxnID, class proto.TxnClass, 
 		return
 	}
 	h.reg.Counter(int(site), "txn", "begin."+class.String()).Inc()
-	h.emit(Event{Type: EvTxnBegin, Site: site, Txn: id, Class: class, Attempt: attempt})
+	ev := h.emit(Event{Type: EvTxnBegin, Site: site, Txn: id, Class: class, Attempt: attempt})
+	h.spanBegin(site, id, ev.At)
 }
 
 // TxnCommit records a committed attempt; attempt is the 1-based attempt
@@ -132,7 +194,10 @@ func (h *Hub) TxnCommit(site proto.SiteID, id proto.TxnID, class proto.TxnClass,
 	}
 	h.reg.Counter(int(site), "txn", "commit."+class.String()).Inc()
 	h.reg.IntHist(int(site), "txn", "attempts").Observe(int64(attempt))
-	h.emit(Event{Type: EvTxnCommit, Site: site, Txn: id, Class: class, Attempt: attempt})
+	ev := h.emit(Event{Type: EvTxnCommit, Site: site, Txn: id, Class: class, Attempt: attempt})
+	if d, ok := h.spanEnd(site, id, ev.At); ok {
+		h.reg.IntHist(int(site), "txn", "commit_latency_us").Observe(d.Microseconds())
+	}
 }
 
 // TxnAbort records an aborted attempt with its cause.
@@ -142,7 +207,10 @@ func (h *Hub) TxnAbort(site proto.SiteID, id proto.TxnID, class proto.TxnClass, 
 	}
 	reason := AbortReason(err)
 	h.reg.Counter(int(site), "txn", "abort."+reason).Inc()
-	h.emit(Event{Type: EvTxnAbort, Site: site, Txn: id, Class: class, Attempt: attempt, Detail: reason})
+	ev := h.emit(Event{Type: EvTxnAbort, Site: site, Txn: id, Class: class, Attempt: attempt, Detail: reason})
+	if d, ok := h.spanEnd(site, id, ev.At); ok {
+		h.reg.IntHist(int(site), "txn", "abort_latency_us").Observe(d.Microseconds())
+	}
 }
 
 // TxnGiveUp records a retry loop exhausting its attempts.
@@ -276,6 +344,16 @@ func (h *Hub) CopierTotalFailure(site proto.SiteID, item proto.Item) {
 	}
 	h.reg.Counter(int(site), "copier", "total_failure").Inc()
 	h.emit(Event{Type: EvCopierTotalFailure, Site: site, Item: item})
+}
+
+// SiteCrash records a site fail-stopping. Together with RecoveryDone it
+// bounds the site's unavailability window in exported traces.
+func (h *Hub) SiteCrash(site proto.SiteID) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "site", "crashes").Inc()
+	h.emit(Event{Type: EvSiteCrash, Site: site})
 }
 
 // MsgDropped records the network losing a message of the given kind.

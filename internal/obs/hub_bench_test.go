@@ -1,0 +1,95 @@
+package obs_test
+
+import (
+	"io"
+	"testing"
+
+	"siterecovery/internal/obs"
+	"siterecovery/internal/obs/export"
+	"siterecovery/internal/proto"
+)
+
+// emitOnce drives the hot-path emits one transaction attempt would.
+func emitOnce(h *obs.Hub) {
+	h.TxnBegin(1, 7, proto.ClassUser, 1)
+	h.TxnCommit(1, 7, proto.ClassUser, 1)
+}
+
+// BenchmarkEmitNoHub measures the cost every transaction pays when
+// observability is off. This path must stay allocation-free (asserted by
+// TestEmitNoHubZeroAllocs, enforced in CI by the race-free test run).
+func BenchmarkEmitNoHub(b *testing.B) {
+	var h *obs.Hub
+	b.ReportAllocs()
+	for b.Loop() {
+		emitOnce(h)
+	}
+}
+
+// BenchmarkEmitHub measures a live hub with the ring buffer only.
+func BenchmarkEmitHub(b *testing.B) {
+	h := obs.NewHub(obs.Options{})
+	b.ReportAllocs()
+	for b.Loop() {
+		emitOnce(h)
+	}
+}
+
+// BenchmarkEmitHubWithSink measures a live hub streaming every event
+// through the JSONL exporter — the full-observability configuration.
+func BenchmarkEmitHubWithSink(b *testing.B) {
+	h := obs.NewHub(obs.Options{Sinks: []obs.Sink{export.NewJSONL(io.Discard)}})
+	b.ReportAllocs()
+	for b.Loop() {
+		emitOnce(h)
+	}
+}
+
+// TestEmitNoHubZeroAllocs pins the no-hub hot path at zero allocations per
+// emit: the protocol layers call these unconditionally on every attempt.
+func TestEmitNoHubZeroAllocs(t *testing.T) {
+	var h *obs.Hub
+	err := proto.ErrSessionMismatch
+	if allocs := testing.AllocsPerRun(200, func() {
+		h.TxnBegin(1, 7, proto.ClassUser, 1)
+		h.TxnCommit(1, 7, proto.ClassUser, 1)
+		h.TxnAbort(1, 7, proto.ClassUser, 1, err)
+		h.SessionMismatch(1, 7, 1, 2)
+		h.SiteDownObserved(1, 2, 1)
+		h.SiteCrash(2)
+		h.CopierCopy(1, "x", 2)
+	}); allocs != 0 {
+		t.Errorf("nil-hub emits allocate %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSinkReceivesStampedEvents checks the fan-out contract: sinks see
+// every event, after sequencing, in emit order.
+func TestSinkReceivesStampedEvents(t *testing.T) {
+	var got []obs.Event
+	sink := sinkFunc(func(e obs.Event) { got = append(got, e) })
+	h := obs.NewHub(obs.Options{Sinks: []obs.Sink{sink}})
+
+	h.TxnBegin(1, 7, proto.ClassUser, 1)
+	h.SiteCrash(2)
+	h.TxnAbort(1, 7, proto.ClassUser, 1, proto.ErrSiteDown)
+
+	if len(got) != 3 {
+		t.Fatalf("sink saw %d events, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i) {
+			t.Errorf("event %d reached the sink with seq %d", i, e.Seq)
+		}
+		if e.At.IsZero() {
+			t.Errorf("event %d reached the sink unstamped", i)
+		}
+	}
+	if got[1].Type != obs.EvSiteCrash || got[1].Site != 2 {
+		t.Errorf("middle event = %+v, want site.crash at site2", got[1])
+	}
+}
+
+type sinkFunc func(obs.Event)
+
+func (f sinkFunc) Emit(e obs.Event) { f(e) }

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"siterecovery/internal/proto"
+)
+
+// eventJSON is the wire form of one event on a JSONL export stream. Types
+// and classes travel as their String() forms so exported traces stay
+// readable and stable even if the internal enum values shift; timestamps
+// travel as integer nanoseconds since the Unix epoch, which round-trips the
+// virtual and step clocks exactly.
+type eventJSON struct {
+	Seq     uint64 `json:"seq"`
+	AtNS    int64  `json:"at_ns"`
+	Type    string `json:"type"`
+	Site    int    `json:"site,omitempty"`
+	Peer    int    `json:"peer,omitempty"`
+	Txn     uint64 `json:"txn,omitempty"`
+	Class   string `json:"class,omitempty"`
+	Item    string `json:"item,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Expect  uint64 `json:"expect,omitempty"`
+	Actual  uint64 `json:"actual,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e Event) MarshalJSON() ([]byte, error) {
+	w := eventJSON{
+		Seq:     e.Seq,
+		Type:    e.Type.String(),
+		Site:    int(e.Site),
+		Peer:    int(e.Peer),
+		Txn:     uint64(e.Txn),
+		Item:    string(e.Item),
+		Attempt: e.Attempt,
+		Expect:  uint64(e.Expect),
+		Actual:  uint64(e.Actual),
+		Detail:  e.Detail,
+	}
+	if !e.At.IsZero() {
+		w.AtNS = e.At.UnixNano()
+	}
+	if e.Class != 0 {
+		w.Class = e.Class.String()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, inverting MarshalJSON.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var w eventJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	typ, ok := ParseEventType(w.Type)
+	if !ok {
+		return fmt.Errorf("unknown event type %q", w.Type)
+	}
+	var class proto.TxnClass
+	if w.Class != "" {
+		class, ok = proto.ParseTxnClass(w.Class)
+		if !ok {
+			return fmt.Errorf("unknown txn class %q", w.Class)
+		}
+	}
+	*e = Event{
+		Seq:     w.Seq,
+		Type:    typ,
+		Site:    proto.SiteID(w.Site),
+		Peer:    proto.SiteID(w.Peer),
+		Txn:     proto.TxnID(w.Txn),
+		Class:   class,
+		Item:    proto.Item(w.Item),
+		Attempt: w.Attempt,
+		Expect:  proto.Session(w.Expect),
+		Actual:  proto.Session(w.Actual),
+		Detail:  w.Detail,
+	}
+	if w.AtNS != 0 {
+		e.At = time.Unix(0, w.AtNS).UTC()
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"siterecovery/internal/proto"
+)
+
+// sampleEvent builds an event exercising every field relevant to t, so the
+// round-trip test sees realistic payloads per type.
+func sampleEvent(t EventType) Event {
+	e := Event{
+		Seq:  42,
+		At:   time.Unix(3, 141_592_653).UTC(),
+		Type: t,
+		Site: 2,
+	}
+	switch t {
+	case EvTxnBegin, EvTxnCommit, EvTxnAbort:
+		e.Txn, e.Class, e.Attempt = 99, proto.ClassUser, 2
+		if t == EvTxnAbort {
+			e.Detail = "session-mismatch"
+		}
+	case EvTxnGiveUp:
+		e.Class, e.Attempt = proto.ClassCopier, 3
+	case EvSessionMismatch:
+		e.Txn, e.Expect, e.Actual = 99, 1, 2
+	case EvNotOperational:
+		e.Txn = 99
+	case EvSiteDownObserved:
+		e.Peer, e.Expect = 4, 1
+	case EvControl1, EvControl1Fail:
+		e.Actual = 3
+		if t == EvControl1Fail {
+			e.Detail = "site-down"
+		}
+	case EvControl2, EvControl2Fail:
+		e.Detail = "3,5"
+	case EvRecoveryDone:
+		e.Actual, e.Attempt = 2, 17
+	case EvCopierCopy, EvCopierSkip, EvCopierTotalFailure:
+		e.Item, e.Peer = "item-9", 4
+	case EvMsgDropped:
+		e.Peer, e.Detail = 4, "read"
+	case EvPartition:
+		e.Site, e.Detail = 0, "[1]|[2,3]"
+	case EvHeal:
+		e.Site = 0
+	}
+	return e
+}
+
+// TestEventJSONRoundTrip marshals and unmarshals a representative event of
+// every defined type and requires the result to be identical.
+func TestEventJSONRoundTrip(t *testing.T) {
+	types := EventTypes()
+	if len(types) == 0 {
+		t.Fatal("EventTypes is empty")
+	}
+	for _, typ := range types {
+		in := sampleEvent(typ)
+		b, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("%v: marshal: %v", typ, err)
+		}
+		var out Event
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatalf("%v: unmarshal %s: %v", typ, b, err)
+		}
+		if !out.At.Equal(in.At) {
+			t.Errorf("%v: At round-tripped to %v, want %v", typ, out.At, in.At)
+		}
+		in.At, out.At = time.Time{}, time.Time{}
+		if in != out {
+			t.Errorf("%v: round trip mutated the event:\n in: %+v\nout: %+v\nwire: %s", typ, in, out, b)
+		}
+	}
+}
+
+// TestEventTypeStringAndParse requires every type to render a unique
+// non-placeholder name that parses back to itself.
+func TestEventTypeStringAndParse(t *testing.T) {
+	seen := map[string]EventType{}
+	for _, typ := range EventTypes() {
+		s := typ.String()
+		if strings.HasPrefix(s, "event(") {
+			t.Errorf("%d has no String case: %q", int(typ), s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("types %v and %v share the name %q", prev, typ, s)
+		}
+		seen[s] = typ
+		back, ok := ParseEventType(s)
+		if !ok || back != typ {
+			t.Errorf("ParseEventType(%q) = %v, %v; want %v, true", s, back, ok, typ)
+		}
+	}
+	if _, ok := ParseEventType("no.such.event"); ok {
+		t.Error("ParseEventType accepted an unknown name")
+	}
+}
+
+// TestEventStringEveryType requires String to mention the type name and the
+// emitting site (or "cluster") for every type — the format offline tools
+// re-render.
+func TestEventStringEveryType(t *testing.T) {
+	for _, typ := range EventTypes() {
+		e := sampleEvent(typ)
+		s := e.String()
+		if !strings.Contains(s, typ.String()) {
+			t.Errorf("%v: String %q does not name the type", typ, s)
+		}
+		if e.Site != 0 && !strings.Contains(s, e.Site.String()) {
+			t.Errorf("%v: String %q does not name site %v", typ, s, e.Site)
+		}
+		if e.Site == 0 && !strings.Contains(s, "cluster") {
+			t.Errorf("%v: String %q does not mark the event cluster-wide", typ, s)
+		}
+		if !strings.Contains(s, "#42") {
+			t.Errorf("%v: String %q does not carry the sequence number", typ, s)
+		}
+	}
+}
+
+// TestEventJSONRejectsUnknown requires decode errors for unknown type and
+// class names rather than silent zero values.
+func TestEventJSONRejectsUnknown(t *testing.T) {
+	if err := json.Unmarshal([]byte(`{"seq":1,"type":"bogus.event"}`), &Event{}); err == nil {
+		t.Error("unknown event type decoded without error")
+	}
+	if err := json.Unmarshal([]byte(`{"seq":1,"type":"txn.begin","class":"bogus"}`), &Event{}); err == nil {
+		t.Error("unknown txn class decoded without error")
+	}
+}
+
+// TestAbortReasonFullMapping pins the classification of every protocol
+// error, including wrapped forms.
+func TestAbortReasonFullMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, "none"},
+		{proto.ErrSessionMismatch, "session-mismatch"},
+		{proto.ErrNotOperational, "not-operational"},
+		{proto.ErrSiteDown, "site-down"},
+		{proto.ErrDropped, "dropped"},
+		{proto.ErrUnreadable, "unreadable"},
+		{proto.ErrLockTimeout, "lock-timeout"},
+		{proto.ErrWounded, "wounded"},
+		{proto.ErrTxnAborted, "vote-no"},
+		{proto.ErrNoQuorum, "no-quorum"},
+		{proto.ErrUnavailable, "unavailable"},
+		{proto.ErrTotalFailure, "total-failure"},
+		{proto.ErrAbortRequested, "requested"},
+		{proto.ErrUnknownTxn, "other"},
+		{fmt.Errorf("wrapped: %w", proto.ErrSiteDown), "site-down"},
+		{fmt.Errorf("plain"), "other"},
+	}
+	seen := map[string]bool{}
+	for _, c := range cases {
+		got := AbortReason(c.err)
+		if got != c.want {
+			t.Errorf("AbortReason(%v) = %q, want %q", c.err, got, c.want)
+		}
+		seen[got] = true
+	}
+	// Every label the mapping can produce must be pinned above, so a new
+	// classification cannot ship untested.
+	for _, label := range []string{
+		"none", "session-mismatch", "not-operational", "site-down", "dropped",
+		"unreadable", "lock-timeout", "wounded", "vote-no", "no-quorum",
+		"unavailable", "total-failure", "requested", "other",
+	} {
+		if !seen[label] {
+			t.Errorf("label %q is never produced by the cases above", label)
+		}
+	}
+}

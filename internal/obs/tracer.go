@@ -31,18 +31,20 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{buf: make([]Event, 0, capacity)}
 }
 
-// Append stamps e with the next sequence number and records it.
-func (t *Tracer) Append(e Event) {
+// Append stamps e with the next sequence number, records it, and returns
+// the stamped event (so callers can fan it out to sinks).
+func (t *Tracer) Append(e Event) Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	e.Seq = t.next
 	t.next++
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, e)
-		return
+		return e
 	}
 	t.buf[int(e.Seq)%cap(t.buf)] = e
 	t.dropped++
+	return e
 }
 
 // Len reports how many events are currently buffered.

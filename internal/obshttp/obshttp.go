@@ -1,0 +1,146 @@
+// Package obshttp serves live introspection over HTTP for a running
+// cluster's observability hub: Prometheus-scrapeable metrics, the recent
+// event trace, and per-site session status. It is deliberately read-only —
+// every handler renders hub state and touches nothing — so mounting it on a
+// long-running simulation cannot perturb the protocol under observation.
+//
+// Endpoints:
+//
+//	/         index listing the endpoints
+//	/metrics  Prometheus text exposition; ?format=json for the JSON snapshot
+//	/trace    recent events, newest last; ?n=K bounds the count (default
+//	          100), ?format=json for a JSON array of events
+//	/sites    JSON array of per-site status (up, operational, session)
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"siterecovery/internal/obs"
+)
+
+// SiteStatus is one site's liveness as reported by /sites.
+type SiteStatus struct {
+	Site        int    `json:"site"`
+	Up          bool   `json:"up"`
+	Operational bool   `json:"operational"`
+	Session     uint64 `json:"session"`
+}
+
+// Config wires a handler to its data sources.
+type Config struct {
+	// Hub supplies the metrics snapshot and the event trace. A nil hub
+	// serves empty (but well-formed) responses.
+	Hub *obs.Hub
+	// Sites supplies the per-site status for /sites; nil serves an empty
+	// list. It is called per request, so it should read live state.
+	Sites func() []SiteStatus
+}
+
+// defaultTraceN bounds /trace responses when the request does not say.
+const defaultTraceN = 100
+
+// Handler returns the introspection mux.
+func Handler(cfg Config) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "siterecovery live introspection\n\n"+
+			"/metrics  Prometheus text exposition (?format=json for the JSON snapshot)\n"+
+			"/trace    recent events (?n=K, ?format=json)\n"+
+			"/sites    per-site session status (JSON)\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// A nil hub yields a nil Snapshot, which both writers render as
+		// the empty (but well-formed) document.
+		snap := cfg.Hub.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = snap.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := defaultTraceN
+		if arg := r.URL.Query().Get("n"); arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 0 {
+				http.Error(w, fmt.Sprintf("bad n=%q: want a non-negative integer", arg), http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		var events []obs.Event
+		if tr := cfg.Hub.Tracer(); tr != nil {
+			events = tr.Events()
+		}
+		if len(events) > n {
+			events = events[len(events)-n:]
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if events == nil {
+				events = []obs.Event{}
+			}
+			_ = json.NewEncoder(w).Encode(events)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var start time.Time
+		if len(events) > 0 {
+			start = events[0].At
+		}
+		for _, e := range events {
+			// Event.String carries the sequence number already; prefix the
+			// offset from the first shown event.
+			fmt.Fprintf(w, "%12s  %s\n", e.At.Sub(start), e.String())
+		}
+	})
+	mux.HandleFunc("/sites", func(w http.ResponseWriter, r *http.Request) {
+		sites := []SiteStatus{}
+		if cfg.Sites != nil {
+			sites = append(sites, cfg.Sites()...)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(sites)
+	})
+	return mux
+}
+
+// Server is a running introspection listener.
+type Server struct {
+	srv  *http.Server
+	addr string
+}
+
+// Start listens on addr (host:port; an empty or ":0" port picks one) and
+// serves the introspection handler until Close.
+func Start(addr string, cfg Config) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("introspection listener: %w", err)
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: Handler(cfg), ReadHeaderTimeout: 5 * time.Second},
+		addr: l.Addr().String(),
+	}
+	go func() { _ = s.srv.Serve(l) }()
+	return s, nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.addr }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

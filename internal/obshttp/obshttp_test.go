@@ -1,0 +1,191 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"siterecovery/internal/obs"
+	"siterecovery/internal/proto"
+)
+
+// testHub builds a hub with a little of everything in it.
+func testHub() *obs.Hub {
+	h := obs.NewHub(obs.Options{})
+	h.TxnBegin(1, 7, proto.ClassUser, 1)
+	h.TxnCommit(1, 7, proto.ClassUser, 1)
+	h.TxnBegin(2, 8, proto.ClassUser, 1)
+	h.TxnAbort(2, 8, proto.ClassUser, 1, proto.ErrSiteDown)
+	h.SiteCrash(3)
+	return h
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+// promLine matches one valid exposition sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?$`)
+
+func TestMetricsPrometheus(t *testing.T) {
+	srv := httptest.NewServer(Handler(Config{Hub: testHub()}))
+	defer srv.Close()
+
+	code, body, ctype := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ctype)
+	}
+	sawType, sawSample := false, false
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			sawType = true
+			continue
+		}
+		sawSample = true
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line %q", line)
+		}
+	}
+	if !sawType || !sawSample {
+		t.Fatalf("exposition lacks TYPE headers or samples:\n%s", body)
+	}
+	for _, want := range []string{
+		`sr_txn_commit_user_total{site="1"} 1`,
+		`sr_txn_abort_site_down_total{site="2"} 1`,
+		`sr_site_crashes_total{site="3"} 1`,
+		`sr_txn_attempts{site="1",quantile="0.5"} 1`,
+		"# TYPE sr_txn_attempts summary",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	// Byte-determinism: the same snapshot renders identically.
+	_, body2, _ := get(t, srv, "/metrics")
+	if body != body2 {
+		t.Error("repeated scrapes of the same state differ")
+	}
+}
+
+func TestMetricsJSON(t *testing.T) {
+	srv := httptest.NewServer(Handler(Config{Hub: testHub()}))
+	defer srv.Close()
+	code, body, ctype := get(t, srv, "/metrics?format=json")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("status %d, content type %q", code, ctype)
+	}
+	var samples []map[string]any
+	if err := json.Unmarshal([]byte(body), &samples); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("empty snapshot")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	srv := httptest.NewServer(Handler(Config{Hub: testHub()}))
+	defer srv.Close()
+
+	code, body, _ := get(t, srv, "/trace?n=2")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	lines := strings.Split(strings.TrimRight(body, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (newest events):\n%s", len(lines), body)
+	}
+	if !strings.Contains(lines[1], "site.crash") {
+		t.Errorf("last line should be the crash event: %q", lines[1])
+	}
+
+	code, body, _ = get(t, srv, "/trace?format=json&n=3")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var events []obs.Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 3 || events[2].Type != obs.EvSiteCrash {
+		t.Fatalf("decoded %+v", events)
+	}
+
+	if code, _, _ := get(t, srv, "/trace?n=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad n returned %d, want 400", code)
+	}
+}
+
+func TestSites(t *testing.T) {
+	status := []SiteStatus{
+		{Site: 1, Up: true, Operational: true, Session: 1},
+		{Site: 2, Up: false, Operational: false, Session: 0},
+	}
+	srv := httptest.NewServer(Handler(Config{Sites: func() []SiteStatus { return status }}))
+	defer srv.Close()
+	code, body, ctype := get(t, srv, "/sites")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("status %d, content type %q", code, ctype)
+	}
+	var got []SiteStatus
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Session != 0 || got[1].Up {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+// TestNilHub requires every endpoint to serve well-formed empties rather
+// than panic when no hub is wired.
+func TestNilHub(t *testing.T) {
+	srv := httptest.NewServer(Handler(Config{}))
+	defer srv.Close()
+	for _, path := range []string{"/", "/metrics", "/metrics?format=json", "/trace", "/trace?format=json", "/sites"} {
+		code, _, _ := get(t, srv, path)
+		if code != http.StatusOK {
+			t.Errorf("%s: status %d", path, code)
+		}
+	}
+	if code, _, _ := get(t, srv, "/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path served %d, want 404", code)
+	}
+}
+
+// TestStartClose exercises the real listener path srsim uses.
+func TestStartClose(t *testing.T) {
+	srv, err := Start("127.0.0.1:0", Config{Hub: testHub()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -104,6 +104,16 @@ func (c TxnClass) String() string {
 	}
 }
 
+// ParseTxnClass maps a TxnClass's String() form back to the class.
+func ParseTxnClass(s string) (TxnClass, bool) {
+	for c := ClassUser; c <= ClassFinal; c++ {
+		if c.String() == s {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
 // IsControl reports whether the class is a control transaction.
 func (c TxnClass) IsControl() bool { return c == ClassControl1 || c == ClassControl2 }
 
