@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench trace
+.PHONY: all build test race lint bench trace cover chaos
 
 all: lint build test
 
@@ -25,6 +25,18 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Mirrors the coverage CI job.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# One chaos run at a fixed seed: writes chaos-seed$(SEED).{schedule.json,
+# trace.jsonl} (plus a .min.schedule.json reproducer on an invariant
+# violation). The nightly chaos-soak workflow sweeps many seeds.
+SEED ?= 1
+chaos:
+	$(GO) run ./cmd/srsim -chaos -seed $(SEED) -steps 60
 
 # Mirrors the trace-artifacts CI job: export the deterministic scripted
 # scenario and derive the offline report.

@@ -20,6 +20,13 @@
 // workload runs: /metrics (Prometheus text), /trace?n=K (recent events),
 // and /sites (per-site session status).
 //
+// With -chaos, srsim instead runs the seeded chaos engine: it generates a
+// randomized fault schedule (-seed, -steps), executes it deterministically,
+// writes the schedule and the byte-stable observability trace to -outdir,
+// and checks the post-run invariant suite. On a violation it delta-debugs
+// the schedule to a minimal reproducer, writes it next to the others, and
+// exits 1. -schedule FILE replays a previously written schedule instead.
+//
 // -export FILE streams every event of whichever mode runs to FILE as JSONL
 // — deterministic under the scripted scenario (-trace/-metrics), wall-clock
 // stamped under the interactive workload.
@@ -81,10 +88,16 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "run the deterministic scenario and dump the metrics table")
 		export   = flag.String("export", "", "stream every traced event to this JSONL file (follows the selected mode)")
 		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /trace, /sites) on this address during the interactive run")
+		chaosRun = flag.Bool("chaos", false, "run a seeded chaos schedule and check the invariant suite")
+		steps    = flag.Int("steps", 40, "chaos schedule length (with -chaos)")
+		schedule = flag.String("schedule", "", "replay this chaos schedule file instead of generating one (implies -chaos)")
+		outDir   = flag.String("outdir", ".", "directory for chaos schedule/trace/reproducer files")
 	)
 	flag.Parse()
 	var err error
-	if *httpAddr == "" && (*trace || *metrics) {
+	if *chaosRun || *schedule != "" {
+		err = runChaos(*sites, *items, *degree, *seed, *steps, *identify, *schedule, *outDir)
+	} else if *httpAddr == "" && (*trace || *metrics) {
 		err = runObserve(*sites, *items, *degree, *seed, *identify, *metrics, *trace, *export)
 	} else {
 		err = run(*sites, *items, *degree, *clients, *duration, *profile, *identify, *spooler, *seed, *crashes, *recovers, *httpAddr, *export)

@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"siterecovery/internal/proto"
+	"siterecovery/internal/workload"
+)
+
+// GenConfig shapes schedule generation.
+type GenConfig struct {
+	// Seed drives every random choice. The same seed and config always
+	// generate the same schedule.
+	Seed int64
+	// Steps is the plan length. Defaults to 40.
+	Steps int
+	// Sites, Items, Degree describe the cluster. Default 4 sites, 12
+	// items, 2-way replication.
+	Sites  int
+	Items  int
+	Degree int
+	// Identify names the §5 identification strategy ("markall",
+	// "versiondiff", "faillock", "missinglist"). Defaults to markall.
+	Identify string
+}
+
+func (g GenConfig) withDefaults() GenConfig {
+	if g.Steps == 0 {
+		g.Steps = 40
+	}
+	if g.Sites == 0 {
+		g.Sites = 4
+	}
+	if g.Items == 0 {
+		g.Items = 12
+	}
+	if g.Degree == 0 {
+		g.Degree = 2
+	}
+	if g.Identify == "" {
+		g.Identify = "markall"
+	}
+	return g
+}
+
+// lossLevels are the burst intensities a StepLoss picks from; 0 ends a
+// burst. Kept below the retry budget's tolerance so runs terminate.
+var lossLevels = []float64{0, 0.05, 0.15, 0.3}
+
+// Generate draws a fault plan from rand.Rand(seed). Generation tracks a
+// model of the cluster (which sites are up, what is stalled, whether a
+// partition or loss burst is active) so the plan is mostly well-formed:
+// it never crashes the last up site, only recovers down sites, and only
+// heals or resumes what it broke. The runner still tolerates ill-formed
+// steps (shrinking creates them) by skipping them deterministically.
+func Generate(cfg GenConfig) Schedule {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	items := make([]proto.Item, cfg.Items)
+	for i := range items {
+		items[i] = workload.ItemName(i)
+	}
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Items:        items,
+		Seed:         cfg.Seed,
+		OpsPerTxn:    3,
+		ReadFraction: 0.5,
+		Dist:         workload.Uniform,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("chaos generator: %v", err)) // only fires on empty Items
+	}
+
+	up := make(map[proto.SiteID]bool, cfg.Sites)
+	var sites []proto.SiteID
+	for i := 1; i <= cfg.Sites; i++ {
+		id := proto.SiteID(i)
+		sites = append(sites, id)
+		up[id] = true
+	}
+	stalled := make(map[proto.SiteID]bool)
+	partitioned, lossy := false, false
+
+	upSites := func() []proto.SiteID {
+		var out []proto.SiteID
+		for _, s := range sites {
+			if up[s] {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	downSites := func() []proto.SiteID {
+		var out []proto.SiteID
+		for _, s := range sites {
+			if !up[s] {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+
+	sched := Schedule{
+		Version:  ScheduleVersion,
+		Seed:     cfg.Seed,
+		Sites:    cfg.Sites,
+		Items:    cfg.Items,
+		Degree:   cfg.Degree,
+		Identify: cfg.Identify,
+	}
+	for len(sched.Steps) < cfg.Steps {
+		switch roll := rng.Float64(); {
+		case roll < 0.12: // crash
+			ups := upSites()
+			if len(ups) < 2 {
+				continue // never take the last site down
+			}
+			victim := ups[rng.Intn(len(ups))]
+			up[victim] = false
+			sched.Steps = append(sched.Steps, Step{Kind: StepCrash, Site: victim})
+		case roll < 0.26: // recover (slightly favored so runs end mostly up)
+			downs := downSites()
+			if len(downs) == 0 {
+				continue
+			}
+			site := downs[rng.Intn(len(downs))]
+			up[site] = true
+			sched.Steps = append(sched.Steps, Step{Kind: StepRecover, Site: site})
+		case roll < 0.31: // partition into two random nonempty groups
+			if partitioned || len(sites) < 2 {
+				continue
+			}
+			cut := 1 + rng.Intn(len(sites)-1)
+			perm := rng.Perm(len(sites))
+			groups := [][]proto.SiteID{{}, {}}
+			for i, p := range perm {
+				g := 0
+				if i >= cut {
+					g = 1
+				}
+				groups[g] = append(groups[g], sites[p])
+			}
+			partitioned = true
+			sched.Steps = append(sched.Steps, Step{Kind: StepPartition, Groups: groups})
+		case roll < 0.36: // heal
+			if !partitioned {
+				continue
+			}
+			partitioned = false
+			sched.Steps = append(sched.Steps, Step{Kind: StepHeal})
+		case roll < 0.42: // loss burst start/stop
+			level := lossLevels[rng.Intn(len(lossLevels))]
+			if level == 0 && !lossy {
+				continue // no-op transition
+			}
+			lossy = level > 0
+			sched.Steps = append(sched.Steps, Step{Kind: StepLoss, Loss: level})
+		case roll < 0.45: // copier stall
+			site := sites[rng.Intn(len(sites))]
+			if stalled[site] {
+				continue
+			}
+			stalled[site] = true
+			sched.Steps = append(sched.Steps, Step{Kind: StepStall, Site: site})
+		case roll < 0.48: // copier resume
+			var wedged []proto.SiteID
+			for _, s := range sites {
+				if stalled[s] {
+					wedged = append(wedged, s)
+				}
+			}
+			if len(wedged) == 0 {
+				continue
+			}
+			site := wedged[rng.Intn(len(wedged))]
+			stalled[site] = false
+			sched.Steps = append(sched.Steps, Step{Kind: StepResume, Site: site})
+		default: // user transaction at a random up site
+			ups := upSites()
+			if len(ups) == 0 {
+				continue
+			}
+			spec := gen.Next()
+			step := Step{
+				Kind:   StepTxn,
+				Site:   ups[rng.Intn(len(ups))],
+				Reads:  spec.Reads,
+				Writes: spec.Writes,
+			}
+			for range spec.Writes {
+				step.Values = append(step.Values, gen.Value())
+			}
+			sched.Steps = append(sched.Steps, step)
+		}
+	}
+	return sched
+}

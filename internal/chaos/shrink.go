@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+)
+
+// Shrink minimizes a failing schedule with ddmin (Zeller's delta
+// debugging) over its steps: it repeatedly re-runs subsets of the step
+// sequence and keeps any subset on which the same named invariant still
+// fails, until no single chunk can be removed. The runner skips steps a
+// subset made invalid (recovering an up site, crashing a down one), so
+// every candidate is executable.
+//
+// The returned schedule reproduces a failure of the same invariant as
+// failure.Invariant; log is optional progress output (one line per
+// reduction).
+func Shrink(ctx context.Context, sched Schedule, opts Options, failure Failure, log func(string)) (Schedule, error) {
+	if log == nil {
+		log = func(string) {}
+	}
+	fails := func(steps []Step) (bool, error) {
+		res, err := Run(ctx, sched.WithSteps(steps), opts)
+		if err != nil {
+			return false, err
+		}
+		for _, f := range res.Failures {
+			if f.Invariant == failure.Invariant {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+
+	// Confirm the failure reproduces at all before grinding.
+	if ok, err := fails(sched.Steps); err != nil {
+		return Schedule{}, err
+	} else if !ok {
+		return Schedule{}, fmt.Errorf("shrink: %q does not reproduce on the full schedule", failure.Invariant)
+	}
+
+	steps := append([]Step(nil), sched.Steps...)
+	n := 2
+	for len(steps) >= 2 {
+		chunk := (len(steps) + n - 1) / n
+		reduced := false
+
+		// Try each complement (drop one chunk at a time).
+		for start := 0; start < len(steps); start += chunk {
+			end := min(start+chunk, len(steps))
+			candidate := append(append([]Step(nil), steps[:start]...), steps[end:]...)
+			if len(candidate) == 0 {
+				continue
+			}
+			ok, err := fails(candidate)
+			if err != nil {
+				return Schedule{}, err
+			}
+			if ok {
+				log(fmt.Sprintf("shrink: %d -> %d steps (dropped [%d:%d))", len(steps), len(candidate), start, end))
+				steps = candidate
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n >= len(steps) {
+			break // 1-minimal: no single step can be removed
+		}
+		n = min(n*2, len(steps))
+	}
+	return sched.WithSteps(steps), nil
+}

@@ -103,7 +103,9 @@ type Config struct {
 	JanitorStaleAge time.Duration
 	// DetectorDebounce tunes the failure detector.
 	DetectorDebounce time.Duration
-	// CopierWorkers sizes each site's copier pool.
+	// CopierWorkers sizes each site's copier pool. Negative disables the
+	// pool; deterministic harnesses then drive copies synchronously via
+	// each site's Recovery.CopyNow/DrainNow.
 	CopierWorkers int
 	// DisableJanitor and DisableDetector switch the background workers off
 	// for deterministic tests.

@@ -2,9 +2,11 @@ package core_test
 
 import (
 	"context"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"siterecovery/internal/chaos"
 	"siterecovery/internal/core"
 	"siterecovery/internal/history"
 	"siterecovery/internal/lockmgr"
@@ -133,6 +135,74 @@ func TestCrashDuringCopierRefresh(t *testing.T) {
 	mustCertifyF(t, c)
 }
 
+// TestCrashDuringRecoveryClaim crashes the recovering site again from
+// inside its own type-1 control transaction — between the participants'
+// votes and the decision, the §3.4 procedure's most fragile instant. The
+// torn claim must leave the site non-operational but restartable: after the
+// janitors resolve the stranded prepared state, a second recovery completes
+// under a fresh session and the history stays certifiable.
+func TestCrashDuringRecoveryClaim(t *testing.T) {
+	var (
+		c     *core.Cluster
+		armed atomic.Bool
+	)
+	cfg := faultConfig(3)
+	cfg.JanitorInterval = 20 * time.Millisecond
+	cfg.JanitorStaleAge = 50 * time.Millisecond
+	cfg.Hooks = core.Hooks{OnPrepared: func(site proto.SiteID, id proto.TxnID) {
+		if site == 2 && armed.CompareAndSwap(true, false) {
+			c.Crash(2)
+		}
+	}}
+	c = newFaultCluster(t, cfg)
+	ctx := context.Background()
+
+	// Seed a value so the retried data recovery has work to do.
+	if err := c.Exec(ctx, 1, func(ctx context.Context, tx *txn.Tx) error {
+		return tx.Write(ctx, "a", 7)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Crash(2)
+	armed.Store(true)
+	if _, err := c.Recover(ctx, 2); err == nil {
+		t.Fatal("recovery must fail when the site crashes mid-claim")
+	}
+	if c.Site(2).Operational() {
+		t.Fatal("half-recovered site must not be operational")
+	}
+
+	// Retry until the janitors have presumed-aborted the torn type-1 and
+	// the locks on the session copies drain.
+	var report recovery.Report
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var err error
+		report, err = c.Recover(ctx, 2)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("second recovery never succeeded: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if report.Session == core.InitialSession {
+		t.Fatalf("recovered under stale session %d", report.Session)
+	}
+	if err := c.WaitCurrent(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := readF(t, c, 2, "a"); got != 7 {
+		t.Fatalf("a = %d at recovered site, want 7", got)
+	}
+	mustCertifyF(t, c)
+	if div := c.CopiesConverged(); len(div) != 0 {
+		t.Fatalf("divergent after recovery: %v", div)
+	}
+}
+
 // TestExecValidation covers the public API's error paths.
 func TestExecValidation(t *testing.T) {
 	c := newFaultCluster(t, faultConfig(3))
@@ -237,11 +307,9 @@ func readF(t *testing.T, c *core.Cluster, site proto.SiteID, item proto.Item) pr
 
 func mustCertifyF(t *testing.T, c *core.Cluster) {
 	t.Helper()
-	if ok, cycle := c.CertifyOneSR(); !ok {
-		t.Fatalf("history not 1-SR, cycle %v", cycle)
-	}
-	if !c.History().ConflictGraph(history.DomainAll).Acyclic() {
-		t.Fatal("conflict graph over DB∪NS cyclic")
+	suite := []chaos.Invariant{chaos.OneSR(), chaos.ConflictAcyclic()}
+	for _, f := range chaos.Check(c, chaos.Info{}, suite) {
+		t.Fatal(f.String())
 	}
 }
 

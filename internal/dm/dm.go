@@ -225,6 +225,19 @@ func (m *Manager) gate(meta proto.TxnMeta, mode proto.CheckMode, expect proto.Se
 		return fmt.Errorf("%v serving %v: carried %d, actual %d: %w",
 			m.cfg.Site, meta.ID, expect, m.session, proto.ErrSessionMismatch)
 	}
+	// The coordinator must be nominally up too. A site this DM's vector
+	// copy records as down can still be running: a type-2 claim excludes
+	// unreachable sites (§3.4's retry), and the excluded site keeps
+	// coordinating on a stale view, so its writes would reach only a
+	// subset of the available copies. Control transactions are exempt — a
+	// type-1 coordinator is nominally down by definition.
+	if meta.Origin != m.cfg.Site && !meta.Class.IsControl() {
+		if v, _, err := m.cfg.Store.Committed(proto.NSItem(meta.Origin)); err == nil && proto.Session(v) == proto.NoSession {
+			m.cfg.Obs.NotOperational(m.cfg.Site, meta.ID)
+			return fmt.Errorf("%v serving %v: coordinator %v nominally down: %w",
+				m.cfg.Site, meta.ID, meta.Origin, proto.ErrNotOperational)
+		}
+	}
 	return nil
 }
 

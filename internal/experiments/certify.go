@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"siterecovery/internal/chaos"
 	"siterecovery/internal/core"
 	"siterecovery/internal/history"
 	"siterecovery/internal/proto"
@@ -185,9 +186,12 @@ func randomizedCertifiedRun(seed int64) (bool, error) {
 	if err := c.WaitCurrent(ctx, 3); err != nil {
 		return false, err
 	}
-	ok, _ := c.CertifyOneSR()
-	if !c.History().ConflictGraph(history.DomainAll).Acyclic() {
-		return false, fmt.Errorf("conflict graph cyclic: concurrency control broken")
+	ok := true
+	for _, f := range chaos.Check(c, chaos.Info{}, []chaos.Invariant{chaos.OneSR(), chaos.ConflictAcyclic()}) {
+		if f.Invariant == "conflict-acyclic" {
+			return false, fmt.Errorf("%s: concurrency control broken", f)
+		}
+		ok = false
 	}
 	return ok, nil
 }

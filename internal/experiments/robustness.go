@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"siterecovery/internal/chaos"
 	"siterecovery/internal/core"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/recovery"
@@ -104,7 +105,7 @@ func RunE6(scale Scale) (*Table, error) {
 		converged := "n/a"
 		if recovered {
 			if err := c.WaitCurrent(ctx, victim); err == nil {
-				if len(c.CopiesConverged()) == 0 {
+				if chaos.CopiesConverged().Check(c, chaos.Info{}) == nil {
 					converged = "yes"
 				} else {
 					converged = "no"
@@ -215,7 +216,7 @@ func RunE10(scale Scale) (*Table, error) {
 		return nil, err
 	}
 
-	ok, _ := c.CertifyOneSR()
+	ok := chaos.OneSR().Check(c, chaos.Info{}) == nil
 	// Quiesce fully before the convergence check.
 	for _, s := range c.Sites() {
 		waitCtx, waitCancel := context.WithTimeout(ctx, 60*time.Second)
@@ -229,7 +230,7 @@ func RunE10(scale Scale) (*Table, error) {
 	// clients went away; give convergence a bounded window.
 	converged := false
 	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
-		if len(c.CopiesConverged()) == 0 {
+		if chaos.CopiesConverged().Check(c, chaos.Info{}) == nil {
 			converged = true
 			break
 		}

@@ -339,6 +339,36 @@ func (m *Manager) Held(txn proto.TxnID) map[string]Mode {
 	return out
 }
 
+// HeldLock describes one granted lock in the table.
+type HeldLock struct {
+	Key  string
+	Txn  proto.TxnID
+	Mode Mode
+}
+
+// OutstandingLocks enumerates every lock currently granted, sorted by key
+// then holder. Strict two-phase locking releases everything at commit or
+// abort, so on a quiesced site the result must be empty — the chaos
+// invariant suite checks exactly that (a leaked lock means a transaction
+// ended without ReleaseAll).
+func (m *Manager) OutstandingLocks() []HeldLock {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []HeldLock
+	for key, ls := range m.locks {
+		for txn, mode := range ls.holders {
+			out = append(out, HeldLock{Key: key, Txn: txn, Mode: mode})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Txn < out[j].Txn
+	})
+	return out
+}
+
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()

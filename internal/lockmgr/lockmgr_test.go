@@ -388,3 +388,32 @@ func TestConcurrentStress(t *testing.T) {
 		t.Fatal("stress run wedged (likely lost wakeup)")
 	}
 }
+
+func TestOutstandingLocksEnumeratesAndDrains(t *testing.T) {
+	m := newMgr(t, Config{})
+	mustAcquire(t, m, 2, "b", Exclusive)
+	mustAcquire(t, m, 1, "a", Shared)
+	mustAcquire(t, m, 3, "a", Shared)
+
+	got := m.OutstandingLocks()
+	want := []HeldLock{
+		{Key: "a", Txn: 1, Mode: Shared},
+		{Key: "a", Txn: 3, Mode: Shared},
+		{Key: "b", Txn: 2, Mode: Exclusive},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("OutstandingLocks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OutstandingLocks[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+	m.ReleaseAll(3)
+	if left := m.OutstandingLocks(); len(left) != 0 {
+		t.Fatalf("locks leaked after ReleaseAll: %v", left)
+	}
+}

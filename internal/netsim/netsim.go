@@ -66,7 +66,11 @@ type Stat struct {
 	Sent      uint64 // calls attempted
 	Delivered uint64 // handler invocations completed and replies returned
 	Dropped   uint64 // lost to the configured loss rate
-	Refused   uint64 // failed because a site was down
+	Refused   uint64 // failed because a site was down (or unreachable)
+	// Partitioned counts the subset of Refused caused by a partition
+	// rather than a crashed site — the two are indistinguishable to the
+	// protocol (deliberately), but not to the test harness.
+	Partitioned uint64
 }
 
 // Network connects registered sites. Create with New.
@@ -75,6 +79,7 @@ type Network struct {
 
 	mu    sync.Mutex
 	rng   *rand.Rand
+	loss  float64
 	nodes map[proto.SiteID]*node
 	stats map[string]*Stat
 }
@@ -93,9 +98,31 @@ func New(cfg Config) *Network {
 	return &Network{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		loss:  cfg.LossRate,
 		nodes: make(map[proto.SiteID]*node),
 		stats: make(map[string]*Stat),
 	}
+}
+
+// SetLossRate changes the drop probability for subsequent calls: the
+// chaos engine's loss bursts. Rates outside [0,1) are clamped.
+func (n *Network) SetLossRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate >= 1 {
+		rate = 0.999
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.loss = rate
+}
+
+// LossRate reports the current drop probability.
+func (n *Network) LossRate() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.loss
 }
 
 // Register attaches a handler for site. Re-registering replaces the handler.
@@ -232,7 +259,9 @@ func (n *Network) deliver(ctx context.Context, from, to proto.SiteID, kind strin
 	src := n.nodes[from]
 	nd, ok := n.nodes[to]
 	var h Handler
-	if ok && !nd.down && (src == nil || src.group == nd.group || src.group == 0 || nd.group == 0) {
+	partitioned := ok && !nd.down && src != nil &&
+		src.group != nd.group && src.group != 0 && nd.group != 0
+	if ok && !nd.down && !partitioned {
 		h = nd.handler
 	}
 	n.mu.Unlock()
@@ -240,7 +269,12 @@ func (n *Network) deliver(ctx context.Context, from, to proto.SiteID, kind strin
 		// A partitioned peer is indistinguishable from a crashed one —
 		// deliberately: that ambiguity is why the paper's protocol
 		// restricts itself to fail-stop site failures.
-		n.bump(kind, func(s *Stat) { s.Refused++ })
+		n.bump(kind, func(s *Stat) {
+			s.Refused++
+			if partitioned {
+				s.Partitioned++
+			}
+		})
 		return nil, fmt.Errorf("deliver to %v: %w", to, proto.ErrSiteDown)
 	}
 	return h, nil
@@ -271,19 +305,22 @@ func (n *Network) replyPath(ctx context.Context, from, to proto.SiteID, kind str
 		return fmt.Errorf("reply to crashed %v: %w", from, proto.ErrSiteDown)
 	}
 	if partitioned {
-		n.bump(kind, func(s *Stat) { s.Refused++ })
+		n.bump(kind, func(s *Stat) {
+			s.Refused++
+			s.Partitioned++
+		})
 		return fmt.Errorf("reply across partition %v->%v: %w", to, from, proto.ErrSiteDown)
 	}
 	return nil
 }
 
 func (n *Network) lost() bool {
-	if n.cfg.LossRate <= 0 {
-		return false
-	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.rng.Float64() < n.cfg.LossRate
+	if n.loss <= 0 {
+		return false
+	}
+	return n.rng.Float64() < n.loss
 }
 
 func (n *Network) sleep(ctx context.Context) error {

@@ -242,6 +242,173 @@ func TestPartitionSplitsAndHeals(t *testing.T) {
 	}
 }
 
+// TestPartitionHealTable pins down the partition state machine's edge
+// cases: group membership resolution, interaction with SetDown, and what
+// Heal does and does not undo.
+func TestPartitionHealTable(t *testing.T) {
+	type call struct {
+		from, to proto.SiteID
+		ok       bool
+	}
+	cases := []struct {
+		name  string
+		setup func(n *Network)
+		calls []call
+	}{
+		{
+			name: "overlapping groups: the last group named wins",
+			setup: func(n *Network) {
+				// Site 2 appears in both groups; the second assignment
+				// sticks, so 2 ends up with 3, not with 1.
+				n.Partition([]proto.SiteID{1, 2}, []proto.SiteID{2, 3})
+			},
+			calls: []call{
+				{from: 2, to: 3, ok: true},
+				{from: 1, to: 2, ok: false},
+				{from: 1, to: 3, ok: false},
+			},
+		},
+		{
+			name: "down site inside a group is still down for its groupmates",
+			setup: func(n *Network) {
+				n.SetDown(2, true)
+				n.Partition([]proto.SiteID{1, 2}, []proto.SiteID{3})
+			},
+			calls: []call{
+				{from: 1, to: 2, ok: false}, // down beats same-group
+				{from: 1, to: 3, ok: false}, // partitioned
+			},
+		},
+		{
+			name: "partition, then SetDown, then Heal: heal removes the cut, not the crash",
+			setup: func(n *Network) {
+				n.Partition([]proto.SiteID{1}, []proto.SiteID{2, 3})
+				n.SetDown(3, true)
+				n.Heal()
+			},
+			calls: []call{
+				{from: 1, to: 2, ok: true},  // cut removed
+				{from: 1, to: 3, ok: false}, // crash survives the heal
+				{from: 2, to: 3, ok: false},
+			},
+		},
+		{
+			name: "rejoining a site inside a foreign group does not bridge the cut",
+			setup: func(n *Network) {
+				n.SetDown(2, true)
+				n.Partition([]proto.SiteID{1}, []proto.SiteID{2, 3})
+				n.SetDown(2, false) // rejoins into group 2
+			},
+			calls: []call{
+				{from: 2, to: 3, ok: true},
+				{from: 1, to: 2, ok: false},
+			},
+		},
+		{
+			name: "empty partition call leaves everyone in the leftover group together",
+			setup: func(n *Network) {
+				n.Partition()
+			},
+			calls: []call{
+				{from: 1, to: 2, ok: true},
+				{from: 2, to: 3, ok: true},
+			},
+		},
+		{
+			name: "repartition replaces the previous grouping entirely",
+			setup: func(n *Network) {
+				n.Partition([]proto.SiteID{1}, []proto.SiteID{2, 3})
+				n.Partition([]proto.SiteID{1, 2}, []proto.SiteID{3})
+			},
+			calls: []call{
+				{from: 1, to: 2, ok: true},  // merged by the second cut
+				{from: 2, to: 3, ok: false}, // split by the second cut
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := New(Config{})
+			for _, s := range []proto.SiteID{1, 2, 3} {
+				n.Register(s, echoHandler(t))
+			}
+			tc.setup(n)
+			for _, c := range tc.calls {
+				_, err := n.Call(context.Background(), c.from, c.to, proto.ProbeReq{})
+				if c.ok && err != nil {
+					t.Errorf("call %v->%v: unexpected error %v", c.from, c.to, err)
+				}
+				if !c.ok && !errors.Is(err, proto.ErrSiteDown) {
+					t.Errorf("call %v->%v: err = %v, want ErrSiteDown", c.from, c.to, err)
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionStatsAccounting checks that partition refusals are counted
+// both as Refused (what the protocol sees) and as Partitioned (what the
+// harness distinguishes), while crash refusals are Refused only.
+func TestPartitionStatsAccounting(t *testing.T) {
+	n := New(Config{})
+	for _, s := range []proto.SiteID{1, 2, 3} {
+		n.Register(s, echoHandler(t))
+	}
+	n.SetDown(3, true)
+	n.Partition([]proto.SiteID{1}, []proto.SiteID{2, 3})
+
+	ctx := context.Background()
+	for range 3 { // partition refusals
+		if _, err := n.Call(ctx, 1, 2, proto.ProbeReq{}); !errors.Is(err, proto.ErrSiteDown) {
+			t.Fatalf("err = %v, want ErrSiteDown", err)
+		}
+	}
+	for range 2 { // crash refusals (2 and 3 share a group, 3 is down)
+		if _, err := n.Call(ctx, 2, 3, proto.ProbeReq{}); !errors.Is(err, proto.ErrSiteDown) {
+			t.Fatalf("err = %v, want ErrSiteDown", err)
+		}
+	}
+
+	got := n.Stats()["probe"]
+	if got.Sent != 5 || got.Refused != 5 || got.Partitioned != 3 {
+		t.Errorf("probe stats = %+v, want Sent 5 Refused 5 Partitioned 3", got)
+	}
+}
+
+// TestSetLossRate flips the drop probability mid-run: a network created
+// reliable starts dropping, then recovers when the burst ends.
+func TestSetLossRate(t *testing.T) {
+	n := New(Config{})
+	n.Register(1, echoHandler(t))
+	n.Register(2, echoHandler(t))
+	ctx := context.Background()
+
+	if _, err := n.Call(ctx, 1, 2, proto.ProbeReq{}); err != nil {
+		t.Fatalf("reliable call: %v", err)
+	}
+	n.SetLossRate(1.0) // clamped just below 1
+	if got := n.LossRate(); got >= 1 || got <= 0 {
+		t.Fatalf("LossRate = %v, want clamped into (0,1)", got)
+	}
+	dropped := 0
+	for range 50 {
+		if _, err := n.Call(ctx, 1, 2, proto.ProbeReq{}); errors.Is(err, proto.ErrDropped) {
+			dropped++
+		}
+	}
+	if dropped < 45 {
+		t.Fatalf("dropped %d of 50 calls at ~certain loss", dropped)
+	}
+	n.SetLossRate(0)
+	if _, err := n.Call(ctx, 1, 2, proto.ProbeReq{}); err != nil {
+		t.Fatalf("call after burst: %v", err)
+	}
+	n.SetLossRate(-0.5)
+	if got := n.LossRate(); got != 0 {
+		t.Fatalf("negative rate not clamped to 0: %v", got)
+	}
+}
+
 func TestPartitionImplicitLeftoverGroup(t *testing.T) {
 	n := New(Config{})
 	for _, s := range []proto.SiteID{1, 2, 3} {

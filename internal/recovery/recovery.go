@@ -124,7 +124,10 @@ type Config struct {
 	Obs *obs.Hub
 	Identify
 	CopierMode CopierMode
-	// CopierWorkers sizes the copier pool. Defaults to 2.
+	// CopierWorkers sizes the copier pool. Defaults to 2. Negative runs
+	// no workers at all: deterministic harnesses (the chaos engine) then
+	// drive data recovery synchronously via CopyNow/DrainNow so every
+	// copy happens at a known point in their step sequence.
 	CopierWorkers int
 	// QueueDepth bounds the copier queue. Defaults to 1024.
 	QueueDepth int
@@ -157,6 +160,9 @@ type Manager struct {
 	mu      sync.Mutex
 	stats   Stats
 	pending map[proto.Item]bool
+	// stallGate is non-nil while the copier path is stalled; resuming
+	// closes it, waking any parked workers.
+	stallGate chan struct{}
 
 	queue chan proto.Item
 	stop  chan struct{}
@@ -208,6 +214,37 @@ func (m *Manager) Stop() {
 		cancel()
 	}
 	m.wg.Wait()
+}
+
+// ErrStalled reports that a synchronous copy was refused because the
+// copier path is stalled (SetStalled).
+var ErrStalled = errors.New("copier path stalled")
+
+// SetStalled pauses (true) or resumes (false) the copier path: while
+// stalled, pool workers park before taking up new work and the
+// synchronous CopyNow/DrainNow refuse to copy. The chaos engine uses
+// this to model a wedged data-recovery path — the site is operational
+// (session claimed) but its unreadable copies stay unreadable.
+func (m *Manager) SetStalled(stalled bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if stalled {
+		if m.stallGate == nil {
+			m.stallGate = make(chan struct{})
+		}
+		return
+	}
+	if m.stallGate != nil {
+		close(m.stallGate)
+		m.stallGate = nil
+	}
+}
+
+// Stalled reports whether the copier path is currently stalled.
+func (m *Manager) Stalled() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stallGate != nil
 }
 
 // Stats returns a snapshot of the counters.
@@ -279,7 +316,8 @@ func (m *Manager) Recover(ctx context.Context) (Report, error) {
 	m.cfg.Obs.RecoveryDone(m.cfg.Site, sn, marked)
 
 	// Step 5: data recovery proceeds concurrently with user transactions.
-	if m.cfg.CopierMode == CopierEager {
+	// With the pool disabled the caller drives it via CopyNow/DrainNow.
+	if m.cfg.CopierMode == CopierEager && m.cfg.CopierWorkers > 0 {
 		m.Flush()
 	}
 	return report, nil
@@ -432,23 +470,68 @@ func (m *Manager) copierLoop(poolCtx context.Context, stop <-chan struct{}) {
 	for {
 		select {
 		case item := <-m.queue:
+			// Park while stalled; Stop still wins.
+			m.mu.Lock()
+			gate := m.stallGate
+			m.mu.Unlock()
+			if gate != nil {
+				select {
+				case <-gate:
+				case <-stop:
+					return
+				}
+			}
 			// Derive from the pool's lifetime so Stop cancels an
 			// in-flight copyOne promptly; the timeout stays as a bound
 			// on any single refresh.
 			ctx, cancel := context.WithTimeout(poolCtx, 30*time.Second)
-			err := m.copyOne(ctx, item)
+			_ = m.CopyNow(ctx, item)
 			cancel()
 			m.mu.Lock()
 			delete(m.pending, item)
 			m.mu.Unlock()
-			if err != nil && errors.Is(err, proto.ErrTotalFailure) {
-				m.mu.Lock()
-				m.stats.TotallyFailed++
-				m.mu.Unlock()
-				m.cfg.Obs.CopierTotalFailure(m.cfg.Site, item)
-			}
 		case <-stop:
 			return
+		}
+	}
+}
+
+// CopyNow runs one copier transaction for item synchronously, with the
+// same stats and total-failure accounting as the worker pool. It is how
+// deterministic harnesses drive data recovery when the pool is disabled
+// (CopierWorkers < 0): every copy happens at a known point in the
+// caller's step sequence. A stalled manager returns ErrStalled without
+// copying.
+func (m *Manager) CopyNow(ctx context.Context, item proto.Item) error {
+	if m.Stalled() {
+		return ErrStalled
+	}
+	err := m.copyOne(ctx, item)
+	if err != nil && errors.Is(err, proto.ErrTotalFailure) {
+		m.mu.Lock()
+		m.stats.TotallyFailed++
+		m.mu.Unlock()
+		m.cfg.Obs.CopierTotalFailure(m.cfg.Site, item)
+	}
+	return err
+}
+
+// DrainNow synchronously refreshes unreadable local copies until none
+// remain, a full pass makes no progress (no readable source anywhere
+// yet), or the manager is stalled. It returns how many copies are still
+// unreadable — 0 means the site is fully current.
+func (m *Manager) DrainNow(ctx context.Context) int {
+	prev := -1
+	for {
+		items := m.cfg.Local.Store().UnreadableItems()
+		if len(items) == 0 || len(items) == prev || m.Stalled() || ctx.Err() != nil {
+			return len(items)
+		}
+		prev = len(items)
+		for _, item := range items {
+			if err := m.CopyNow(ctx, item); errors.Is(err, ErrStalled) || ctx.Err() != nil {
+				return len(m.cfg.Local.Store().UnreadableItems())
+			}
 		}
 	}
 }

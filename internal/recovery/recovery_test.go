@@ -2,6 +2,7 @@ package recovery_test
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -304,6 +305,80 @@ func TestSpooledRecoveryReplaysInOrder(t *testing.T) {
 		if n := c.Site(s).Spool.Pending(3); n != 0 {
 			t.Fatalf("site %v still spools %d updates", s, n)
 		}
+	}
+}
+
+func TestSynchronousCopyWithPoolDisabled(t *testing.T) {
+	items := []proto.Item{"a", "b", "c"}
+	cfg := core.Config{
+		Sites:         3,
+		Placement:     fullPlacement(items, 3),
+		CopierWorkers: -1, // no pool: copies happen only when we say so
+	}
+	c := newCluster(t, cfg)
+	ctx := context.Background()
+
+	c.Crash(3)
+	writeRetry(t, c, 1, "a", 10)
+
+	if _, err := c.Recover(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	rec := c.Site(3).Recovery
+	if n := len(c.Site(3).Store.UnreadableItems()); n != len(items) {
+		t.Fatalf("unreadable after recover = %d, want %d (no background copiers may run)", n, len(items))
+	}
+
+	// Stalled: both synchronous entry points refuse to copy.
+	rec.SetStalled(true)
+	if !rec.Stalled() {
+		t.Fatal("Stalled() = false after SetStalled(true)")
+	}
+	if err := rec.CopyNow(ctx, "a"); !errors.Is(err, recovery.ErrStalled) {
+		t.Fatalf("CopyNow while stalled: err = %v, want ErrStalled", err)
+	}
+	if n := rec.DrainNow(ctx); n != len(items) {
+		t.Fatalf("DrainNow while stalled left %d unreadable, want %d", n, len(items))
+	}
+
+	rec.SetStalled(false)
+	if n := rec.DrainNow(ctx); n != 0 {
+		t.Fatalf("DrainNow after resume left %d unreadable", n)
+	}
+	if v, _, err := c.Site(3).Store.Committed("a"); err != nil || v != 10 {
+		t.Fatalf("drained copy a = (%d, %v), want 10", v, err)
+	}
+	st := rec.Stats()
+	if st.CopiersRun != uint64(len(items)) {
+		t.Errorf("CopiersRun = %d, want %d", st.CopiersRun, len(items))
+	}
+}
+
+func TestStallGateParksWorkerPool(t *testing.T) {
+	items := []proto.Item{"a", "b"}
+	cfg := core.Config{
+		Sites:     3,
+		Placement: fullPlacement(items, 3),
+	}
+	c := newCluster(t, cfg)
+	ctx := context.Background()
+
+	// Stall before recovery, so the eager Flush enqueues work that the
+	// pool must park on rather than execute.
+	c.Site(3).Recovery.SetStalled(true)
+	c.Crash(3)
+	writeRetry(t, c, 1, "a", 1)
+	if _, err := c.Recover(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := len(c.Site(3).Store.UnreadableItems()); n != len(items) {
+		t.Fatalf("stalled pool refreshed copies: %d unreadable, want %d", n, len(items))
+	}
+
+	c.Site(3).Recovery.SetStalled(false)
+	if err := c.WaitCurrent(ctx, 3); err != nil {
+		t.Fatalf("pool never resumed after SetStalled(false): %v", err)
 	}
 }
 
