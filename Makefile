@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench trace cover chaos
+.PHONY: all build test race lint bench trace cover chaos fuzz e2e
 
 all: lint build test
 
@@ -25,6 +25,16 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Fuzz the self-describing wire codec (FUZZTIME to adjust).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/proto
+
+# Mirrors the tcp-e2e CI job: transport, node, and 3-process srnode
+# cluster tests under the race detector.
+e2e:
+	$(GO) test -race -count=1 ./internal/transport/... ./internal/node/ ./cmd/srnode/
 
 # Mirrors the coverage CI job.
 cover:

@@ -4,12 +4,18 @@
 // Usage:
 //
 //	srbench [-run E3] [-scale quick|full] [-csv] [-json BENCH.json]
+//	srbench -transport [-txns 50] [-json BENCH_PR4.json]
 //	srbench -list
 //
 // With -json, srbench additionally writes a machine-readable per-experiment
 // summary — wall time, protocol throughput, abort rate, and commit-latency
 // percentiles read off the observability hub — to seed the repository's
 // performance trajectory (BENCH_PR2.json and successors).
+//
+// With -transport, srbench instead benchmarks the transport dimension:
+// multi-replica commit latency on the in-process simulator with sequential
+// vs parallel fan-out, and across three nodes on real localhost TCP (see
+// cmd/srbench/transport.go).
 package main
 
 import (
@@ -33,8 +39,17 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		showObs  = flag.Bool("metrics", false, "print each experiment's protocol-metrics delta")
 		jsonPath = flag.String("json", "", "write a machine-readable per-experiment summary to this file")
+		trans    = flag.Bool("transport", false, "benchmark the transport dimension (inproc-seq, inproc-par, tcp) instead of the experiments")
+		txns     = flag.Int("txns", 50, "transactions per transport in -transport mode")
 	)
 	flag.Parse()
+	if *trans {
+		if err := runTransportBench(*txns, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "srbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := realMain(*run, *scale, *csv, *list, *showObs, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "srbench:", err)
 		os.Exit(1)

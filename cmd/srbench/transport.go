@@ -1,0 +1,231 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"siterecovery/internal/core"
+	"siterecovery/internal/node"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/txn"
+)
+
+// The transport dimension compares multi-replica commit latency across the
+// three ways the protocol can reach its replicas:
+//
+//   - inproc-seq: the network simulator with sequential fan-out (the
+//     deterministic default) — a write-all phase costs the SUM of the
+//     per-replica round trips.
+//   - inproc-par: the same simulator with ParallelFanout — a phase costs
+//     the MAX of the round trips.
+//   - tcp: three nodes over real localhost TCP (internal/transport/tcpnet),
+//     which always fans out in parallel.
+//
+// The simulated link latency is fixed (Min == Max) so the seq/par ratio
+// reflects fan-out structure, not RNG draws.
+
+// transportResult is one transport's measured commit-latency distribution.
+type transportResult struct {
+	Transport string  `json:"transport"`
+	Txns      int     `json:"txns"`
+	MeanUS    float64 `json:"mean_us"`
+	P50US     int64   `json:"p50_us"`
+	P95US     int64   `json:"p95_us"`
+	MaxUS     int64   `json:"max_us"`
+}
+
+// transportReport is the BENCH_PR4.json shape.
+type transportReport struct {
+	Sites           int               `json:"sites"`
+	Replicas        int               `json:"replicas_per_item"`
+	ItemsPerTxn     int               `json:"items_per_txn"`
+	LinkLatencyUS   int64             `json:"sim_link_latency_us"`
+	Results         []transportResult `json:"results"`
+	ParallelSpeedup float64           `json:"parallel_speedup_vs_seq"`
+}
+
+const (
+	benchSites       = 3
+	benchLinkLatency = 500 * time.Microsecond
+	benchWarmup      = 5
+)
+
+// benchPlacement fully replicates items x and y across all sites, so every
+// write-all and two-phase-commit round involves every site.
+func benchPlacement() map[proto.Item][]proto.SiteID {
+	all := make([]proto.SiteID, benchSites)
+	for i := range all {
+		all[i] = proto.SiteID(i + 1)
+	}
+	return map[proto.Item][]proto.SiteID{"x": all, "y": all}
+}
+
+// benchBody is the measured transaction: write both fully replicated items.
+func benchBody(ctx context.Context, tx *txn.Tx) error {
+	if err := tx.Write(ctx, "x", 1); err != nil {
+		return err
+	}
+	return tx.Write(ctx, "y", 2)
+}
+
+func summarizeLatencies(name string, lats []time.Duration) transportResult {
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	at := func(q float64) int64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i].Microseconds()
+	}
+	return transportResult{
+		Transport: name,
+		Txns:      len(lats),
+		MeanUS:    float64(sum.Microseconds()) / float64(len(lats)),
+		P50US:     at(0.50),
+		P95US:     at(0.95),
+		MaxUS:     sorted[len(sorted)-1].Microseconds(),
+	}
+}
+
+// benchInproc measures commit latency on the network simulator.
+func benchInproc(txns int, parallel bool) (transportResult, error) {
+	name := "inproc-seq"
+	if parallel {
+		name = "inproc-par"
+	}
+	cl, err := core.New(core.Config{
+		Sites:          benchSites,
+		Placement:      benchPlacement(),
+		MinLatency:     benchLinkLatency,
+		MaxLatency:     benchLinkLatency,
+		ParallelFanout: parallel,
+	})
+	if err != nil {
+		return transportResult{}, err
+	}
+	cl.Start()
+	defer cl.Stop()
+
+	ctx := context.Background()
+	lats := make([]time.Duration, 0, txns)
+	for i := 0; i < benchWarmup+txns; i++ {
+		start := time.Now()
+		if err := cl.Exec(ctx, 1, benchBody); err != nil {
+			return transportResult{}, fmt.Errorf("%s txn %d: %w", name, i, err)
+		}
+		if i >= benchWarmup {
+			lats = append(lats, time.Since(start))
+		}
+	}
+	return summarizeLatencies(name, lats), nil
+}
+
+// benchTCP measures commit latency across three nodes on localhost TCP.
+func benchTCP(txns int) (transportResult, error) {
+	listeners := make(map[proto.SiteID]net.Listener, benchSites)
+	addrs := make(map[proto.SiteID]string, benchSites)
+	for i := 1; i <= benchSites; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return transportResult{}, err
+		}
+		listeners[proto.SiteID(i)] = ln
+		addrs[proto.SiteID(i)] = ln.Addr().String()
+	}
+	nodes := make([]*node.Node, 0, benchSites)
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	for i := 1; i <= benchSites; i++ {
+		id := proto.SiteID(i)
+		n, err := node.New(node.Config{
+			Site:      id,
+			Sites:     benchSites,
+			Addrs:     addrs,
+			Listener:  listeners[id],
+			Placement: benchPlacement(),
+		})
+		if err != nil {
+			return transportResult{}, err
+		}
+		if err := n.Start(); err != nil {
+			return transportResult{}, err
+		}
+		nodes = append(nodes, n)
+	}
+
+	ctx := context.Background()
+	lats := make([]time.Duration, 0, txns)
+	for i := 0; i < benchWarmup+txns; i++ {
+		start := time.Now()
+		if err := nodes[0].Exec(ctx, benchBody); err != nil {
+			return transportResult{}, fmt.Errorf("tcp txn %d: %w", i, err)
+		}
+		if i >= benchWarmup {
+			lats = append(lats, time.Since(start))
+		}
+	}
+	return summarizeLatencies("tcp", lats), nil
+}
+
+// runTransportBench runs the three transports and writes the report.
+func runTransportBench(txns int, jsonPath string) error {
+	report := transportReport{
+		Sites:         benchSites,
+		Replicas:      benchSites,
+		ItemsPerTxn:   2,
+		LinkLatencyUS: benchLinkLatency.Microseconds(),
+	}
+
+	seq, err := benchInproc(txns, false)
+	if err != nil {
+		return err
+	}
+	par, err := benchInproc(txns, true)
+	if err != nil {
+		return err
+	}
+	tcp, err := benchTCP(txns)
+	if err != nil {
+		return err
+	}
+	report.Results = []transportResult{seq, par, tcp}
+	if par.MeanUS > 0 {
+		report.ParallelSpeedup = seq.MeanUS / par.MeanUS
+	}
+
+	fmt.Printf("### transport: commit latency, %d sites, %d fully replicated items/txn, %s sim link\n",
+		report.Sites, report.ItemsPerTxn, benchLinkLatency)
+	fmt.Printf("%-12s %6s %10s %10s %10s %10s\n", "transport", "txns", "mean_us", "p50_us", "p95_us", "max_us")
+	for _, r := range report.Results {
+		fmt.Printf("%-12s %6d %10.0f %10d %10d %10d\n", r.Transport, r.Txns, r.MeanUS, r.P50US, r.P95US, r.MaxUS)
+	}
+	fmt.Printf("parallel fan-out speedup vs sequential: %.2fx\n", report.ParallelSpeedup)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return fmt.Errorf("write %s: %w", jsonPath, err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(report)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("write %s: %w", jsonPath, err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}

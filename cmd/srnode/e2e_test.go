@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestE2EThreeSiteCluster builds the srnode binary, launches a 3-site
+// cluster as real OS processes over localhost TCP, and drives the paper's
+// lifecycle through the HTTP control surface: commit a read-write
+// transaction, crash a site, keep committing on the survivors, then run
+// type-1 recovery and verify the recovered site converged.
+func TestE2EThreeSiteCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-spawning e2e test in -short mode")
+	}
+
+	bin := buildSrnode(t)
+
+	const sites = 3
+	peerAddrs := make([]string, sites)
+	controlAddrs := make([]string, sites)
+	peerSpec := ""
+	for i := 0; i < sites; i++ {
+		peerAddrs[i] = freeAddr(t)
+		controlAddrs[i] = freeAddr(t)
+		if i > 0 {
+			peerSpec += ","
+		}
+		peerSpec += fmt.Sprintf("%d=%s", i+1, peerAddrs[i])
+	}
+
+	procs := make([]*exec.Cmd, sites)
+	for i := 0; i < sites; i++ {
+		cmd := exec.Command(bin,
+			"-site", fmt.Sprint(i+1),
+			"-peers", peerSpec,
+			"-items", "x,y",
+			"-control", controlAddrs[i],
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start srnode %d: %v", i+1, err)
+		}
+		procs[i] = cmd
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+	}
+
+	for i := 0; i < sites; i++ {
+		waitOperational(t, controlAddrs[i])
+	}
+
+	// A read-write transaction at site 1 replicates to every copy.
+	if code, body := post(t, controlAddrs[0], "/exec?item=x&value=41"); code != http.StatusOK {
+		t.Fatalf("exec at site 1: %d %s", code, body)
+	}
+	if got := readItem(t, controlAddrs[1], "x"); got != 41 {
+		t.Fatalf("x at site 2 = %d, want 41", got)
+	}
+
+	// Crash site 3. Writes at site 1 fail until the failure detector's
+	// type-2 control transaction excludes it, then proceed on survivors.
+	if code, body := post(t, controlAddrs[2], "/crash"); code != http.StatusOK {
+		t.Fatalf("crash site 3: %d %s", code, body)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		code, body := post(t, controlAddrs[0], "/exec?item=x&value=100")
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("write never succeeded after crash: %d %s", code, body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if code, body := post(t, controlAddrs[0], "/exec?item=y&value=7"); code != http.StatusOK {
+		t.Fatalf("write y on survivors: %d %s", code, body)
+	}
+
+	// Recover site 3: the type-1 control transaction claims it nominally
+	// up with a fresh session number, and /recover waits for the copiers.
+	code, body := post(t, controlAddrs[2], "/recover")
+	if code != http.StatusOK {
+		t.Fatalf("recover site 3: %d %s", code, body)
+	}
+	var report struct {
+		Session uint64 `json:"session"`
+	}
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatalf("recover report %s: %v", body, err)
+	}
+	if report.Session <= 1 {
+		t.Fatalf("recovered session = %d, want > 1", report.Session)
+	}
+
+	// The recovered site serves current data from its local copies.
+	if got := readItem(t, controlAddrs[2], "x"); got != 100 {
+		t.Fatalf("x at recovered site = %d, want 100", got)
+	}
+	if got := readItem(t, controlAddrs[2], "y"); got != 7 {
+		t.Fatalf("y at recovered site = %d, want 7", got)
+	}
+}
+
+func buildSrnode(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "srnode")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build srnode: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr grabs a free localhost port and releases it for the srnode
+// process to rebind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitOperational(t *testing.T, ctrl string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + ctrl + "/status")
+		if err == nil {
+			var st struct {
+				Up          bool `json:"up"`
+				Operational bool `json:"operational"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err == nil && st.Up && st.Operational {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("site at %s never became operational: %v", ctrl, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func post(t *testing.T, ctrl, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post("http://"+ctrl+path, "", nil)
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	buf, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, buf
+}
+
+func readItem(t *testing.T, ctrl, item string) int64 {
+	t.Helper()
+	resp, err := http.Get("http://" + ctrl + "/read?item=" + item)
+	if err != nil {
+		t.Fatalf("GET /read?item=%s: %v", item, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		buf, _ := io.ReadAll(resp.Body)
+		t.Fatalf("read %s: %d %s", item, resp.StatusCode, buf)
+	}
+	var out struct {
+		Value int64 `json:"value"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("read %s: %v", item, err)
+	}
+	return out.Value
+}

@@ -1,0 +1,231 @@
+// Command srnode runs ONE site of the replicated database as a real OS
+// process, speaking the length-prefixed TCP protocol of
+// internal/transport/tcpnet to its peers. A cluster is a set of srnode
+// processes sharing the same -peers map; each exposes an HTTP control
+// surface for driving transactions and the crash/recover cycle.
+//
+// Usage:
+//
+//	srnode -site 1 -peers '1=127.0.0.1:7101,2=127.0.0.1:7102,3=127.0.0.1:7103' \
+//	       -items x,y,z -control 127.0.0.1:8101
+//
+// Control endpoints:
+//
+//	GET  /status          {"site":1,"up":true,"operational":true,"session":2}
+//	POST /exec?item=x&value=7   run a read-write txn writing value to item
+//	GET  /read?item=x     read item through a user transaction
+//	POST /crash           fail-stop this site (volatile state lost)
+//	POST /recover         run the paper's recovery; returns the report
+//
+// Items named with -items are fully replicated across all sites. Storage is
+// in-memory, so /crash models the fail-stop crash in-process (peers see
+// ErrSiteDown on every call) while the "stable" storage and WAL survive for
+// /recover — see internal/node.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"siterecovery/internal/node"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/recovery"
+	"siterecovery/internal/txn"
+)
+
+func main() {
+	var (
+		site     = flag.Int("site", 1, "this site's ID (1-based)")
+		peers    = flag.String("peers", "", "comma-separated site=host:port map for every site, e.g. '1=127.0.0.1:7101,2=127.0.0.1:7102'")
+		items    = flag.String("items", "x,y", "comma-separated logical items, fully replicated across all sites")
+		control  = flag.String("control", "127.0.0.1:0", "HTTP control listen address")
+		identify = flag.String("identify", "markall", "out-of-date identification: markall|faillock|missinglist")
+	)
+	flag.Parse()
+
+	addrs, err := parsePeers(*peers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srnode:", err)
+		os.Exit(2)
+	}
+	id := proto.SiteID(*site)
+	if _, ok := addrs[id]; !ok {
+		fmt.Fprintf(os.Stderr, "srnode: -peers has no entry for -site %d\n", *site)
+		os.Exit(2)
+	}
+
+	ident, err := parseIdentify(*identify)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srnode:", err)
+		os.Exit(2)
+	}
+
+	all := make([]proto.SiteID, 0, len(addrs))
+	for j := range addrs {
+		all = append(all, j)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	placement := map[proto.Item][]proto.SiteID{}
+	for _, it := range strings.Split(*items, ",") {
+		it = strings.TrimSpace(it)
+		if it != "" {
+			placement[proto.Item(it)] = all
+		}
+	}
+
+	n, err := node.New(node.Config{
+		Site:      id,
+		Sites:     len(addrs),
+		Addrs:     addrs,
+		Placement: placement,
+		Identify:  ident,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srnode:", err)
+		os.Exit(1)
+	}
+	if err := n.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "srnode:", err)
+		os.Exit(1)
+	}
+	defer n.Stop()
+
+	srv := &http.Server{Addr: *control, Handler: controlMux(id, n)}
+	fmt.Printf("srnode: site %d serving peers on %s, control on %s\n", id, addrs[id], *control)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "srnode:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePeers(spec string) (map[proto.SiteID]string, error) {
+	addrs := map[proto.SiteID]string{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("peer %q: want site=host:port", part)
+		}
+		sid, err := strconv.Atoi(strings.TrimSpace(kv[0]))
+		if err != nil || sid < 1 {
+			return nil, fmt.Errorf("peer %q: bad site ID", part)
+		}
+		addrs[proto.SiteID(sid)] = strings.TrimSpace(kv[1])
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("-peers is required")
+	}
+	return addrs, nil
+}
+
+func parseIdentify(s string) (recovery.Identify, error) {
+	switch s {
+	case "markall":
+		return recovery.IdentifyMarkAll, nil
+	case "faillock":
+		return recovery.IdentifyFailLock, nil
+	case "missinglist":
+		return recovery.IdentifyMissingList, nil
+	default:
+		return 0, fmt.Errorf("unknown -identify %q", s)
+	}
+}
+
+func controlMux(id proto.SiteID, n *node.Node) *http.ServeMux {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(v)
+	}
+
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"site":        id,
+			"up":          n.Up(),
+			"operational": n.Operational(),
+			"session":     n.DM.Session(),
+		})
+	})
+
+	mux.HandleFunc("POST /exec", func(w http.ResponseWriter, r *http.Request) {
+		item := proto.Item(r.URL.Query().Get("item"))
+		value, err := strconv.ParseInt(r.URL.Query().Get("value"), 10, 64)
+		if item == "" || err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "want ?item=NAME&value=INT"})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+		defer cancel()
+		// Read-then-write: exercises both the read-one and write-all paths.
+		err = n.Exec(ctx, func(ctx context.Context, tx *txn.Tx) error {
+			if _, err := tx.Read(ctx, item); err != nil {
+				return err
+			}
+			return tx.Write(ctx, item, proto.Value(value))
+		})
+		if err != nil {
+			writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"committed": true})
+	})
+
+	mux.HandleFunc("GET /read", func(w http.ResponseWriter, r *http.Request) {
+		item := proto.Item(r.URL.Query().Get("item"))
+		if item == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "want ?item=NAME"})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+		defer cancel()
+		var got proto.Value
+		err := n.Exec(ctx, func(ctx context.Context, tx *txn.Tx) error {
+			v, err := tx.Read(ctx, item)
+			got = v
+			return err
+		})
+		if err != nil {
+			writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"item": item, "value": got})
+	})
+
+	mux.HandleFunc("POST /crash", func(w http.ResponseWriter, r *http.Request) {
+		n.Crash()
+		writeJSON(w, http.StatusOK, map[string]any{"crashed": true})
+	})
+
+	mux.HandleFunc("POST /recover", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), 60*time.Second)
+		defer cancel()
+		report, err := n.Recover(ctx)
+		if err != nil {
+			writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error()})
+			return
+		}
+		if err := n.WaitCurrent(ctx); err != nil {
+			writeJSON(w, http.StatusConflict, map[string]any{"error": "wait current: " + err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"session": report.Session,
+			"marked":  report.Marked,
+			"inDoubt": report.InDoubt,
+		})
+	})
+
+	return mux
+}

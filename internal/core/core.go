@@ -95,6 +95,13 @@ type Config struct {
 	MaxLatency time.Duration
 	LossRate   float64
 	Seed       int64
+	// ParallelFanout lets multi-replica phases (write-all, prepare/commit,
+	// claim broadcasts, witness queries) issue their simulator calls
+	// concurrently, so multi-replica latency is the max of the replicas
+	// instead of the sum. Off by default: the deterministic harnesses
+	// (scripted runs, the chaos engine) need one totally ordered message
+	// stream per seed. Real transports (tcpnet) always fan out in parallel.
+	ParallelFanout bool
 	// MaxAttempts and RetryBackoff tune the transaction retry loop.
 	MaxAttempts  int
 	RetryBackoff time.Duration
@@ -237,12 +244,13 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	net := netsim.New(netsim.Config{
-		Clock:      cfg.Clock,
-		MinLatency: cfg.MinLatency,
-		MaxLatency: cfg.MaxLatency,
-		LossRate:   cfg.LossRate,
-		Seed:       cfg.Seed,
-		Obs:        cfg.Obs,
+		Clock:          cfg.Clock,
+		MinLatency:     cfg.MinLatency,
+		MaxLatency:     cfg.MaxLatency,
+		LossRate:       cfg.LossRate,
+		Seed:           cfg.Seed,
+		ParallelFanout: cfg.ParallelFanout,
+		Obs:            cfg.Obs,
 	})
 	rec := history.NewRecorder()
 	rec.RegisterTxn(txn.InitialTxn, proto.ClassInitial)

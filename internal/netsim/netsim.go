@@ -25,10 +25,14 @@ import (
 	"siterecovery/internal/clock"
 	"siterecovery/internal/obs"
 	"siterecovery/internal/proto"
+	"siterecovery/internal/transport"
 )
 
 // Handler processes one inbound message at a site and returns the reply.
-type Handler func(ctx context.Context, from proto.SiteID, msg proto.Message) (proto.Message, error)
+type Handler = transport.Handler
+
+// Network is the in-process transport.Transport implementation.
+var _ transport.Transport = (*Network)(nil)
 
 // Config tunes the network.
 type Config struct {
@@ -44,6 +48,13 @@ type Config struct {
 	// Seed seeds the latency/loss randomness. Zero means a fixed default,
 	// keeping runs reproducible unless the caller opts out.
 	Seed int64
+	// ParallelFanout lets multi-replica phases (write-all, prepare, commit,
+	// claim broadcasts) issue their calls to this network concurrently.
+	// Off by default: the deterministic harnesses (scripted srsim, the
+	// chaos engine) need fan-out calls — and the RNG draws and trace events
+	// they cause — in one reproducible order, so per-seed JSONL traces stay
+	// byte-identical. Benchmarks and latency-model runs opt in.
+	ParallelFanout bool
 	// Obs receives drop/partition events and metrics; nil is a no-op sink.
 	Obs *obs.Hub
 }
@@ -77,9 +88,13 @@ type Stat struct {
 type Network struct {
 	cfg Config
 
-	mu    sync.Mutex
+	// rngMu guards only the latency/loss sampling state, so RNG draws do
+	// not serialize against the topology map under mu (see BenchmarkCall).
+	rngMu sync.Mutex
 	rng   *rand.Rand
 	loss  float64
+
+	mu    sync.Mutex
 	nodes map[proto.SiteID]*node
 	stats map[string]*Stat
 }
@@ -113,17 +128,21 @@ func (n *Network) SetLossRate(rate float64) {
 	if rate >= 1 {
 		rate = 0.999
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
 	n.loss = rate
 }
 
 // LossRate reports the current drop probability.
 func (n *Network) LossRate() float64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
 	return n.loss
 }
+
+// SequentialFanout implements transport.Sequentialer: fan-outs through the
+// simulator are serialized unless ParallelFanout was configured.
+func (n *Network) SequentialFanout() bool { return !n.cfg.ParallelFanout }
 
 // Register attaches a handler for site. Re-registering replaces the handler.
 func (n *Network) Register(site proto.SiteID, h Handler) {
@@ -315,8 +334,8 @@ func (n *Network) replyPath(ctx context.Context, from, to proto.SiteID, kind str
 }
 
 func (n *Network) lost() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
 	if n.loss <= 0 {
 		return false
 	}
@@ -343,8 +362,8 @@ func (n *Network) latency() time.Duration {
 	if n.cfg.MaxLatency == n.cfg.MinLatency {
 		return n.cfg.MinLatency
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
 	return n.cfg.MinLatency + time.Duration(n.rng.Int63n(int64(n.cfg.MaxLatency-n.cfg.MinLatency)))
 }
 

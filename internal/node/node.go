@@ -1,0 +1,373 @@
+// Package node assembles ONE site of the replicated database as a
+// standalone unit over a real TCP transport (internal/transport/tcpnet):
+// storage, WAL, lock manager, data manager, transaction manager, session
+// manager, recovery manager, and janitor — the same stack internal/core
+// wires for every site of a simulated cluster, but owning only its own
+// slice. cmd/srnode wraps a Node in a process with an HTTP control surface,
+// so a cluster of srnode processes exercises the paper's protocol over
+// localhost TCP instead of the in-process simulator.
+//
+// Storage and the WAL are in-memory, so a real process kill would lose the
+// "stable" storage the recovery protocol depends on. Crash therefore models
+// the paper's fail-stop site failure in-process: the data manager drops its
+// volatile state (locks, in-flight transactions, session number) and the
+// transport handler answers everything with proto.ErrSiteDown — exactly
+// what peers would see from a refused connection — while stable storage and
+// the log survive for Recover to use.
+package node
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"siterecovery/internal/dm"
+	"siterecovery/internal/lockmgr"
+	"siterecovery/internal/obs"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/recovery"
+	"siterecovery/internal/replication"
+	"siterecovery/internal/session"
+	"siterecovery/internal/storage"
+	"siterecovery/internal/transport"
+	"siterecovery/internal/transport/tcpnet"
+	"siterecovery/internal/txn"
+	"siterecovery/internal/wal"
+)
+
+// InitialSession is the session number the cluster starts with (matches
+// core.InitialSession).
+const InitialSession proto.Session = 1
+
+// Config assembles one site.
+type Config struct {
+	// Site is this node's ID (1-based). Required.
+	Site proto.SiteID
+	// Sites is the total number of sites in the cluster. Required.
+	Sites int
+	// Addrs maps every site to its TCP address. Required.
+	Addrs map[proto.SiteID]string
+	// Listener optionally overrides listening on Addrs[Site].
+	Listener net.Listener
+	// Placement maps each logical item to its replica sites. Required.
+	Placement map[proto.Item][]proto.SiteID
+	// Profile defaults to ROWAA.
+	Profile replication.Profile
+	// Identify defaults to IdentifyMarkAll.
+	Identify recovery.Identify
+	// CopierMode defaults to CopierEager.
+	CopierMode recovery.CopierMode
+	// LockPolicy and LockTimeout tune the lock manager.
+	LockPolicy  lockmgr.Policy
+	LockTimeout time.Duration
+	// MaxAttempts and RetryBackoff tune the transaction retry loop.
+	MaxAttempts  int
+	RetryBackoff time.Duration
+	// JanitorInterval and JanitorStaleAge tune cooperative termination.
+	JanitorInterval time.Duration
+	JanitorStaleAge time.Duration
+	// DetectorDebounce tunes the failure detector.
+	DetectorDebounce time.Duration
+	// CopierWorkers sizes the copier pool.
+	CopierWorkers int
+	// DialTimeout and CallTimeout tune the TCP transport.
+	DialTimeout time.Duration
+	CallTimeout time.Duration
+	// Obs receives protocol events and metrics; nil is a no-op sink.
+	Obs *obs.Hub
+}
+
+func (c Config) validate() error {
+	if c.Site < 1 || int(c.Site) > c.Sites {
+		return fmt.Errorf("node: site %v out of range 1..%d", c.Site, c.Sites)
+	}
+	if len(c.Placement) == 0 {
+		return fmt.Errorf("node: placement must not be empty")
+	}
+	if _, ok := c.Addrs[c.Site]; !ok && c.Listener == nil {
+		return fmt.Errorf("node: no address for site %v", c.Site)
+	}
+	return nil
+}
+
+// Node is one running site. Create with New, then Start.
+type Node struct {
+	cfg Config
+	cat *replication.Catalog
+
+	Transport *tcpnet.Transport
+	Store     *storage.Store
+	Locks     *lockmgr.Manager
+	Log       *wal.Log
+	DM        *dm.Manager
+	TM        *txn.Manager
+	Session   *session.Manager
+	Recovery  *recovery.Manager
+	Janitor   *recovery.Janitor
+
+	mu      sync.Mutex
+	up      bool
+	started bool
+}
+
+// New assembles a node. The node starts nominally up and operational with
+// session number 1, like core.New's sites; call Start to begin serving.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Profile.Name == "" {
+		cfg.Profile = replication.ROWAA
+	}
+
+	ids := make([]proto.SiteID, 0, cfg.Sites)
+	for i := 1; i <= cfg.Sites; i++ {
+		ids = append(ids, proto.SiteID(i))
+	}
+	cat, err := replication.NewCatalog(ids, cfg.Placement)
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+
+	n := &Node{cfg: cfg, cat: cat, up: true}
+
+	n.Transport = tcpnet.New(tcpnet.Config{
+		Self:        cfg.Site,
+		Addrs:       cfg.Addrs,
+		Listener:    cfg.Listener,
+		DialTimeout: cfg.DialTimeout,
+		CallTimeout: cfg.CallTimeout,
+	})
+
+	var items []proto.Item
+	items = append(items, cat.ItemsAt(cfg.Site)...)
+	for _, j := range ids {
+		items = append(items, proto.NSItem(j))
+	}
+	n.Store = storage.New(cfg.Site, items, txn.InitialTxn)
+	for _, j := range ids {
+		if err := n.Store.Seed(proto.NSItem(j), proto.Value(InitialSession)); err != nil {
+			return nil, err
+		}
+	}
+	n.Store.SetSessionCounter(InitialSession)
+
+	n.Locks = lockmgr.New(lockmgr.Config{
+		Timeout: cfg.LockTimeout,
+		Policy:  cfg.LockPolicy,
+	})
+	n.Log = wal.New()
+
+	tracking := dm.TrackNone
+	switch cfg.Identify {
+	case recovery.IdentifyFailLock:
+		tracking = dm.TrackFailLock
+	case recovery.IdentifyMissingList:
+		tracking = dm.TrackMissingList
+	}
+	n.DM = dm.New(dm.Config{
+		Site:     cfg.Site,
+		Store:    n.Store,
+		Locks:    n.Locks,
+		Log:      n.Log,
+		Tracking: tracking,
+		Obs:      cfg.Obs,
+	}, dm.Callbacks{
+		OnUnreadableRead: func(item proto.Item) {
+			if n.Recovery != nil {
+				n.Recovery.RequestCopy(item)
+			}
+		},
+		ActiveTxn: func(id proto.TxnID) bool {
+			return n.TM != nil && n.TM.Active(id)
+		},
+	})
+	n.DM.SetSession(InitialSession)
+
+	// Transaction IDs and commit sequence numbers come from a strided
+	// sequencer: each process draws from its own residue class, so IDs are
+	// cluster-unique without a shared counter.
+	seq := txn.NewStridedSequencer(cfg.Site, cfg.Sites)
+
+	n.TM = txn.New(txn.Config{
+		Site:         cfg.Site,
+		Net:          n.Transport,
+		Local:        n.DM,
+		Catalog:      cat,
+		Profile:      cfg.Profile,
+		Seq:          seq,
+		Obs:          cfg.Obs,
+		MaxAttempts:  cfg.MaxAttempts,
+		RetryBackoff: cfg.RetryBackoff,
+		Seed:         int64(cfg.Site) + 1,
+	}, txn.Callbacks{
+		OnSiteDown: func(down proto.SiteID, observed proto.Session) {
+			if n.Session != nil {
+				n.Session.ReportDown(down, observed)
+			}
+		},
+	})
+
+	n.Session = session.New(session.Config{
+		Site:     cfg.Site,
+		TM:       n.TM,
+		Local:    n.DM,
+		Net:      n.Transport,
+		Catalog:  cat,
+		Obs:      cfg.Obs,
+		Debounce: cfg.DetectorDebounce,
+	})
+	n.Recovery = recovery.New(recovery.Config{
+		Site:          cfg.Site,
+		TM:            n.TM,
+		Local:         n.DM,
+		Net:           n.Transport,
+		Catalog:       cat,
+		Session:       n.Session,
+		Seq:           seq,
+		Obs:           cfg.Obs,
+		Identify:      cfg.Identify,
+		CopierMode:    cfg.CopierMode,
+		CopierWorkers: cfg.CopierWorkers,
+	})
+	n.Janitor = recovery.NewJanitor(recovery.JanitorConfig{
+		Site:     cfg.Site,
+		Local:    n.DM,
+		Net:      n.Transport,
+		Catalog:  cat,
+		Interval: cfg.JanitorInterval,
+		StaleAge: cfg.JanitorStaleAge,
+	})
+
+	n.Transport.SetHandler(n.handle)
+	return n, nil
+}
+
+// handle is the node's wire dispatcher. A crashed node answers every
+// request with ErrSiteDown: the process stays alive (its in-memory "stable"
+// storage must survive for recovery), but to its peers it is
+// indistinguishable from a refused connection.
+func (n *Node) handle(ctx context.Context, from proto.SiteID, msg proto.Message) (proto.Message, error) {
+	if !n.DM.Alive() {
+		return nil, fmt.Errorf("site %v crashed: %w", n.cfg.Site, proto.ErrSiteDown)
+	}
+	switch msg.(type) {
+	case proto.SpoolAppendReq, proto.SpoolFetchReq:
+		return nil, fmt.Errorf("site %v has no spool store", n.cfg.Site)
+	default:
+		return n.DM.Handle(ctx, from, msg)
+	}
+}
+
+// Catalog returns the item placement.
+func (n *Node) Catalog() *replication.Catalog { return n.cat }
+
+// Net returns the node's transport as the generic interface.
+func (n *Node) Net() transport.Transport { return n.Transport }
+
+// Start begins serving the transport and launches the background workers.
+func (n *Node) Start() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return nil
+	}
+	if err := n.Transport.Start(); err != nil {
+		return err
+	}
+	n.started = true
+	n.startWorkers()
+	return nil
+}
+
+// Stop shuts the workers and the transport down.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.started {
+		return
+	}
+	n.started = false
+	n.stopWorkers()
+	n.Transport.Close()
+}
+
+func (n *Node) startWorkers() {
+	n.Session.Start()
+	n.Recovery.Start()
+	n.Janitor.Start()
+}
+
+func (n *Node) stopWorkers() {
+	n.Janitor.Stop()
+	n.Recovery.Stop()
+	n.Session.Stop()
+}
+
+// Up reports whether the node is up (not crashed).
+func (n *Node) Up() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.up
+}
+
+// Operational reports whether the node accepts user transactions.
+func (n *Node) Operational() bool { return n.DM.Operational() }
+
+// Crash fail-stops the node: volatile state is lost, background workers
+// stop, and every subsequent request is answered with ErrSiteDown until
+// Recover.
+func (n *Node) Crash() {
+	n.mu.Lock()
+	if !n.up {
+		n.mu.Unlock()
+		return
+	}
+	n.up = false
+	started := n.started
+	n.mu.Unlock()
+
+	n.cfg.Obs.SiteCrash(n.cfg.Site)
+	if started {
+		n.stopWorkers()
+	}
+	n.DM.Crash()
+	n.TM.CrashReset()
+	n.Session.CrashReset()
+}
+
+// Recover restarts a crashed node and runs the paper's recovery procedure:
+// resolve in-doubt transactions, mark out-of-date copies, claim the site
+// nominally up (type-1), and let copiers refresh in the background. The
+// node is operational when Recover returns.
+func (n *Node) Recover(ctx context.Context) (recovery.Report, error) {
+	n.mu.Lock()
+	if n.up {
+		n.mu.Unlock()
+		return recovery.Report{}, fmt.Errorf("site %v is not down", n.cfg.Site)
+	}
+	n.up = true
+	started := n.started
+	n.mu.Unlock()
+
+	n.DM.Restart()
+	if started {
+		n.startWorkers()
+	}
+	if n.cfg.Profile.Name != replication.ROWAA.Name {
+		return n.Recovery.RecoverBaseline(ctx)
+	}
+	return n.Recovery.Recover(ctx)
+}
+
+// WaitCurrent blocks until every local copy is readable again.
+func (n *Node) WaitCurrent(ctx context.Context) error {
+	return n.Recovery.WaitCurrent(ctx)
+}
+
+// Exec runs body as a user transaction coordinated by this node.
+func (n *Node) Exec(ctx context.Context, body func(context.Context, *txn.Tx) error) error {
+	return n.TM.Run(ctx, body)
+}

@@ -1,0 +1,173 @@
+package proto
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// The wire codec: a self-describing envelope that lets a real network
+// transport (internal/transport/tcpnet) frame any protocol message as
+// bytes and reconstruct the concrete Go value — and the protocol error
+// taxonomy — on the other side. The in-process simulator never serializes;
+// both transports carry exactly the vocabulary defined in this package.
+
+// Envelope is the wire form of a Message: the Kind tag names the concrete
+// type, Body is its JSON encoding.
+type Envelope struct {
+	Kind string          `json:"kind"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// decoders maps each message kind to a function that decodes its body into
+// the concrete value type handlers switch on.
+var decoders = map[string]func(json.RawMessage) (Message, error){}
+
+func register[T Message](kind string) {
+	decoders[kind] = func(body json.RawMessage) (Message, error) {
+		var v T
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &v); err != nil {
+				return nil, fmt.Errorf("decode %s body: %w", kind, err)
+			}
+		}
+		return v, nil
+	}
+}
+
+func init() {
+	register[ReadReq](ReadReq{}.Kind())
+	register[ReadResp](ReadResp{}.Kind())
+	register[WriteReq](WriteReq{}.Kind())
+	register[WriteResp](WriteResp{}.Kind())
+	register[PrepareReq](PrepareReq{}.Kind())
+	register[PrepareResp](PrepareResp{}.Kind())
+	register[CommitReq](CommitReq{}.Kind())
+	register[CommitResp](CommitResp{}.Kind())
+	register[AbortReq](AbortReq{}.Kind())
+	register[AbortResp](AbortResp{}.Kind())
+	register[DecisionReq](DecisionReq{}.Kind())
+	register[DecisionResp](DecisionResp{}.Kind())
+	register[ProbeReq](ProbeReq{}.Kind())
+	register[ProbeResp](ProbeResp{}.Kind())
+	register[MissedFetchReq](MissedFetchReq{}.Kind())
+	register[MissedFetchResp](MissedFetchResp{}.Kind())
+	register[SpoolAppendReq](SpoolAppendReq{}.Kind())
+	register[SpoolAppendResp](SpoolAppendResp{}.Kind())
+	register[SpoolFetchReq](SpoolFetchReq{}.Kind())
+	register[SpoolFetchResp](SpoolFetchResp{}.Kind())
+}
+
+// MessageKinds lists every registered message kind in sorted order.
+func MessageKinds() []string {
+	kinds := make([]string, 0, len(decoders))
+	for k := range decoders {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// EncodeMessage frames a message as a self-describing envelope.
+func EncodeMessage(m Message) ([]byte, error) {
+	if m == nil {
+		return nil, fmt.Errorf("encode: nil message")
+	}
+	kind := m.Kind()
+	if _, ok := decoders[kind]; !ok {
+		return nil, fmt.Errorf("encode: unregistered message kind %q (%T)", kind, m)
+	}
+	body, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("encode %s: %w", kind, err)
+	}
+	return json.Marshal(Envelope{Kind: kind, Body: body})
+}
+
+// DecodeMessage reconstructs the concrete message value from an envelope.
+func DecodeMessage(data []byte) (Message, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("decode envelope: %w", err)
+	}
+	dec, ok := decoders[env.Kind]
+	if !ok {
+		return nil, fmt.Errorf("decode: unknown message kind %q", env.Kind)
+	}
+	return dec(env.Body)
+}
+
+// errorCodes maps the sentinel taxonomy of errors.go to stable wire codes.
+// An error that wraps one of these travels as its code plus the full
+// message text, and is reconstructed on the receiving side so errors.Is
+// still matches the sentinel — the transaction managers' retry decisions
+// work identically over TCP and in process.
+var errorCodes = []struct {
+	code     string
+	sentinel error
+}{
+	{"site_down", ErrSiteDown},
+	{"dropped", ErrDropped},
+	{"session_mismatch", ErrSessionMismatch},
+	{"not_operational", ErrNotOperational},
+	{"unreadable", ErrUnreadable},
+	{"lock_timeout", ErrLockTimeout},
+	{"wounded", ErrWounded},
+	{"txn_aborted", ErrTxnAborted},
+	{"unknown_txn", ErrUnknownTxn},
+	{"unavailable", ErrUnavailable},
+	{"no_quorum", ErrNoQuorum},
+	{"total_failure", ErrTotalFailure},
+	{"abort_requested", ErrAbortRequested},
+}
+
+// WireError is the wire form of a handler error.
+type WireError struct {
+	// Code identifies the wrapped sentinel; empty for errors outside the
+	// protocol taxonomy.
+	Code string `json:"code,omitempty"`
+	// Msg is the full rendered error text.
+	Msg string `json:"msg"`
+}
+
+// EncodeError converts a handler error to its wire form.
+func EncodeError(err error) *WireError {
+	if err == nil {
+		return nil
+	}
+	w := &WireError{Msg: err.Error()}
+	for _, e := range errorCodes {
+		if errors.Is(err, e.sentinel) {
+			w.Code = e.code
+			break
+		}
+	}
+	return w
+}
+
+// remoteError carries a decoded wire error: the original text, wrapping the
+// matched sentinel so errors.Is keeps working across the wire.
+type remoteError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.sentinel }
+
+// Err reconstructs the Go error, re-attaching the matched sentinel.
+func (w *WireError) Err() error {
+	if w == nil {
+		return nil
+	}
+	for _, e := range errorCodes {
+		if e.code == w.Code {
+			if w.Msg == e.sentinel.Error() {
+				return e.sentinel
+			}
+			return &remoteError{msg: w.Msg, sentinel: e.sentinel}
+		}
+	}
+	return errors.New(w.Msg)
+}

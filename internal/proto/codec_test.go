@@ -1,0 +1,149 @@
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// wireSamples returns one populated value per message kind, exercising the
+// edge fields a naive codec would drop (Expect, MissedBy, NoRecord, nested
+// maps and slices).
+func wireSamples() []Message {
+	return []Message{
+		ReadReq{
+			Txn:      TxnMeta{ID: 42, Class: ClassUser, Origin: 3},
+			Item:     "x",
+			Mode:     CheckSession,
+			Expect:   7,
+			Copier:   true,
+			ReadOld:  true,
+			NoRecord: true,
+		},
+		ReadResp{Value: -9, Version: Version{Counter: 12, Writer: 42}},
+		WriteReq{
+			Txn:      TxnMeta{ID: 43, Class: ClassCopier, Origin: 1},
+			Item:     NSItem(2),
+			Value:    77,
+			Mode:     CheckSession,
+			Expect:   3,
+			MissedBy: []SiteID{2, 5},
+		},
+		WriteResp{},
+		PrepareReq{Txn: TxnMeta{ID: 44, Class: ClassControl1, Origin: 2}},
+		PrepareResp{Vote: true},
+		CommitReq{Txn: TxnMeta{ID: 44, Class: ClassControl2, Origin: 2}, CommitSeq: 99},
+		CommitResp{},
+		AbortReq{Txn: TxnMeta{ID: 45, Class: ClassUser, Origin: 4}, ReadOnlyEnd: true},
+		AbortResp{},
+		DecisionReq{Txn: 46},
+		DecisionResp{State: StateCommitted, CommitSeq: 100},
+		ProbeReq{},
+		ProbeResp{Operational: true, Session: 5},
+		MissedFetchReq{For: 3},
+		MissedFetchResp{
+			Missed: []Item{"a", "b"},
+			Others: map[SiteID][]Item{4: {"c"}, 5: {"d", "e"}},
+		},
+		SpoolAppendReq{For: 2, Item: "x", Value: 11, CommitSeq: 8, Writer: 40},
+		SpoolAppendResp{},
+		SpoolFetchReq{For: 1},
+		SpoolFetchResp{Updates: []SpooledUpdate{
+			{Item: "x", Value: 1, CommitSeq: 2, Writer: 3},
+			{Item: "y", Value: -4, CommitSeq: 5, Writer: 6},
+		}},
+	}
+}
+
+func TestCodecRoundTripsEveryKind(t *testing.T) {
+	samples := wireSamples()
+	covered := make(map[string]bool, len(samples))
+	for _, msg := range samples {
+		covered[msg.Kind()] = true
+		data, err := EncodeMessage(msg)
+		if err != nil {
+			t.Fatalf("encode %s: %v", msg.Kind(), err)
+		}
+		got, err := DecodeMessage(data)
+		if err != nil {
+			t.Fatalf("decode %s: %v", msg.Kind(), err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("%s round trip:\n got %#v\nwant %#v", msg.Kind(), got, msg)
+		}
+	}
+	// Every registered kind must have a sample, so a new message type cannot
+	// ship without wire coverage.
+	for _, kind := range MessageKinds() {
+		if !covered[kind] {
+			t.Errorf("registered kind %q has no round-trip sample", kind)
+		}
+	}
+	if len(covered) != len(MessageKinds()) {
+		t.Errorf("samples cover %d kinds, registry has %d", len(covered), len(MessageKinds()))
+	}
+}
+
+func TestDecodeRejectsUnknownKindAndGarbage(t *testing.T) {
+	if _, err := DecodeMessage([]byte(`{"kind":"nope","body":{}}`)); err == nil {
+		t.Error("unknown kind decoded without error")
+	}
+	if _, err := DecodeMessage([]byte(`not json`)); err == nil {
+		t.Error("garbage decoded without error")
+	}
+	if _, err := DecodeMessage([]byte(`{"kind":"read","body":[1,2]}`)); err == nil {
+		t.Error("mistyped body decoded without error")
+	}
+}
+
+func TestWireErrorPreservesSentinels(t *testing.T) {
+	cases := []error{
+		ErrSiteDown,
+		ErrDropped,
+		ErrSessionMismatch,
+		ErrNotOperational,
+		ErrUnreadable,
+		ErrLockTimeout,
+		ErrWounded,
+		ErrTxnAborted,
+		ErrUnknownTxn,
+		ErrUnavailable,
+		ErrNoQuorum,
+		ErrTotalFailure,
+		ErrAbortRequested,
+	}
+	for _, sentinel := range cases {
+		wrapped := fmt.Errorf("site2 serving t9: %w", sentinel)
+		back := EncodeError(wrapped).Err()
+		if !errors.Is(back, sentinel) {
+			t.Errorf("sentinel %v lost across the wire (got %v)", sentinel, back)
+		}
+		if back.Error() != wrapped.Error() {
+			t.Errorf("error text changed: got %q, want %q", back.Error(), wrapped.Error())
+		}
+		if Retryable(wrapped) != Retryable(back) {
+			t.Errorf("retryability of %v changed across the wire", sentinel)
+		}
+		// A bare sentinel comes back as the identical value.
+		if got := EncodeError(sentinel).Err(); got != sentinel {
+			t.Errorf("bare sentinel %v reconstructed as %v", sentinel, got)
+		}
+	}
+	// Errors outside the taxonomy keep their text but no sentinel.
+	opaque := errors.New("disk on fire")
+	back := EncodeError(opaque).Err()
+	if back.Error() != opaque.Error() {
+		t.Errorf("opaque error text changed: %q", back.Error())
+	}
+	if Retryable(back) {
+		t.Error("opaque error became retryable")
+	}
+	if EncodeError(nil) != nil {
+		t.Error("EncodeError(nil) != nil")
+	}
+	var nilWire *WireError
+	if nilWire.Err() != nil {
+		t.Error("nil WireError.Err() != nil")
+	}
+}

@@ -7,16 +7,16 @@ import (
 
 	"siterecovery/internal/clock"
 	"siterecovery/internal/dm"
-	"siterecovery/internal/netsim"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/replication"
+	"siterecovery/internal/transport"
 )
 
 // JanitorConfig assembles a Janitor.
 type JanitorConfig struct {
 	Site    proto.SiteID
 	Local   *dm.Manager
-	Net     *netsim.Network
+	Net     transport.Transport
 	Catalog *replication.Catalog
 	Clock   clock.Clock
 	// Interval between sweeps. Defaults to 100ms.
@@ -152,29 +152,17 @@ func (j *Janitor) resolve(ctx context.Context, st dm.StaleTxn) {
 		return
 	}
 	// Cooperative termination: look for a witness among the other sites.
-	for _, site := range j.cfg.Catalog.Sites() {
-		if site == j.cfg.Site || site == st.Meta.Origin {
-			continue
-		}
-		resp, err := j.cfg.Net.Call(ctx, j.cfg.Site, site, proto.DecisionReq{Txn: st.Meta.ID})
-		if err != nil {
-			continue
-		}
-		dr, ok := resp.(proto.DecisionResp)
-		if !ok {
-			continue
-		}
-		switch dr.State {
+	if state, seq, decisive := witnessDecision(ctx, j.cfg.Net, j.cfg.Site, st.Meta.Origin, j.cfg.Catalog.Sites(), st.Meta.ID); decisive {
+		switch state {
 		case proto.StateCommitted:
-			if err := j.cfg.Local.ForceCommit(st.Meta.ID, dr.CommitSeq); err == nil {
+			if err := j.cfg.Local.ForceCommit(st.Meta.ID, seq); err == nil {
 				j.bump(func(s *JanitorStats) { s.ForcedCommits++ })
 			}
-			return
 		case proto.StateAborted:
 			j.cfg.Local.ForceAbort(st.Meta.ID)
 			j.bump(func(s *JanitorStats) { s.ForcedAborts++ })
-			return
 		}
+		return
 	}
 	// All prepared, coordinator down, no witness: blocked (2PC's known
 	// window); the coordinator's recovery will answer from its log.

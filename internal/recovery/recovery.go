@@ -28,11 +28,11 @@ import (
 	"siterecovery/internal/clock"
 	"siterecovery/internal/dm"
 	"siterecovery/internal/history"
-	"siterecovery/internal/netsim"
 	"siterecovery/internal/obs"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/replication"
 	"siterecovery/internal/session"
+	"siterecovery/internal/transport"
 	"siterecovery/internal/txn"
 )
 
@@ -112,7 +112,7 @@ type Config struct {
 	Site    proto.SiteID
 	TM      *txn.Manager
 	Local   *dm.Manager
-	Net     *netsim.Network
+	Net     transport.Transport
 	Catalog *replication.Catalog
 	Session *session.Manager
 	Clock   clock.Clock
@@ -376,32 +376,60 @@ func (m *Manager) queryDecision(ctx context.Context, origin proto.SiteID, id pro
 		return state, seq
 	}
 	// Coordinator unreachable: ask the other sites for a witness.
-	sawOpen := false
-	for _, j := range m.cfg.Catalog.Sites() {
-		if j == m.cfg.Site || j == origin {
-			continue
+	if state, seq, decisive := witnessDecision(ctx, m.cfg.Net, m.cfg.Site, origin, m.cfg.Catalog.Sites(), id); decisive {
+		return state, seq
+	}
+	// No decisive witness (genuinely open, or no witness at all): stay
+	// conservative — classic 2PC blocking.
+	return proto.StatePrepared, 0
+}
+
+// witnessDecision implements the cooperative-termination witness query: ask
+// every peer (excluding self and the coordinator) for the outcome of id and
+// return the first decisive answer — a commit or abort — in site order. On a
+// sequential transport the probes stop at the first decisive answer,
+// preserving the historical message counts; on a concurrent transport all
+// peers are asked at once and the scan over the ordered results picks the
+// same verdict.
+func witnessDecision(ctx context.Context, net transport.Transport, self, origin proto.SiteID, sites []proto.SiteID, id proto.TxnID) (proto.TxnState, uint64, bool) {
+	var peers []proto.SiteID
+	for _, j := range sites {
+		if j != self && j != origin {
+			peers = append(peers, j)
 		}
-		resp, err := m.cfg.Net.Call(ctx, m.cfg.Site, j, proto.DecisionReq{Txn: id})
+	}
+	decisive := func(resp proto.Message, err error) bool {
 		if err != nil {
-			continue
+			return false
 		}
 		dr, ok := resp.(proto.DecisionResp)
-		if !ok {
+		return ok && (dr.State == proto.StateCommitted || dr.State == proto.StateAborted)
+	}
+	var results []transport.Result
+	if transport.IsSequential(net) {
+		for _, j := range peers {
+			resp, err := net.Call(ctx, self, j, proto.DecisionReq{Txn: id})
+			results = append(results, transport.Result{Site: j, Resp: resp, Err: err})
+			if decisive(resp, err) {
+				break
+			}
+		}
+	} else {
+		results = transport.Fanout(false, peers, func(j proto.SiteID) (proto.Message, error) {
+			return net.Call(ctx, self, j, proto.DecisionReq{Txn: id})
+		}, nil)
+	}
+	for _, r := range results {
+		if !decisive(r.Resp, r.Err) {
 			continue
 		}
-		switch dr.State {
-		case proto.StateCommitted:
-			return proto.StateCommitted, dr.CommitSeq
-		case proto.StateAborted:
-			return proto.StateAborted, 0
-		case proto.StatePrepared:
-			sawOpen = true
+		dr := r.Resp.(proto.DecisionResp)
+		if dr.State == proto.StateCommitted {
+			return proto.StateCommitted, dr.CommitSeq, true
 		}
+		return proto.StateAborted, 0, true
 	}
-	if sawOpen {
-		return proto.StatePrepared, 0 // genuinely open: classic 2PC blocking
-	}
-	return proto.StatePrepared, 0 // no witness either way: stay conservative
+	return proto.StateUnknown, 0, false
 }
 
 // markOutOfDate applies the configured identification strategy and returns
@@ -412,16 +440,23 @@ func (m *Manager) markOutOfDate(ctx context.Context) (int, error) {
 	case IdentifyMarkAll, IdentifyVersionDiff:
 		return store.MarkAllUnreadable(), nil
 	case IdentifyFailLock, IdentifyMissingList:
-		marked := make(map[proto.Item]bool)
+		var peers []proto.SiteID
 		for _, j := range m.cfg.Catalog.Sites() {
-			if j == m.cfg.Site {
-				continue
+			if j != m.cfg.Site {
+				peers = append(peers, j)
 			}
-			resp, err := m.cfg.Net.Call(ctx, m.cfg.Site, j, proto.MissedFetchReq{For: m.cfg.Site})
-			if err != nil {
+		}
+		// Fetch every peer's fail-lock/missing-list bookkeeping at once and
+		// merge the answers in site order.
+		results := transport.Fanout(transport.IsSequential(m.cfg.Net), peers, func(j proto.SiteID) (proto.Message, error) {
+			return m.cfg.Net.Call(ctx, m.cfg.Site, j, proto.MissedFetchReq{For: m.cfg.Site})
+		}, nil)
+		marked := make(map[proto.Item]bool)
+		for _, r := range results {
+			if r.Err != nil {
 				continue // down sites hold no live bookkeeping
 			}
-			mf, ok := resp.(proto.MissedFetchResp)
+			mf, ok := r.Resp.(proto.MissedFetchResp)
 			if !ok {
 				continue
 			}

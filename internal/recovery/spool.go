@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"siterecovery/internal/proto"
+	"siterecovery/internal/transport"
 )
 
 // RecoverSpooled executes recovery under the message-spooler baseline
@@ -60,16 +61,22 @@ func (m *Manager) RecoverSpooled(ctx context.Context) (Report, error) {
 // to a synthetic copier transaction so history analysis sees them with
 // copier semantics.
 func (m *Manager) applySpool(ctx context.Context) int {
-	var updates []proto.SpooledUpdate
+	var peers []proto.SiteID
 	for _, j := range m.cfg.Catalog.Sites() {
-		if j == m.cfg.Site {
+		if j != m.cfg.Site {
+			peers = append(peers, j)
+		}
+	}
+	// Drain every spooler at once; the replay below merges in site order.
+	results := transport.Fanout(transport.IsSequential(m.cfg.Net), peers, func(j proto.SiteID) (proto.Message, error) {
+		return m.cfg.Net.Call(ctx, m.cfg.Site, j, proto.SpoolFetchReq{For: m.cfg.Site})
+	}, nil)
+	var updates []proto.SpooledUpdate
+	for _, r := range results {
+		if r.Err != nil {
 			continue
 		}
-		resp, err := m.cfg.Net.Call(ctx, m.cfg.Site, j, proto.SpoolFetchReq{For: m.cfg.Site})
-		if err != nil {
-			continue
-		}
-		if sf, ok := resp.(proto.SpoolFetchResp); ok {
+		if sf, ok := r.Resp.(proto.SpoolFetchResp); ok {
 			updates = append(updates, sf.Updates...)
 		}
 	}

@@ -29,10 +29,10 @@ import (
 
 	"siterecovery/internal/clock"
 	"siterecovery/internal/dm"
-	"siterecovery/internal/netsim"
 	"siterecovery/internal/obs"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/replication"
+	"siterecovery/internal/transport"
 	"siterecovery/internal/txn"
 )
 
@@ -50,7 +50,7 @@ type Config struct {
 	Site    proto.SiteID
 	TM      *txn.Manager
 	Local   *dm.Manager
-	Net     *netsim.Network
+	Net     transport.Transport
 	Catalog *replication.Catalog
 	Clock   clock.Clock
 	// Obs receives protocol events and metrics; nil is a no-op sink.
@@ -273,24 +273,43 @@ func (m *Manager) claimDownBody(ctx context.Context, tx *txn.Tx, claims map[prot
 	}
 
 	// Write 0 to all available copies of NS[d]: the nominally-up sites
-	// minus the ones being claimed down.
+	// minus the ones being claimed down. The per-site write batches fan
+	// out across the up sites; each batch is ordered by claimed site ID so
+	// the message stream is reproducible on a sequential transport.
+	downList := claimedSet(targetsDown)
+	var upSites []proto.SiteID
 	for _, j := range m.cfg.Catalog.Sites() {
-		if vec[j] == proto.NoSession || targetsDown[j] {
-			continue
+		if vec[j] != proto.NoSession && !targetsDown[j] {
+			upSites = append(upSites, j)
 		}
-		for d := range targetsDown {
+	}
+	var claimsMu sync.Mutex
+	results := transport.Fanout(transport.IsSequential(m.cfg.Net), upSites, func(j proto.SiteID) (proto.Message, error) {
+		for _, d := range downList {
 			err := tx.RawWrite(ctx, []proto.SiteID{j}, proto.NSItem(d), proto.Value(proto.NoSession))
 			if err != nil {
 				if errors.Is(err, proto.ErrSiteDown) {
 					// Another site crashed during the control transaction:
 					// remember it and retry claiming the union (§3.4).
+					claimsMu.Lock()
 					claims[j] = vec[j]
+					claimsMu.Unlock()
 				}
-				return err
+				return nil, err
 			}
 		}
+		return nil, nil
+	}, func(error) bool { return true })
+	return transport.FirstError(results)
+}
+
+func claimedSet(set map[proto.SiteID]bool) []proto.SiteID {
+	out := make([]proto.SiteID, 0, len(set))
+	for s := range set {
+		out = append(out, s)
 	}
-	return nil
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // ClaimUp runs the type-1 control transaction for this (recovering) site
@@ -335,7 +354,7 @@ func (m *Manager) claimUpOnce(ctx context.Context) (proto.Session, claim, error)
 		crashed    claim
 	)
 	err := m.cfg.TM.RunClass(ctx, proto.ClassControl1, func(ctx context.Context, tx *txn.Tx) error {
-		source, err := m.findOperationalPeer(ctx)
+		source, err := m.FindOperationalPeer(ctx)
 		if err != nil {
 			return err
 		}
@@ -368,19 +387,27 @@ func (m *Manager) claimUpOnce(ctx context.Context) (proto.Session, claim, error)
 		sn := m.cfg.Local.Store().NextSession()
 
 		// Write it to our own copy of NS[self] and to every nominally-up
-		// site's copy.
+		// site's copy, fanned out across the targets. The crashed site is
+		// picked in target order after the fan-out so the §3.4 retry path
+		// does not depend on goroutine scheduling.
 		targets := []proto.SiteID{self}
 		for _, j := range m.cfg.Catalog.Sites() {
 			if j != self && vec[j] != proto.NoSession {
 				targets = append(targets, j)
 			}
 		}
-		for _, j := range targets {
-			if err := tx.RawWrite(ctx, []proto.SiteID{j}, proto.NSItem(self), proto.Value(sn)); err != nil {
-				if errors.Is(err, proto.ErrSiteDown) {
-					crashed = claim{site: j, observed: vec[j]}
+		results := transport.Fanout(transport.IsSequential(m.cfg.Net), targets, func(j proto.SiteID) (proto.Message, error) {
+			return nil, tx.RawWrite(ctx, []proto.SiteID{j}, proto.NSItem(self), proto.Value(sn))
+		}, func(error) bool { return true })
+		for _, r := range results {
+			if r.Site == 0 {
+				continue // fan-out halted before reaching this target
+			}
+			if r.Err != nil {
+				if errors.Is(r.Err, proto.ErrSiteDown) {
+					crashed = claim{site: r.Site, observed: vec[r.Site]}
 				}
-				return err
+				return r.Err
 			}
 		}
 		newSession = sn
@@ -400,23 +427,46 @@ func (m *Manager) vectorSource(ctx context.Context) (proto.SiteID, error) {
 	if m.cfg.Local.Operational() {
 		return m.cfg.Site, nil
 	}
-	return m.findOperationalPeer(ctx)
+	return m.FindOperationalPeer(ctx)
 }
 
-// findOperationalPeer probes the other sites and returns the first
+// FindOperationalPeer probes the other sites and returns the lowest-ID
 // operational one. The paper's recovery requires at least one: with none,
-// recovery must wait (§3.4).
-func (m *Manager) findOperationalPeer(ctx context.Context) (proto.SiteID, error) {
+// recovery must wait (§3.4). On a sequential transport the probes run in
+// site order and stop at the first operational answer; on a concurrent
+// transport every peer is probed at once and the lowest-ID operational
+// answer wins, so both paths pick the same peer.
+func (m *Manager) FindOperationalPeer(ctx context.Context) (proto.SiteID, error) {
+	if transport.IsSequential(m.cfg.Net) {
+		for _, j := range m.cfg.Catalog.Sites() {
+			if j == m.cfg.Site {
+				continue
+			}
+			resp, err := m.cfg.Net.Call(ctx, m.cfg.Site, j, proto.ProbeReq{})
+			if err != nil {
+				continue
+			}
+			if pr, ok := resp.(proto.ProbeResp); ok && pr.Operational {
+				return j, nil
+			}
+		}
+		return 0, fmt.Errorf("no operational peer: %w", proto.ErrUnavailable)
+	}
+	var peers []proto.SiteID
 	for _, j := range m.cfg.Catalog.Sites() {
-		if j == m.cfg.Site {
+		if j != m.cfg.Site {
+			peers = append(peers, j)
+		}
+	}
+	results := transport.Fanout(false, peers, func(j proto.SiteID) (proto.Message, error) {
+		return m.cfg.Net.Call(ctx, m.cfg.Site, j, proto.ProbeReq{})
+	}, nil)
+	for _, r := range results { // results follow ascending site order
+		if r.Err != nil {
 			continue
 		}
-		resp, err := m.cfg.Net.Call(ctx, m.cfg.Site, j, proto.ProbeReq{})
-		if err != nil {
-			continue
-		}
-		if pr, ok := resp.(proto.ProbeResp); ok && pr.Operational {
-			return j, nil
+		if pr, ok := r.Resp.(proto.ProbeResp); ok && pr.Operational {
+			return r.Site, nil
 		}
 	}
 	return 0, fmt.Errorf("no operational peer: %w", proto.ErrUnavailable)

@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"siterecovery/internal/proto"
+)
+
+var errBoom = errors.New("boom")
+
+func TestFanoutSequentialHaltsEarly(t *testing.T) {
+	targets := []proto.SiteID{1, 2, 3, 4}
+	var called []proto.SiteID
+	results := Fanout(true, targets, func(site proto.SiteID) (proto.Message, error) {
+		called = append(called, site)
+		if site == 2 {
+			return nil, errBoom
+		}
+		return proto.WriteResp{}, nil
+	}, func(err error) bool { return err != nil })
+
+	if want := []proto.SiteID{1, 2}; len(called) != 2 || called[0] != 1 || called[1] != 2 {
+		t.Fatalf("called %v, want %v", called, want)
+	}
+	// Halted entries stay zero-valued: Site == 0 marks "never attempted",
+	// which callers skip (real site IDs are 1-based).
+	if results[2].Site != 0 || results[3].Site != 0 {
+		t.Fatalf("halted entries not zero: %+v", results[2:])
+	}
+	if results[0].Site != 1 || results[0].Err != nil {
+		t.Fatalf("result[0] = %+v", results[0])
+	}
+	if results[1].Site != 2 || !errors.Is(results[1].Err, errBoom) {
+		t.Fatalf("result[1] = %+v", results[1])
+	}
+}
+
+func TestFanoutParallelRunsAll(t *testing.T) {
+	targets := []proto.SiteID{1, 2, 3, 4}
+	var mu sync.Mutex
+	called := map[proto.SiteID]bool{}
+	results := Fanout(false, targets, func(site proto.SiteID) (proto.Message, error) {
+		mu.Lock()
+		called[site] = true
+		mu.Unlock()
+		if site == 2 {
+			return nil, errBoom
+		}
+		return proto.WriteResp{}, nil
+	}, func(err error) bool { return err != nil })
+
+	// Parallel mode ignores haltOn: every target is attempted, and the
+	// results land in target order regardless of completion order.
+	if len(called) != len(targets) {
+		t.Fatalf("called %d targets, want %d", len(called), len(targets))
+	}
+	for i, site := range targets {
+		if results[i].Site != site {
+			t.Fatalf("results[%d].Site = %v, want %v", i, results[i].Site, site)
+		}
+	}
+}
+
+func TestFirstErrorIsTargetOrdered(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	results := []Result{
+		{Site: 3, Resp: proto.WriteResp{}},
+		{Site: 1, Err: errA},
+		{Site: 2, Err: errB},
+	}
+	if err := FirstError(results); !errors.Is(err, errA) {
+		t.Fatalf("FirstError = %v, want first error in target order", err)
+	}
+	if err := FirstError([]Result{{Site: 1, Resp: proto.WriteResp{}}}); err != nil {
+		t.Fatalf("FirstError with no errors = %v", err)
+	}
+	// Zero-valued (halted) entries carry no error and are skipped.
+	if err := FirstError([]Result{{}, {}}); err != nil {
+		t.Fatalf("FirstError over halted entries = %v", err)
+	}
+}

@@ -1,0 +1,430 @@
+// Package tcpnet is the real-network implementation of transport.Transport:
+// length-prefixed frames over TCP, carrying internal/proto messages in their
+// self-describing wire encoding. It lets each site of the replicated
+// database run as its own OS process (cmd/srnode) while the protocol layers
+// above — transaction manager, session manager, recovery — stay unchanged.
+//
+// Failure semantics follow the paper's fail-stop model: a connection refused
+// (after brief retries, to ride over peer startup) or any transport-level
+// I/O failure surfaces as proto.ErrSiteDown, exactly what the simulator
+// reports for a crashed site. Handler errors cross the wire as
+// proto.WireError, so errors.Is against the protocol sentinels keeps working
+// across processes.
+//
+// tcpnet deliberately does not implement transport.Sequentialer: a real
+// network has no deterministic schedule to preserve, so every fan-out runs
+// in parallel and multi-replica latency is the max of the replicas.
+package tcpnet
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"siterecovery/internal/proto"
+	"siterecovery/internal/transport"
+)
+
+// maxFrame bounds a single frame; larger frames indicate a corrupt stream.
+const maxFrame = 1 << 20
+
+// Config assembles a TCP transport for one site.
+type Config struct {
+	// Self is this site's ID; Call validates that requests originate here.
+	Self proto.SiteID
+	// Addrs maps every site (including Self) to its listen address.
+	Addrs map[proto.SiteID]string
+	// Listener optionally overrides listening on Addrs[Self] — tests
+	// pre-bind port 0 so the registry of addresses is known up front.
+	Listener net.Listener
+	// Handler serves inbound requests. It may also be installed later with
+	// SetHandler (the node wires its data manager after the transport
+	// exists, breaking the construction cycle).
+	Handler transport.Handler
+	// DialTimeout bounds one dial attempt. Defaults to 500ms.
+	DialTimeout time.Duration
+	// DialRetries is how many times a refused dial is retried before the
+	// peer is declared down. Defaults to 3.
+	DialRetries int
+	// DialRetryWait separates refused-dial retries. Defaults to 50ms.
+	DialRetryWait time.Duration
+	// CallTimeout bounds one request/response exchange when the caller's
+	// context carries no earlier deadline. Defaults to 5s.
+	CallTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 500 * time.Millisecond
+	}
+	if c.DialRetries == 0 {
+		c.DialRetries = 3
+	}
+	if c.DialRetryWait == 0 {
+		c.DialRetryWait = 50 * time.Millisecond
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// wireReq frames one request: the sender's site ID and the encoded message
+// envelope.
+type wireReq struct {
+	From proto.SiteID    `json:"from"`
+	Msg  json.RawMessage `json:"msg"`
+}
+
+// wireResp frames one response: the encoded reply envelope, or the wire form
+// of the handler error.
+type wireResp struct {
+	Msg json.RawMessage  `json:"msg,omitempty"`
+	Err *proto.WireError `json:"err,omitempty"`
+}
+
+// Transport is a running TCP transport. Create with New, then Start.
+type Transport struct {
+	cfg Config
+
+	mu      sync.Mutex
+	handler transport.Handler
+	ln      net.Listener
+	idle    map[proto.SiteID][]net.Conn
+	serving map[net.Conn]bool
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// New builds a transport; Start begins serving.
+func New(cfg Config) *Transport {
+	cfg = cfg.withDefaults()
+	return &Transport{
+		cfg:     cfg,
+		handler: cfg.Handler,
+		idle:    make(map[proto.SiteID][]net.Conn),
+		serving: make(map[net.Conn]bool),
+	}
+}
+
+// SetHandler installs the inbound-request handler.
+func (t *Transport) SetHandler(h transport.Handler) {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+}
+
+// Addr returns the listen address once Start has succeeded.
+func (t *Transport) Addr() net.Addr {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ln == nil {
+		return nil
+	}
+	return t.ln.Addr()
+}
+
+// Start listens on this site's address and serves inbound requests until
+// Close.
+func (t *Transport) Start() error {
+	ln := t.cfg.Listener
+	if ln == nil {
+		addr, ok := t.cfg.Addrs[t.cfg.Self]
+		if !ok {
+			return fmt.Errorf("tcpnet: no address for self (site %v)", t.cfg.Self)
+		}
+		var err error
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+		}
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("tcpnet: transport closed")
+	}
+	t.ln = ln
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.acceptLoop(ln)
+	return nil
+}
+
+// Close stops serving and closes every connection.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	ln := t.ln
+	conns := make([]net.Conn, 0, len(t.serving))
+	for c := range t.serving {
+		conns = append(conns, c)
+	}
+	for _, pool := range t.idle {
+		conns = append(conns, pool...)
+	}
+	t.idle = make(map[proto.SiteID][]net.Conn)
+	t.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+func (t *Transport) acceptLoop(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.serving[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+// serveConn handles one inbound connection: a sequence of request frames,
+// each answered before the next is read (the client keeps at most one call
+// in flight per connection).
+func (t *Transport) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.serving, conn)
+		t.mu.Unlock()
+	}()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return // peer closed, or stream corrupt: drop the connection
+		}
+		resp := t.dispatch(payload)
+		out, err := json.Marshal(resp)
+		if err != nil {
+			return
+		}
+		if err := writeFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+func (t *Transport) dispatch(payload []byte) wireResp {
+	fail := func(err error) wireResp { return wireResp{Err: proto.EncodeError(err)} }
+	var req wireReq
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return fail(fmt.Errorf("malformed request frame: %w", err))
+	}
+	msg, err := proto.DecodeMessage(req.Msg)
+	if err != nil {
+		return fail(err)
+	}
+	t.mu.Lock()
+	h := t.handler
+	t.mu.Unlock()
+	if h == nil {
+		return fail(fmt.Errorf("site %v has no handler installed: %w", t.cfg.Self, proto.ErrSiteDown))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), t.cfg.CallTimeout)
+	defer cancel()
+	reply, err := h(ctx, req.From, msg)
+	if err != nil {
+		return fail(err)
+	}
+	data, err := proto.EncodeMessage(reply)
+	if err != nil {
+		return fail(err)
+	}
+	return wireResp{Msg: data}
+}
+
+// Call implements transport.Transport: one request/response exchange with
+// site to. Calls to Self are served by the local handler directly, matching
+// the simulator's local bus.
+func (t *Transport) Call(ctx context.Context, from, to proto.SiteID, msg proto.Message) (proto.Message, error) {
+	if from != t.cfg.Self {
+		return nil, fmt.Errorf("tcpnet: call from %v on site %v's transport", from, t.cfg.Self)
+	}
+	if to == t.cfg.Self {
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h == nil {
+			return nil, fmt.Errorf("site %v has no handler installed: %w", t.cfg.Self, proto.ErrSiteDown)
+		}
+		return h(ctx, from, msg)
+	}
+
+	data, err := proto.EncodeMessage(msg)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(wireReq{From: from, Msg: data})
+	if err != nil {
+		return nil, err
+	}
+
+	// A pooled connection may have been closed by the peer since its last
+	// use; each failed pooled connection is discarded and the next one (or
+	// a fresh dial, once the pool is drained) is tried. Only a failure on a
+	// freshly dialed connection is conclusive.
+	for {
+		conn, fresh, err := t.getConn(ctx, to)
+		if err != nil {
+			return nil, err
+		}
+		reply, err := t.exchange(ctx, conn, payload)
+		if err == nil {
+			t.putConn(to, conn)
+			return decodeReply(reply)
+		}
+		conn.Close()
+		if fresh {
+			// I/O failure on a fresh connection: the peer went away
+			// mid-exchange. Under fail-stop that is a site crash.
+			return nil, fmt.Errorf("site %v: exchange failed (%v): %w", to, err, proto.ErrSiteDown)
+		}
+	}
+}
+
+// exchange runs one framed request/response on conn under the call deadline.
+func (t *Transport) exchange(ctx context.Context, conn net.Conn, payload []byte) (wireResp, error) {
+	deadline := time.Now().Add(t.cfg.CallTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return wireResp{}, err
+	}
+	if err := writeFrame(conn, payload); err != nil {
+		return wireResp{}, err
+	}
+	frame, err := readFrame(conn)
+	if err != nil {
+		return wireResp{}, err
+	}
+	var resp wireResp
+	if err := json.Unmarshal(frame, &resp); err != nil {
+		return wireResp{}, err
+	}
+	return resp, nil
+}
+
+func decodeReply(resp wireResp) (proto.Message, error) {
+	if resp.Err != nil {
+		return nil, resp.Err.Err()
+	}
+	return proto.DecodeMessage(resp.Msg)
+}
+
+// getConn returns a pooled idle connection to site to, or dials a new one.
+// Refused dials are retried briefly (a peer process may still be starting);
+// a dial that keeps failing means the site is down.
+func (t *Transport) getConn(ctx context.Context, to proto.SiteID) (conn net.Conn, fresh bool, err error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, false, fmt.Errorf("tcpnet: transport closed")
+	}
+	if pool := t.idle[to]; len(pool) > 0 {
+		conn = pool[len(pool)-1]
+		t.idle[to] = pool[:len(pool)-1]
+		t.mu.Unlock()
+		return conn, false, nil
+	}
+	addr, ok := t.cfg.Addrs[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, false, fmt.Errorf("tcpnet: no address for site %v", to)
+	}
+
+	var lastErr error
+	for attempt := 0; attempt <= t.cfg.DialRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(t.cfg.DialRetryWait):
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		d := net.Dialer{Timeout: t.cfg.DialTimeout}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, true, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, false, ctx.Err()
+		}
+	}
+	return nil, false, fmt.Errorf("site %v unreachable at %s (%v): %w", to, addr, lastErr, proto.ErrSiteDown)
+}
+
+// putConn returns a healthy connection to the idle pool.
+func (t *Transport) putConn(to proto.SiteID, conn net.Conn) {
+	conn.SetDeadline(time.Time{})
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		conn.Close()
+		return
+	}
+	t.idle[to] = append(t.idle[to], conn)
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("frame too large: %d bytes", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, errors.New("frame too large")
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,161 @@
+package tcpnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"siterecovery/internal/proto"
+	"siterecovery/internal/transport"
+)
+
+// newPair starts n transports on pre-bound localhost ports so every peer
+// knows the full address map up front, the way srnode processes do.
+func newPair(t *testing.T, n int) map[proto.SiteID]*Transport {
+	t.Helper()
+	listeners := make(map[proto.SiteID]net.Listener, n)
+	addrs := make(map[proto.SiteID]string, n)
+	for i := 1; i <= n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[proto.SiteID(i)] = ln
+		addrs[proto.SiteID(i)] = ln.Addr().String()
+	}
+	out := make(map[proto.SiteID]*Transport, n)
+	for i := 1; i <= n; i++ {
+		id := proto.SiteID(i)
+		tr := New(Config{
+			Self:          id,
+			Addrs:         addrs,
+			Listener:      listeners[id],
+			DialRetries:   1,
+			DialRetryWait: 10 * time.Millisecond,
+			CallTimeout:   2 * time.Second,
+		})
+		tr.SetHandler(func(ctx context.Context, from proto.SiteID, msg proto.Message) (proto.Message, error) {
+			switch m := msg.(type) {
+			case proto.ProbeReq:
+				return proto.ProbeResp{Operational: true, Session: proto.Session(id)}, nil
+			case proto.ReadReq:
+				if m.Item == "boom" {
+					return nil, fmt.Errorf("site %v: %q: %w", id, m.Item, proto.ErrUnreadable)
+				}
+				return proto.ReadResp{Value: proto.Value(10 * int64(id))}, nil
+			default:
+				return nil, fmt.Errorf("unhandled %T", msg)
+			}
+		})
+		if err := tr.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		out[id] = tr
+	}
+	return out
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	trs := newPair(t, 2)
+	ctx := context.Background()
+
+	resp, err := trs[1].Call(ctx, 1, 2, proto.ProbeReq{})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	pr, ok := resp.(proto.ProbeResp)
+	if !ok || !pr.Operational || pr.Session != 2 {
+		t.Fatalf("resp = %#v", resp)
+	}
+
+	// Local calls short-circuit through the handler.
+	resp, err = trs[1].Call(ctx, 1, 1, proto.ReadReq{Item: "x"})
+	if err != nil {
+		t.Fatalf("local call: %v", err)
+	}
+	if rr := resp.(proto.ReadResp); rr.Value != 10 {
+		t.Fatalf("local read = %d, want 10", rr.Value)
+	}
+
+	// Connection reuse: a second remote call must succeed on the pooled
+	// connection.
+	if _, err := trs[1].Call(ctx, 1, 2, proto.ReadReq{Item: "x"}); err != nil {
+		t.Fatalf("second call: %v", err)
+	}
+}
+
+func TestHandlerErrorsKeepSentinels(t *testing.T) {
+	trs := newPair(t, 2)
+	_, err := trs[1].Call(context.Background(), 1, 2, proto.ReadReq{Item: "boom"})
+	if !errors.Is(err, proto.ErrUnreadable) {
+		t.Fatalf("err = %v, want ErrUnreadable across the wire", err)
+	}
+}
+
+func TestDeadPeerIsSiteDown(t *testing.T) {
+	trs := newPair(t, 3)
+	trs[3].Close()
+
+	_, err := trs[1].Call(context.Background(), 1, 3, proto.ProbeReq{})
+	if !errors.Is(err, proto.ErrSiteDown) {
+		t.Fatalf("err = %v, want ErrSiteDown", err)
+	}
+
+	// A peer that dies between calls (stale pooled connection) is also
+	// reported down.
+	if _, err := trs[1].Call(context.Background(), 1, 2, proto.ProbeReq{}); err != nil {
+		t.Fatal(err)
+	}
+	trs[2].Close()
+	_, err = trs[1].Call(context.Background(), 1, 2, proto.ProbeReq{})
+	if !errors.Is(err, proto.ErrSiteDown) {
+		t.Fatalf("stale-conn err = %v, want ErrSiteDown", err)
+	}
+}
+
+func TestCallValidatesOrigin(t *testing.T) {
+	trs := newPair(t, 2)
+	if _, err := trs[1].Call(context.Background(), 2, 1, proto.ProbeReq{}); err == nil {
+		t.Fatal("call from the wrong site accepted")
+	}
+}
+
+// TestParallelCalls exercises the connection pool under concurrent fan-out
+// (tcpnet does not implement Sequentialer, so this is its normal mode).
+func TestParallelCalls(t *testing.T) {
+	trs := newPair(t, 4)
+	if transport.IsSequential(trs[1]) {
+		t.Fatal("tcpnet must not report sequential fan-out")
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 120)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				to := proto.SiteID(2 + i%3)
+				resp, err := trs[1].Call(ctx, 1, to, proto.ReadReq{Item: "x"})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rr := resp.(proto.ReadResp); rr.Value != proto.Value(10*int64(to)) {
+					errs <- fmt.Errorf("read from %v = %d", to, rr.Value)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -72,7 +72,9 @@ func (t *Tx) RawWrite(ctx context.Context, sites []proto.SiteID, item proto.Item
 			return fmt.Errorf("raw write %q at %v: %w", item, site, err)
 		}
 	}
+	t.m.mu.Lock()
 	t.wrote = true
+	t.m.mu.Unlock()
 	return nil
 }
 
@@ -84,12 +86,16 @@ func (t *Tx) LockLocalExclusive(ctx context.Context, item proto.Item) error {
 	if t.done {
 		return fmt.Errorf("transaction %v already finished", t.meta.ID)
 	}
+	t.m.mu.Lock()
 	t.attempted[t.m.cfg.Site] = true
+	t.m.mu.Unlock()
 	if err := t.m.cfg.Local.LockExclusive(ctx, t.meta, item); err != nil {
 		return err
 	}
+	t.m.mu.Lock()
 	t.parts[t.m.cfg.Site] = true
 	t.wparts[t.m.cfg.Site] = true
+	t.m.mu.Unlock()
 	return nil
 }
 
@@ -104,9 +110,13 @@ func (t *Tx) LocalUnreadable(item proto.Item) bool {
 // item: at commit it installs value under the original writer's version.
 // The caller must hold the exclusive lock via LockLocalExclusive.
 func (t *Tx) BufferLocalRefresh(item proto.Item, value proto.Value, version proto.Version) {
+	t.m.mu.Lock()
 	t.attempted[t.m.cfg.Site] = true
 	t.parts[t.m.cfg.Site] = true
 	t.wparts[t.m.cfg.Site] = true
+	t.m.mu.Unlock()
 	t.m.cfg.Local.BufferRefresh(t.meta, item, value, version)
+	t.m.mu.Lock()
 	t.wrote = true
+	t.m.mu.Unlock()
 }

@@ -29,10 +29,10 @@ import (
 	"siterecovery/internal/clock"
 	"siterecovery/internal/dm"
 	"siterecovery/internal/history"
-	"siterecovery/internal/netsim"
 	"siterecovery/internal/obs"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/replication"
+	"siterecovery/internal/transport"
 	"siterecovery/internal/wal"
 )
 
@@ -40,6 +40,8 @@ import (
 // sequence numbers. It stands in for synchronized or Lamport clocks; the
 // protocol relies only on uniqueness and monotonicity.
 type Sequencer struct {
+	base   uint64
+	stride uint64
 	txn    atomic.Uint64
 	commit atomic.Uint64
 }
@@ -47,7 +49,22 @@ type Sequencer struct {
 // NewSequencer returns a sequencer whose first transaction ID is 2 (ID 1 is
 // reserved for the synthetic initial transaction of the history theory).
 func NewSequencer() *Sequencer {
-	s := &Sequencer{}
+	s := &Sequencer{stride: 1}
+	s.txn.Store(1)
+	return s
+}
+
+// NewStridedSequencer returns a sequencer for site (1-based) in an n-site
+// cluster whose IDs are base + n*k with base = site-1: each process draws
+// from a residue class of its own, so srnode sites allocate cluster-unique
+// transaction IDs and commit sequence numbers without coordination. The
+// internal counter starts at 2, so every ID exceeds n and never collides
+// with InitialTxn.
+func NewStridedSequencer(site proto.SiteID, n int) *Sequencer {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sequencer{base: uint64(site-1) % uint64(n), stride: uint64(n)}
 	s.txn.Store(1)
 	return s
 }
@@ -57,10 +74,14 @@ func NewSequencer() *Sequencer {
 const InitialTxn proto.TxnID = 1
 
 // NextTxn returns a fresh transaction ID.
-func (s *Sequencer) NextTxn() proto.TxnID { return proto.TxnID(s.txn.Add(1)) }
+func (s *Sequencer) NextTxn() proto.TxnID {
+	return proto.TxnID(s.base + s.stride*s.txn.Add(1))
+}
 
 // NextCommitSeq returns a fresh commit sequence number.
-func (s *Sequencer) NextCommitSeq() uint64 { return s.commit.Add(1) }
+func (s *Sequencer) NextCommitSeq() uint64 {
+	return s.base + s.stride*s.commit.Add(1)
+}
 
 // Callbacks hook TM events.
 type Callbacks struct {
@@ -89,7 +110,7 @@ type Stats struct {
 // Config assembles a TM.
 type Config struct {
 	Site     proto.SiteID
-	Net      *netsim.Network
+	Net      transport.Transport
 	Local    *dm.Manager
 	Catalog  *replication.Catalog
 	Profile  replication.Profile
@@ -299,6 +320,11 @@ func (m *Manager) send(ctx context.Context, to proto.SiteID, msg proto.Message) 
 	return m.cfg.Net.Call(ctx, m.cfg.Site, to, msg)
 }
 
+// sequentialNet reports whether multi-site fan-outs must run one call at a
+// time (deterministic simulator) or may run concurrently (real transports,
+// or the simulator with parallel fan-out enabled).
+func (m *Manager) sequentialNet() bool { return transport.IsSequential(m.cfg.Net) }
+
 func (m *Manager) noteSiteDown(err error, site proto.SiteID, observed proto.Session) {
 	if !errors.Is(err, proto.ErrSiteDown) {
 		return
@@ -379,18 +405,23 @@ func (t *Tx) readSessionVector(ctx context.Context) error {
 // physical sends one physical operation and keeps the attempted/participant
 // bookkeeping. Write operations register the site as a two-phase-commit
 // participant; read-only sites are released without voting (the standard
-// read-only participant optimization).
+// read-only participant optimization). The bookkeeping is locked so the
+// write-all and quorum fan-outs can issue physical operations concurrently.
 func (t *Tx) physical(ctx context.Context, site proto.SiteID, msg proto.Message) (proto.Message, error) {
+	t.m.mu.Lock()
 	t.attempted[site] = true
+	t.m.mu.Unlock()
 	resp, err := t.m.send(ctx, site, msg)
 	if err != nil {
 		t.m.noteSiteDown(err, site, t.view.Session(site))
 		return nil, err
 	}
+	t.m.mu.Lock()
 	t.parts[site] = true
 	if _, isWrite := msg.(proto.WriteReq); isWrite {
 		t.wparts[site] = true
 	}
+	t.m.mu.Unlock()
 	return resp, nil
 }
 
@@ -506,34 +537,12 @@ func (t *Tx) readQuorum(ctx context.Context, item proto.Item) (proto.Value, erro
 		return 0, err
 	}
 
-	type result struct {
-		site proto.SiteID
-		resp proto.ReadResp
-		err  error
-	}
-	results := make([]result, len(replicas))
-	var wg sync.WaitGroup
-	for i, site := range replicas {
-		wg.Add(1)
-		go func(i int, site proto.SiteID) {
-			defer wg.Done()
-			resp, err := t.physicalConcurrent(ctx, site, proto.ReadReq{
-				Txn: t.meta, Item: item, Mode: proto.CheckNone,
-				ReadOld: true, NoRecord: true,
-			})
-			if err != nil {
-				results[i] = result{site: site, err: err}
-				return
-			}
-			rr, ok := resp.(proto.ReadResp)
-			if !ok {
-				results[i] = result{site: site, err: fmt.Errorf("unexpected response %T", resp)}
-				return
-			}
-			results[i] = result{site: site, resp: rr}
-		}(i, site)
-	}
-	wg.Wait()
+	results := transport.Fanout(t.m.sequentialNet(), replicas, func(site proto.SiteID) (proto.Message, error) {
+		return t.physical(ctx, site, proto.ReadReq{
+			Txn: t.meta, Item: item, Mode: proto.CheckNone,
+			ReadOld: true, NoRecord: true,
+		})
+	}, nil)
 
 	var (
 		got    int
@@ -541,13 +550,17 @@ func (t *Tx) readQuorum(ctx context.Context, item proto.Item) (proto.Value, erro
 		bestAt proto.SiteID
 	)
 	for _, r := range results {
-		if r.err != nil {
+		if r.Err != nil {
+			continue
+		}
+		rr, ok := r.Resp.(proto.ReadResp)
+		if !ok {
 			continue
 		}
 		got++
-		if got == 1 || best.Version.Less(r.resp.Version) {
-			best = r.resp
-			bestAt = r.site
+		if got == 1 || best.Version.Less(rr.Version) {
+			best = rr
+			bestAt = r.Site
 		}
 	}
 	if got < quorum {
@@ -557,22 +570,6 @@ func (t *Tx) readQuorum(ctx context.Context, item proto.Item) (proto.Value, erro
 		t.m.cfg.Recorder.Read(t.meta.ID, item, bestAt, best.Version.Writer)
 	}
 	return best.Value, nil
-}
-
-// physicalConcurrent is physical with locked bookkeeping, safe for fan-out.
-func (t *Tx) physicalConcurrent(ctx context.Context, site proto.SiteID, msg proto.Message) (proto.Message, error) {
-	t.m.mu.Lock()
-	t.attempted[site] = true
-	t.m.mu.Unlock()
-	resp, err := t.m.send(ctx, site, msg)
-	if err != nil {
-		t.m.noteSiteDown(err, site, t.view.Session(site))
-		return nil, err
-	}
-	t.m.mu.Lock()
-	t.parts[site] = true
-	t.m.mu.Unlock()
-	return resp, nil
 }
 
 // Write performs a logical WRITE under the profile's write policy.
@@ -620,8 +617,14 @@ func (t *Tx) Write(ctx context.Context, item proto.Item, value proto.Value) erro
 		return fmt.Errorf("unknown write policy %d", t.m.cfg.Profile.Write)
 	}
 
-	succeeded := 0
-	for _, site := range targets {
+	// Fan the physical writes out to every target: multi-replica write
+	// latency is the max of the replicas, not the sum. On a sequential
+	// transport haltOn reproduces the historical short-circuit — stop at
+	// the first failure the policy does not tolerate.
+	tolerated := func(err error) bool {
+		return tolerateDown && (errors.Is(err, proto.ErrSiteDown) || errors.Is(err, proto.ErrDropped))
+	}
+	results := transport.Fanout(t.m.sequentialNet(), targets, func(site proto.SiteID) (proto.Message, error) {
 		req := proto.WriteReq{
 			Txn:      t.meta,
 			Item:     item,
@@ -632,13 +635,22 @@ func (t *Tx) Write(ctx context.Context, item proto.Item, value proto.Value) erro
 		if t.m.cfg.Profile.CheckMode == proto.CheckSession {
 			req.Expect = t.view.Session(site)
 		}
-		if _, err := t.physical(ctx, site, req); err != nil {
-			if tolerateDown && (errors.Is(err, proto.ErrSiteDown) || errors.Is(err, proto.ErrDropped)) {
-				continue
-			}
-			return fmt.Errorf("write %q at %v: %w", item, site, err)
+		return t.physical(ctx, site, req)
+	}, func(err error) bool { return !tolerated(err) })
+
+	succeeded := 0
+	for _, r := range results {
+		if r.Site == 0 {
+			continue // fan-out halted before reaching this target
 		}
-		succeeded++
+		if r.Err == nil {
+			succeeded++
+			continue
+		}
+		if tolerated(r.Err) {
+			continue
+		}
+		return fmt.Errorf("write %q at %v: %w", item, r.Site, r.Err)
 	}
 	if succeeded < minSuccess {
 		if t.m.cfg.Profile.Write == replication.WriteQuorum {
@@ -689,19 +701,27 @@ func (t *Tx) Commit(ctx context.Context) error {
 	}
 
 	// Phase one: write participants must vote yes. Read-only participants
-	// skip voting entirely and are released after the decision.
+	// skip voting entirely and are released after the decision. The votes
+	// are collected in parallel on concurrent transports; any failure in
+	// target order decides the outcome, so the reported error does not
+	// depend on goroutine scheduling.
 	participants := t.writeParticipantList()
-	for _, site := range participants {
-		resp, err := t.m.send(ctx, site, proto.PrepareReq{Txn: t.meta})
-		if err != nil {
-			t.m.noteSiteDown(err, site, t.view.Session(site))
-			t.failCommit(ctx)
-			return fmt.Errorf("prepare at %v: %w", site, err)
+	prep := transport.Fanout(t.m.sequentialNet(), participants, func(site proto.SiteID) (proto.Message, error) {
+		return t.m.send(ctx, site, proto.PrepareReq{Txn: t.meta})
+	}, func(error) bool { return true })
+	for _, r := range prep {
+		if r.Site == 0 {
+			continue // fan-out halted before reaching this participant
 		}
-		pr, ok := resp.(proto.PrepareResp)
+		if r.Err != nil {
+			t.m.noteSiteDown(r.Err, r.Site, t.view.Session(r.Site))
+			t.failCommit(ctx)
+			return fmt.Errorf("prepare at %v: %w", r.Site, r.Err)
+		}
+		pr, ok := r.Resp.(proto.PrepareResp)
 		if !ok || !pr.Vote {
 			t.failCommit(ctx)
-			return fmt.Errorf("prepare at %v: voted no: %w", site, proto.ErrTxnAborted)
+			return fmt.Errorf("prepare at %v: voted no: %w", r.Site, proto.ErrTxnAborted)
 		}
 	}
 
@@ -739,11 +759,13 @@ func (t *Tx) Commit(ctx context.Context) error {
 	// decision service or their own recovery).
 	t.done = true
 	deliverCtx := context.WithoutCancel(ctx)
-	for _, site := range participants {
-		if _, err := t.m.send(deliverCtx, site, proto.CommitReq{Txn: t.meta, CommitSeq: commitSeq}); err != nil {
+	transport.Fanout(t.m.sequentialNet(), participants, func(site proto.SiteID) (proto.Message, error) {
+		resp, err := t.m.send(deliverCtx, site, proto.CommitReq{Txn: t.meta, CommitSeq: commitSeq})
+		if err != nil {
 			t.m.noteSiteDown(err, site, t.view.Session(site))
 		}
-	}
+		return resp, err
+	}, nil)
 	// Release the read-only participants' locks (best effort; a crashed
 	// site has no locks to release).
 	readOnly := make(map[proto.SiteID]bool)
@@ -787,10 +809,11 @@ func (t *Tx) broadcast(ctx context.Context, sites map[proto.SiteID]bool, msg pro
 	}
 	t.m.mu.Unlock()
 	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
-	for _, site := range list {
-		_, err := t.m.send(ctx, site, msg)
+	transport.Fanout(t.m.sequentialNet(), list, func(site proto.SiteID) (proto.Message, error) {
+		resp, err := t.m.send(ctx, site, msg)
 		if err != nil {
 			t.m.noteSiteDown(err, site, t.view.Session(site))
 		}
-	}
+		return resp, err
+	}, nil)
 }
