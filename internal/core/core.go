@@ -309,6 +309,11 @@ func New(cfg Config) (*Cluster, error) {
 			Tracking: tracking,
 			Spool:    site.Spool,
 			Obs:      cfg.Obs,
+			// The sequencer is shared cluster-wide, so observing commit
+			// sequence numbers never moves it; wiring it anyway keeps the
+			// messages (prepare votes carry the high-water mark) identical
+			// to what srnode's strided sequencers exchange.
+			Seq: seq,
 		}, dm.Callbacks{
 			OnUnreadableRead: func(item proto.Item) {
 				// Demand-trigger a copier; in eager mode the request

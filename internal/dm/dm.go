@@ -49,6 +49,17 @@ const (
 	TrackMissingList
 )
 
+// SeqClock is the slice of the site's transaction sequencer the data
+// manager needs: it folds in the commit sequence numbers carried by inbound
+// messages and reports the resulting high-water mark in prepare votes, so
+// version counters stay ordered by commit order across coordinators even
+// when each process draws from an independent strided sequencer.
+// *txn.Sequencer implements it.
+type SeqClock interface {
+	ObserveCommitSeq(seq uint64)
+	HighCommitSeq() uint64
+}
+
 // Callbacks let the surrounding site hook DM events.
 type Callbacks struct {
 	// OnUnreadableRead fires when a session-checked read hits an
@@ -78,6 +89,10 @@ type Config struct {
 	// replay at recovery (instead of, or in addition to, fail-lock
 	// bookkeeping).
 	Spool *spooler.Store
+	// Seq, when set, is the site's commit-sequence clock (see SeqClock).
+	// nil is a no-op: a cluster sharing one sequencer is already globally
+	// ordered.
+	Seq SeqClock
 }
 
 func (c Config) withDefaults() Config {
@@ -365,7 +380,14 @@ func (m *Manager) handlePrepare(req proto.PrepareReq) (proto.Message, error) {
 		Type: wal.RecordPrepare, Role: wal.RoleParticipant,
 		Txn: req.Txn.ID, Writes: writes, Origin: req.Txn.Origin,
 	})
-	return proto.PrepareResp{Vote: true}, nil
+	vote := proto.PrepareResp{Vote: true}
+	if m.cfg.Seq != nil {
+		// Carry the local high-water commit sequence number: the coordinator
+		// folds it in before picking this transaction's number, so the new
+		// versions sort above everything installed here.
+		vote.MaxSeq = m.cfg.Seq.HighCommitSeq()
+	}
+	return vote, nil
 }
 
 func (m *Manager) handleCommit(req proto.CommitReq) (proto.Message, error) {
@@ -375,9 +397,18 @@ func (m *Manager) handleCommit(req proto.CommitReq) (proto.Message, error) {
 	return proto.CommitResp{}, nil
 }
 
+// observeSeq folds a commit sequence number learned from a peer into the
+// site's sequencer (no-op without one).
+func (m *Manager) observeSeq(seq uint64) {
+	if m.cfg.Seq != nil {
+		m.cfg.Seq.ObserveCommitSeq(seq)
+	}
+}
+
 // finishCommit installs txn's pending writes and refreshes, applies the
 // missed-update bookkeeping, logs, records history, and releases locks.
 func (m *Manager) finishCommit(txn proto.TxnID, commitSeq uint64) error {
+	m.observeSeq(commitSeq)
 	m.mu.Lock()
 	t, known := m.inflight[txn]
 	if !known {
@@ -410,6 +441,7 @@ func (m *Manager) finishCommit(txn proto.TxnID, commitSeq uint64) error {
 		}
 	}
 	for item, rv := range refreshes {
+		m.observeSeq(rv.version.Counter)
 		if _, err := m.cfg.Store.InstallDirect(item, rv.value, rv.version); err != nil {
 			return err
 		}
@@ -646,11 +678,13 @@ func (m *Manager) ResolveRecoveredOutcome(d InDoubtTxn, committed bool, commitSe
 		})
 		return nil
 	}
+	m.observeSeq(commitSeq)
 	for _, w := range d.Writes {
 		version := w.Version
 		if !w.Refresh {
 			version = proto.Version{Counter: commitSeq, Writer: d.Txn}
 		}
+		m.observeSeq(version.Counter)
 		installed, err := m.cfg.Store.InstallDirect(w.Item, w.Value, version)
 		if err != nil {
 			return fmt.Errorf("redo %v at %v: %w", d.Txn, m.cfg.Site, err)

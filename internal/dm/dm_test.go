@@ -463,3 +463,61 @@ func TestWoundedTxnVotesNo(t *testing.T) {
 		t.Fatalf("older txn write: %v", err)
 	}
 }
+
+// fakeSeq is a test SeqClock: a plain high-water mark.
+type fakeSeq struct{ high uint64 }
+
+func (f *fakeSeq) ObserveCommitSeq(seq uint64) {
+	if seq > f.high {
+		f.high = seq
+	}
+}
+func (f *fakeSeq) HighCommitSeq() uint64 { return f.high }
+
+// TestCommitSeqClockObservation checks the DM's half of the Lamport
+// handshake: prepare votes carry the site's high-water commit sequence
+// number, and every commit decision and refresh version the DM installs is
+// folded back into the clock.
+func TestCommitSeqClockObservation(t *testing.T) {
+	seq := &fakeSeq{high: 30}
+	st := storage.New(1, []proto.Item{"x"}, initialTxn)
+	locks := lockmgr.New(lockmgr.Config{Timeout: 200 * time.Millisecond})
+	m := New(Config{
+		Site: 1, Store: st, Locks: locks, Log: wal.New(), Seq: seq,
+	}, Callbacks{})
+	m.SetSession(5)
+
+	txn := proto.TxnID(10)
+	call2 := func(msg proto.Message) proto.Message {
+		t.Helper()
+		resp, err := m.Handle(context.Background(), 2, msg)
+		if err != nil {
+			t.Fatalf("Handle(%T): %v", msg, err)
+		}
+		return resp
+	}
+
+	call2(userWrite("x", 42, txn, 5))
+	pr := call2(proto.PrepareReq{Txn: meta(txn, proto.ClassUser)}).(proto.PrepareResp)
+	if !pr.Vote || pr.MaxSeq != 30 {
+		t.Fatalf("prepare vote = %+v, want yes with MaxSeq 30", pr)
+	}
+
+	// A commit decision from a remote coordinator advances the clock.
+	call2(proto.CommitReq{Txn: meta(txn, proto.ClassUser), CommitSeq: 47})
+	if seq.high != 47 {
+		t.Fatalf("high = %d after commit seq 47", seq.high)
+	}
+
+	// A refresh install folds in the original writer's version counter.
+	copier := proto.TxnMeta{ID: 11, Class: proto.ClassCopier, Origin: 1}
+	if err := m.LockExclusive(context.Background(), copier, "x"); err != nil {
+		t.Fatal(err)
+	}
+	m.BufferRefresh(copier, "x", 99, proto.Version{Counter: 61, Writer: 9})
+	call2(proto.PrepareReq{Txn: copier})
+	call2(proto.CommitReq{Txn: copier, CommitSeq: 48})
+	if seq.high != 61 {
+		t.Fatalf("high = %d after refresh under version 61", seq.high)
+	}
+}

@@ -167,6 +167,15 @@ func New(cfg Config) (*Node, error) {
 	case recovery.IdentifyMissingList:
 		tracking = dm.TrackMissingList
 	}
+	// Transaction IDs and commit sequence numbers come from a strided
+	// sequencer: each process draws from its own residue class, so IDs are
+	// cluster-unique without a shared counter. Strided commit counters are
+	// not globally ordered on their own; the DM and TM fold every commit
+	// sequence number they learn from peers back into the sequencer
+	// (Lamport-style), keeping version comparisons aligned with commit
+	// order across coordinators.
+	seq := txn.NewStridedSequencer(cfg.Site, cfg.Sites)
+
 	n.DM = dm.New(dm.Config{
 		Site:     cfg.Site,
 		Store:    n.Store,
@@ -174,6 +183,7 @@ func New(cfg Config) (*Node, error) {
 		Log:      n.Log,
 		Tracking: tracking,
 		Obs:      cfg.Obs,
+		Seq:      seq,
 	}, dm.Callbacks{
 		OnUnreadableRead: func(item proto.Item) {
 			if n.Recovery != nil {
@@ -185,11 +195,6 @@ func New(cfg Config) (*Node, error) {
 		},
 	})
 	n.DM.SetSession(InitialSession)
-
-	// Transaction IDs and commit sequence numbers come from a strided
-	// sequencer: each process draws from its own residue class, so IDs are
-	// cluster-unique without a shared counter.
-	seq := txn.NewStridedSequencer(cfg.Site, cfg.Sites)
 
 	n.TM = txn.New(txn.Config{
 		Site:         cfg.Site,

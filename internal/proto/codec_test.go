@@ -32,7 +32,7 @@ func wireSamples() []Message {
 		},
 		WriteResp{},
 		PrepareReq{Txn: TxnMeta{ID: 44, Class: ClassControl1, Origin: 2}},
-		PrepareResp{Vote: true},
+		PrepareResp{Vote: true, MaxSeq: 64},
 		CommitReq{Txn: TxnMeta{ID: 44, Class: ClassControl2, Origin: 2}, CommitSeq: 99},
 		CommitResp{},
 		AbortReq{Txn: TxnMeta{ID: 45, Class: ClassUser, Origin: 4}, ReadOnlyEnd: true},

@@ -51,9 +51,14 @@ type PrepareReq struct {
 	Txn TxnMeta
 }
 
-// PrepareResp carries the participant's vote.
+// PrepareResp carries the participant's vote. MaxSeq is the largest commit
+// sequence number the participant has generated or observed: the coordinator
+// folds it into its own sequencer before picking the commit sequence number,
+// so version counters stay ordered by commit order even when each site draws
+// from an independent strided sequencer (srnode).
 type PrepareResp struct {
-	Vote bool
+	Vote   bool
+	MaxSeq uint64
 }
 
 // CommitReq is phase two of two-phase commit: install pending writes with

@@ -93,6 +93,11 @@ func (m *Manager) applySpool(ctx context.Context) int {
 	applied := 0
 	store := m.cfg.Local.Store()
 	for _, u := range updates {
+		if m.cfg.Seq != nil {
+			// Replayed versions carry their writers' commit sequence
+			// numbers; fold them in so later local commits sort above them.
+			m.cfg.Seq.ObserveCommitSeq(u.CommitSeq)
+		}
 		installed, err := store.InstallDirect(u.Item, u.Value, proto.Version{
 			Counter: u.CommitSeq, Writer: u.Writer,
 		})

@@ -75,11 +75,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// wireReq frames one request: the sender's site ID and the encoded message
-// envelope.
+// wireReq frames one request: the sender's site ID, the encoded message
+// envelope, and the caller's remaining time budget. Carrying the budget (a
+// duration, not an absolute time, so clocks need not be synchronized) lets
+// the serving side stop an abandoned handler at roughly the moment the
+// caller gives up instead of running out the full CallTimeout while holding
+// locks.
 type wireReq struct {
-	From proto.SiteID    `json:"from"`
-	Msg  json.RawMessage `json:"msg"`
+	From      proto.SiteID    `json:"from"`
+	Msg       json.RawMessage `json:"msg"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
 }
 
 // wireResp frames one response: the encoded reply envelope, or the wire form
@@ -92,6 +97,11 @@ type wireResp struct {
 // Transport is a running TCP transport. Create with New, then Start.
 type Transport struct {
 	cfg Config
+
+	// baseCtx parents every inbound handler invocation; Close cancels it so
+	// in-flight handlers stop holding locks when the transport shuts down.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 
 	mu      sync.Mutex
 	handler transport.Handler
@@ -108,11 +118,14 @@ var _ transport.Transport = (*Transport)(nil)
 // New builds a transport; Start begins serving.
 func New(cfg Config) *Transport {
 	cfg = cfg.withDefaults()
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	return &Transport{
-		cfg:     cfg,
-		handler: cfg.Handler,
-		idle:    make(map[proto.SiteID][]net.Conn),
-		serving: make(map[net.Conn]bool),
+		cfg:        cfg,
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		handler:    cfg.Handler,
+		idle:       make(map[proto.SiteID][]net.Conn),
+		serving:    make(map[net.Conn]bool),
 	}
 }
 
@@ -180,6 +193,7 @@ func (t *Transport) Close() error {
 	t.idle = make(map[proto.SiteID][]net.Conn)
 	t.mu.Unlock()
 
+	t.baseCancel()
 	if ln != nil {
 		ln.Close()
 	}
@@ -253,7 +267,17 @@ func (t *Transport) dispatch(payload []byte) wireResp {
 	if h == nil {
 		return fail(fmt.Errorf("site %v has no handler installed: %w", t.cfg.Self, proto.ErrSiteDown))
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), t.cfg.CallTimeout)
+	// Bound the handler by the caller's carried time budget (never more than
+	// CallTimeout), derived from baseCtx so Close also cancels it: a request
+	// whose caller has given up stops waiting on locks instead of running
+	// out the full CallTimeout.
+	timeout := t.cfg.CallTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(t.baseCtx, timeout)
 	defer cancel()
 	reply, err := h(ctx, req.From, msg)
 	if err != nil {
@@ -287,55 +311,62 @@ func (t *Transport) Call(ctx context.Context, from, to proto.SiteID, msg proto.M
 	if err != nil {
 		return nil, err
 	}
-	payload, err := json.Marshal(wireReq{From: from, Msg: data})
+	deadline := time.Now().Add(t.cfg.CallTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	payload, err := json.Marshal(wireReq{
+		From: from, Msg: data,
+		TimeoutMS: time.Until(deadline).Milliseconds(),
+	})
 	if err != nil {
 		return nil, err
 	}
 
 	// A pooled connection may have been closed by the peer since its last
-	// use; each failed pooled connection is discarded and the next one (or
-	// a fresh dial, once the pool is drained) is tried. Only a failure on a
-	// freshly dialed connection is conclusive.
+	// use; a write failure on one means the request frame never arrived
+	// intact, so the next pooled connection (or a fresh dial, once the pool
+	// is drained) is tried. Once the frame was fully written — or the
+	// connection was freshly dialed — a failure is conclusive: the peer may
+	// already have received and executed the request, and resending it would
+	// execute a non-idempotent message twice. Under fail-stop the conclusive
+	// case is a site crash.
 	for {
 		conn, fresh, err := t.getConn(ctx, to)
 		if err != nil {
 			return nil, err
 		}
-		reply, err := t.exchange(ctx, conn, payload)
+		reply, wrote, err := t.exchange(conn, deadline, payload)
 		if err == nil {
 			t.putConn(to, conn)
 			return decodeReply(reply)
 		}
 		conn.Close()
-		if fresh {
-			// I/O failure on a fresh connection: the peer went away
-			// mid-exchange. Under fail-stop that is a site crash.
+		if fresh || wrote {
 			return nil, fmt.Errorf("site %v: exchange failed (%v): %w", to, err, proto.ErrSiteDown)
 		}
 	}
 }
 
-// exchange runs one framed request/response on conn under the call deadline.
-func (t *Transport) exchange(ctx context.Context, conn net.Conn, payload []byte) (wireResp, error) {
-	deadline := time.Now().Add(t.cfg.CallTimeout)
-	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
-		deadline = d
-	}
+// exchange runs one framed request/response on conn under deadline. wrote
+// reports whether the request frame was fully handed to the connection —
+// after that point the peer may have executed the request, so the caller
+// must not retry on another connection.
+func (t *Transport) exchange(conn net.Conn, deadline time.Time, payload []byte) (resp wireResp, wrote bool, err error) {
 	if err := conn.SetDeadline(deadline); err != nil {
-		return wireResp{}, err
+		return wireResp{}, false, err
 	}
 	if err := writeFrame(conn, payload); err != nil {
-		return wireResp{}, err
+		return wireResp{}, false, err
 	}
 	frame, err := readFrame(conn)
 	if err != nil {
-		return wireResp{}, err
+		return wireResp{}, true, err
 	}
-	var resp wireResp
 	if err := json.Unmarshal(frame, &resp); err != nil {
-		return wireResp{}, err
+		return wireResp{}, true, err
 	}
-	return resp, nil
+	return resp, true, nil
 }
 
 func decodeReply(resp wireResp) (proto.Message, error) {

@@ -2,6 +2,7 @@ package tcpnet
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -157,5 +158,107 @@ func TestParallelCalls(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestNoResendAfterDeliveredFrame pins the at-most-once contract: once a
+// request frame has been fully written to a connection, a failure to read the
+// reply is conclusive (ErrSiteDown) — the frame must not be resent on another
+// connection, where the peer could execute a non-idempotent message twice.
+// The fake peer answers the first call, then reads the second call's frame
+// and drops the connection without replying.
+func TestNoResendAfterDeliveredFrame(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var mu sync.Mutex
+	frames, accepts := 0, 0
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			accepts++
+			mu.Unlock()
+			go func(c net.Conn) {
+				defer c.Close()
+				for {
+					if _, err := readFrame(c); err != nil {
+						return
+					}
+					mu.Lock()
+					frames++
+					n := frames
+					mu.Unlock()
+					if n > 1 {
+						return // delivered but unanswered: close the conn
+					}
+					data, _ := proto.EncodeMessage(proto.ProbeResp{Operational: true})
+					out, _ := json.Marshal(wireResp{Msg: data})
+					if err := writeFrame(c, out); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	tr := New(Config{
+		Self:        1,
+		Addrs:       map[proto.SiteID]string{2: ln.Addr().String()},
+		DialRetries: 1,
+		CallTimeout: 2 * time.Second,
+	})
+	defer tr.Close()
+
+	ctx := context.Background()
+	if _, err := tr.Call(ctx, 1, 2, proto.ProbeReq{}); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	_, err = tr.Call(ctx, 1, 2, proto.ProbeReq{})
+	if !errors.Is(err, proto.ErrSiteDown) {
+		t.Fatalf("second call err = %v, want ErrSiteDown", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if frames != 2 {
+		t.Fatalf("peer received %d frames, want 2 (a resend would execute the request twice)", frames)
+	}
+	if accepts != 1 {
+		t.Fatalf("peer accepted %d connections, want 1 (a retry would have redialed)", accepts)
+	}
+}
+
+// TestHandlerDeadlineCarriesCallerBudget checks that the serving side bounds
+// handler contexts by the caller's remaining time budget rather than always
+// granting the full CallTimeout: an abandoned request must stop holding locks
+// at roughly the moment the caller gives up.
+func TestHandlerDeadlineCarriesCallerBudget(t *testing.T) {
+	trs := newPair(t, 2) // CallTimeout is 2s
+	budget := make(chan time.Duration, 1)
+	trs[2].SetHandler(func(ctx context.Context, from proto.SiteID, msg proto.Message) (proto.Message, error) {
+		d, ok := ctx.Deadline()
+		if !ok {
+			t.Error("handler ctx has no deadline")
+			budget <- 0
+		} else {
+			budget <- time.Until(d)
+		}
+		return proto.ProbeResp{Operational: true}, nil
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := trs[1].Call(ctx, 1, 2, proto.ProbeReq{}); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if d := <-budget; d <= 0 || d > 500*time.Millisecond {
+		t.Fatalf("handler budget = %v, want ~300ms (caller's deadline, not the 2s CallTimeout)", d)
 	}
 }

@@ -417,3 +417,76 @@ func TestSequencer(t *testing.T) {
 		t.Fatal("commit seq not sequential")
 	}
 }
+
+func TestStridedSequencerObserveLamport(t *testing.T) {
+	// Sites 1 and 3 of a 3-site cluster draw commit sequence numbers from
+	// disjoint residue classes, so without observation their counters carry
+	// no cross-coordinator order.
+	s1 := NewStridedSequencer(1, 3)
+	s3 := NewStridedSequencer(3, 3)
+
+	var ahead uint64
+	for range 5 {
+		ahead = s3.NextCommitSeq()
+	}
+	if s3.HighCommitSeq() != ahead {
+		t.Fatalf("high = %d, want last generated %d", s3.HighCommitSeq(), ahead)
+	}
+
+	// Site 1 learns site 3's number (prepare ack, commit message, version on
+	// a read): everything it generates afterwards must sort above it.
+	s1.ObserveCommitSeq(ahead)
+	if s1.HighCommitSeq() < ahead {
+		t.Fatalf("high = %d after observing %d", s1.HighCommitSeq(), ahead)
+	}
+	next := s1.NextCommitSeq()
+	if next <= ahead {
+		t.Fatalf("after observing %d, next commit seq = %d, want above", ahead, next)
+	}
+	if next%3 != 0 {
+		t.Fatalf("commit seq %d left site 1's residue class", next)
+	}
+
+	// Observing an old number never pushes the counter backwards.
+	s1.ObserveCommitSeq(1)
+	if got := s1.NextCommitSeq(); got <= next {
+		t.Fatalf("after observing stale 1, next commit seq = %d, want above %d", got, next)
+	}
+}
+
+// TestSequentialPrepareHaltsOnNoVote pins the historical short-circuit: on a
+// sequential transport a participant's no-vote stops the prepare fan-out
+// before any later participant is prepared, keeping the per-seed message
+// stream of the deterministic simulator identical to the pre-fan-out loop.
+func TestSequentialPrepareHaltsOnNoVote(t *testing.T) {
+	h := newHarness(t, replication.ROWAA, Callbacks{})
+	prepares3 := 0
+	inner := h.dms[3].Handle
+	h.net.Register(3, func(ctx context.Context, from proto.SiteID, msg proto.Message) (proto.Message, error) {
+		if _, ok := msg.(proto.PrepareReq); ok {
+			prepares3++
+		}
+		return inner(ctx, from, msg)
+	})
+
+	ctx := context.Background()
+	tx, err := h.tms[1].begin(ctx, proto.ClassUser, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(ctx, "x", 7); err != nil {
+		t.Fatal(err)
+	}
+	// Lose site 2's in-flight state: its prepare vote will be no.
+	h.dms[2].Crash()
+	h.dms[2].Restart()
+	h.dms[2].SetSession(1)
+
+	err = tx.Commit(ctx)
+	if !errors.Is(err, proto.ErrTxnAborted) {
+		t.Fatalf("Commit err = %v, want ErrTxnAborted (no-vote)", err)
+	}
+	if prepares3 != 0 {
+		t.Fatalf("site 3 received %d PrepareReqs after site 2 voted no; sequential fan-out must halt", prepares3)
+	}
+}
