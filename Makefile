@@ -23,8 +23,12 @@ lint:
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 		else echo "staticcheck not installed; skipping (CI runs it)"; fi
 
+# Mirrors the bench CI job: the Go benchmark smoke plus the flag-matrix
+# protocol benchmarks (transport fan-out, eager vs batched writes).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) run ./cmd/srbench -transport -json BENCH_PR4.json
+	$(GO) run ./cmd/srbench -batch -json BENCH_PR5.json
 
 # Fuzz the self-describing wire codec (FUZZTIME to adjust).
 FUZZTIME ?= 10s

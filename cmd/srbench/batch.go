@@ -1,0 +1,156 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"siterecovery/internal/core"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/txn"
+)
+
+// The batching dimension measures what the deferred write-set mode buys: a
+// W-write transaction over R replicas costs the eager path one WriteReq per
+// copy per write plus a prepare round (W×R + 2R messages before the commit
+// broadcast), while the batched path sends one BatchReq per participant with
+// the prepare vote piggybacked (R + R). Both modes run the identical
+// workload on the in-process simulator; the report compares wire messages
+// per committed transaction. Total WAL syncs ride along to show the group
+// commit keeps the log discipline at one force per participant per
+// transaction no matter how many ops the batch carries.
+
+// batchModeResult is one mode's measured cost.
+type batchModeResult struct {
+	Mode       string  `json:"mode"`
+	Committed  uint64  `json:"committed"`
+	WireMsgs   uint64  `json:"wire_msgs"`
+	MsgsPerTxn float64 `json:"msgs_per_txn"`
+	WALSyncs   uint64  `json:"wal_syncs"`
+}
+
+// batchReport is the BENCH_PR5.json shape.
+type batchReport struct {
+	Sites        int               `json:"sites"`
+	Replicas     int               `json:"replicas_per_item"`
+	WritesPerTxn int               `json:"writes_per_txn"`
+	Txns         int               `json:"txns"`
+	Results      []batchModeResult `json:"results"`
+	MsgReduction float64           `json:"msg_reduction_vs_eager"`
+}
+
+const batchWritesPerTxn = 4
+
+// batchBenchPlacement fully replicates four items across all sites so every
+// transaction's write set spans every site.
+func batchBenchPlacement() map[proto.Item][]proto.SiteID {
+	all := make([]proto.SiteID, benchSites)
+	for i := range all {
+		all[i] = proto.SiteID(i + 1)
+	}
+	return map[proto.Item][]proto.SiteID{
+		"w1": all, "w2": all, "w3": all, "w4": all,
+	}
+}
+
+// benchBatchMode runs the workload with batching on or off and reads the
+// wire and log costs off the cluster.
+func benchBatchMode(txns int, batching bool) (batchModeResult, error) {
+	name := "eager"
+	if batching {
+		name = "batched"
+	}
+	cl, err := core.NewCluster(
+		core.WithSites(benchSites),
+		core.WithPlacement(batchBenchPlacement()),
+		core.WithBatching(batching),
+		core.WithSeed(1),
+	)
+	if err != nil {
+		return batchModeResult{}, err
+	}
+	cl.Start()
+	defer cl.Stop()
+
+	ctx := context.Background()
+	items := cl.Catalog().Items()
+	var committed uint64
+	for i := 0; i < txns; i++ {
+		i := i
+		err := cl.Exec(ctx, 1, func(ctx context.Context, tx *txn.Tx) error {
+			for w := 0; w < batchWritesPerTxn; w++ {
+				if err := tx.Write(ctx, items[w%len(items)], proto.Value(i*10+w)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return batchModeResult{}, fmt.Errorf("%s txn %d: %w", name, i, err)
+		}
+		committed++
+	}
+
+	res := batchModeResult{Mode: name, Committed: committed}
+	for _, stat := range cl.Network().Stats() {
+		res.WireMsgs += stat.Sent
+	}
+	for _, id := range cl.Sites() {
+		res.WALSyncs += cl.Site(id).Log.Syncs()
+	}
+	if committed > 0 {
+		res.MsgsPerTxn = float64(res.WireMsgs) / float64(committed)
+	}
+	return res, nil
+}
+
+// runBatchBench runs both modes and writes the report.
+func runBatchBench(txns int, jsonPath string) error {
+	report := batchReport{
+		Sites:        benchSites,
+		Replicas:     benchSites,
+		WritesPerTxn: batchWritesPerTxn,
+		Txns:         txns,
+	}
+
+	eager, err := benchBatchMode(txns, false)
+	if err != nil {
+		return err
+	}
+	batched, err := benchBatchMode(txns, true)
+	if err != nil {
+		return err
+	}
+	report.Results = []batchModeResult{eager, batched}
+	if eager.MsgsPerTxn > 0 {
+		report.MsgReduction = 1 - batched.MsgsPerTxn/eager.MsgsPerTxn
+	}
+
+	fmt.Printf("### batching: wire cost, %d sites, %d fully replicated writes/txn, %d txns\n",
+		report.Sites, report.WritesPerTxn, report.Txns)
+	fmt.Printf("%-8s %10s %10s %12s %10s\n", "mode", "committed", "wire_msgs", "msgs_per_txn", "wal_syncs")
+	for _, r := range report.Results {
+		fmt.Printf("%-8s %10d %10d %12.1f %10d\n", r.Mode, r.Committed, r.WireMsgs, r.MsgsPerTxn, r.WALSyncs)
+	}
+	fmt.Printf("wire messages per committed txn: %.1f -> %.1f (%.0f%% reduction)\n",
+		eager.MsgsPerTxn, batched.MsgsPerTxn, 100*report.MsgReduction)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return fmt.Errorf("write %s: %w", jsonPath, err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(report)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("write %s: %w", jsonPath, err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}

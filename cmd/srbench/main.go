@@ -5,6 +5,7 @@
 //
 //	srbench [-run E3] [-scale quick|full] [-csv] [-json BENCH.json]
 //	srbench -transport [-txns 50] [-json BENCH_PR4.json]
+//	srbench -batch [-txns 50] [-json BENCH_PR5.json]
 //	srbench -list
 //
 // With -json, srbench additionally writes a machine-readable per-experiment
@@ -40,11 +41,19 @@ func main() {
 		showObs  = flag.Bool("metrics", false, "print each experiment's protocol-metrics delta")
 		jsonPath = flag.String("json", "", "write a machine-readable per-experiment summary to this file")
 		trans    = flag.Bool("transport", false, "benchmark the transport dimension (inproc-seq, inproc-par, tcp) instead of the experiments")
-		txns     = flag.Int("txns", 50, "transactions per transport in -transport mode")
+		batch    = flag.Bool("batch", false, "benchmark eager vs deferred-write-set batching (wire messages and WAL syncs per committed txn)")
+		txns     = flag.Int("txns", 50, "transactions per transport/batch mode")
 	)
 	flag.Parse()
 	if *trans {
 		if err := runTransportBench(*txns, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "srbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *batch {
+		if err := runBatchBench(*txns, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "srbench:", err)
 			os.Exit(1)
 		}

@@ -22,6 +22,12 @@ type Options struct {
 	// append extra (deliberately weakened) invariants here to prove the
 	// engine catches and shrinks violations.
 	Invariants []Invariant
+	// Batching runs user transactions in the deferred write-set mode
+	// (per-site batch flush with piggybacked prepare votes). It is not part
+	// of the Schedule: the same (schedule, seed) pair can be run in both
+	// modes against the same invariant suite, which is exactly how the
+	// batched protocol is validated.
+	Batching bool
 }
 
 // RunResult is everything one chaos run produced.
@@ -68,6 +74,7 @@ func Run(ctx context.Context, sched Schedule, opts Options) (RunResult, error) {
 		Sites:           sched.Sites,
 		Placement:       workload.UniformPlacement(sched.Items, sched.Degree, sched.Sites, sched.Seed),
 		Identify:        ident,
+		Batching:        opts.Batching,
 		Seed:            sched.Seed,
 		MaxAttempts:     2,
 		RetryBackoff:    time.Millisecond,
@@ -337,6 +344,18 @@ func (r *runner) quiesce(ctx context.Context) error {
 			}
 			report, err := c.Recover(ctx, id)
 			if err != nil {
+				// The restarted site answers decision queries from its log
+				// even though its claim failed. Sweep the operational peers
+				// before fail-stopping it again: transactions it coordinated
+				// and never decided resolve by presumed abort only while it
+				// is reachable, and its next claim may be blocked by exactly
+				// the locks those transactions strand (the janitor loop
+				// would catch this window in a live deployment).
+				for _, pid := range c.Sites() {
+					if s := c.Site(pid); s.Up() && s.Operational() {
+						s.Janitor.Sweep(ctx)
+					}
+				}
 				c.Crash(id)
 				allUp = false
 				continue

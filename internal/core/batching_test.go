@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"siterecovery/internal/proto"
+	"siterecovery/internal/txn"
+)
+
+// fullPlacement replicates numItems items x1..xN at every one of the 3 sites
+// (the test-local stand-in for workload.FullPlacement, which cannot be
+// imported here without a cycle).
+func fullPlacement(numItems int) map[proto.Item][]proto.SiteID {
+	placement := make(map[proto.Item][]proto.SiteID, numItems)
+	for i := 1; i <= numItems; i++ {
+		placement[proto.Item(fmt.Sprintf("x%d", i))] = []proto.SiteID{1, 2, 3}
+	}
+	return placement
+}
+
+// batchWorkload runs txns user transactions of writes writes each (over the
+// items of a FullPlacement catalog) plus one read, returning the total wire
+// messages the run cost.
+func batchWorkload(t *testing.T, c *Cluster, txns, writes int) uint64 {
+	t.Helper()
+	items := c.Catalog().Items()
+	for i := 0; i < txns; i++ {
+		i := i
+		err := c.Exec(context.Background(), 1, func(ctx context.Context, tx *txn.Tx) error {
+			for w := 0; w < writes; w++ {
+				item := items[(i+w)%len(items)]
+				if err := tx.Write(ctx, item, proto.Value(i*10+w)); err != nil {
+					return err
+				}
+			}
+			_, err := tx.Read(ctx, items[i%len(items)])
+			return err
+		})
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	var total uint64
+	for _, stat := range c.Network().Stats() {
+		total += stat.Sent
+	}
+	return total
+}
+
+func TestBatchedReadYourWritesAndConvergence(t *testing.T) {
+	c, err := NewCluster(
+		WithSites(3),
+		WithPlacement(fullPlacement(4)),
+		WithBatching(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+
+	err = c.Exec(context.Background(), 1, func(ctx context.Context, tx *txn.Tx) error {
+		if err := tx.Write(ctx, "x1", 5); err != nil {
+			return err
+		}
+		// The write is buffered, not flushed — the transaction itself must
+		// still read its own value.
+		if v, err := tx.Read(ctx, "x1"); err != nil || v != 5 {
+			return fmt.Errorf("read-your-writes gave (%v, %v), want 5", v, err)
+		}
+		if err := tx.Write(ctx, "x1", 6); err != nil {
+			return err
+		}
+		if v, err := tx.Read(ctx, "x1"); err != nil || v != 6 {
+			return fmt.Errorf("after overwrite read gave (%v, %v), want 6", v, err)
+		}
+		return tx.Write(ctx, "x2", 7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The flush installed the final buffered values at every replica.
+	for _, site := range c.Sites() {
+		for item, want := range map[proto.Item]proto.Value{"x1": 6, "x2": 7} {
+			v, _, err := c.Site(site).Store.Committed(item)
+			if err != nil || v != want {
+				t.Fatalf("site %v %q = (%v, %v), want %v", site, item, v, err, want)
+			}
+		}
+	}
+	if ok, bad := c.CertifyOneSR(); !ok {
+		t.Fatalf("history not 1SR: %v", bad)
+	}
+}
+
+func TestBatchingReducesWireMessages(t *testing.T) {
+	const txns, writes = 20, 4
+	run := func(batching bool) uint64 {
+		c, err := NewCluster(
+			WithSites(3),
+			WithPlacement(fullPlacement(4)),
+			WithBatching(batching),
+			WithSeed(11),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Start()
+		defer c.Stop()
+		return batchWorkload(t, c, txns, writes)
+	}
+
+	eager := run(false)
+	batched := run(true)
+	// 3 replicas, 4-write transactions: the eager path pays one WriteReq per
+	// copy per item plus a prepare round; batched pays one BatchReq per
+	// participant with the vote piggybacked. The acceptance bar is a >=30%
+	// cut in wire messages per committed transaction.
+	perEager := float64(eager) / txns
+	perBatched := float64(batched) / txns
+	t.Logf("wire messages per txn: eager %.1f, batched %.1f", perEager, perBatched)
+	if perBatched > 0.7*perEager {
+		t.Fatalf("batching saved too little: %.1f vs %.1f msgs/txn", perBatched, perEager)
+	}
+}
+
+// TestOptionsAPIEquivalence pins the v2 construction contract: a cluster
+// built from functional options behaves identically to one built from the
+// legacy Config literal.
+func TestOptionsAPIEquivalence(t *testing.T) {
+	placement := fullPlacement(3)
+	run := func(c *Cluster) []proto.Value {
+		c.Start()
+		defer c.Stop()
+		for i, item := range c.Catalog().Items() {
+			write(t, c, 1, item, proto.Value(100+i))
+		}
+		var out []proto.Value
+		for _, item := range c.Catalog().Items() {
+			out = append(out, read(t, c, 2, item))
+		}
+		return out
+	}
+
+	v2, err := NewCluster(
+		WithSites(3),
+		WithPlacement(placement),
+		WithRecoveryMethod(MethodCopiers),
+		WithSeed(7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := New(Config{Sites: 3, Placement: placement, Method: MethodCopiers, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, got1 := run(v2), run(v1)
+	for i := range got1 {
+		if got1[i] != got2[i] {
+			t.Fatalf("options-built cluster diverged: %v vs %v", got2, got1)
+		}
+	}
+}

@@ -204,6 +204,8 @@ func (m *Manager) Handle(ctx context.Context, from proto.SiteID, msg proto.Messa
 		return m.handleRead(ctx, req)
 	case proto.WriteReq:
 		return m.handleWrite(ctx, req)
+	case proto.BatchReq:
+		return m.handleBatch(ctx, req)
 	case proto.PrepareReq:
 		return m.handlePrepare(req)
 	case proto.CommitReq:
@@ -318,6 +320,68 @@ func (m *Manager) handleWrite(ctx context.Context, req proto.WriteReq) (proto.Me
 	t.missedBy[req.Item] = append([]proto.SiteID(nil), req.MissedBy...)
 	m.mu.Unlock()
 	return proto.WriteResp{}, nil
+}
+
+// handleBatch executes one coordinator's batched write set for this site
+// atomically: one gate check covers every operation, then one lock-manager
+// pass in operation order buffers the writes. A failure part-way drops every
+// write the batch buffered, so the batch is all-or-nothing — either every
+// operation is pending under its lock or none is (the coordinator's abort
+// broadcast releases any locks taken before the failure, exactly as on the
+// eager path). With the Prepare flag set the two-phase-commit vote rides the
+// batch response, making the flush round the prepare round.
+func (m *Manager) handleBatch(ctx context.Context, req proto.BatchReq) (proto.Message, error) {
+	if err := m.gate(req.Txn, req.Mode, req.Expect); err != nil {
+		return nil, err
+	}
+	for _, op := range req.Ops {
+		if err := m.cfg.Locks.Acquire(ctx, req.Txn.ID, string(op.Item), lockmgr.Exclusive); err != nil {
+			m.cfg.Store.DropPending(req.Txn.ID)
+			return nil, err
+		}
+		if err := m.cfg.Store.BufferWrite(req.Txn.ID, op.Item, op.Value); err != nil {
+			m.cfg.Store.DropPending(req.Txn.ID)
+			return nil, err
+		}
+	}
+	t := m.track(req.Txn)
+	m.mu.Lock()
+	for _, op := range req.Ops {
+		t.missedBy[op.Item] = append([]proto.SiteID(nil), op.MissedBy...)
+	}
+	m.mu.Unlock()
+	if !req.Prepare {
+		return proto.BatchResp{Vote: true}, nil
+	}
+
+	// Piggybacked phase one. Batches carry user writes only (copiers and
+	// control transactions stay on the eager path), so unlike handlePrepare
+	// there are no refreshes to merge into the record.
+	if m.cfg.Locks.Wounded(req.Txn.ID) {
+		return proto.BatchResp{Vote: false}, nil
+	}
+	writes := make([]wal.WriteRec, 0, len(req.Ops))
+	for item, value := range m.cfg.Store.PendingWrites(req.Txn.ID) {
+		writes = append(writes, wal.WriteRec{Item: item, Value: value})
+	}
+	sort.Slice(writes, func(i, j int) bool { return writes[i].Item < writes[j].Item })
+	m.mu.Lock()
+	t.prepared = true
+	t.preparedAt = m.cfg.Clock.Now()
+	m.mu.Unlock()
+
+	// Group commit: the whole batch's write set becomes durable under a
+	// single log force, instead of the per-operation appends a naive per-op
+	// prepare path would pay.
+	m.cfg.Log.AppendGroup([]wal.Record{{
+		Type: wal.RecordPrepare, Role: wal.RoleParticipant,
+		Txn: req.Txn.ID, Writes: writes, Origin: req.Txn.Origin,
+	}})
+	vote := proto.BatchResp{Vote: true}
+	if m.cfg.Seq != nil {
+		vote.MaxSeq = m.cfg.Seq.HighCommitSeq()
+	}
+	return vote, nil
 }
 
 // LockExclusive takes an X lock on a local copy without writing yet. The
@@ -698,6 +762,26 @@ func (m *Manager) ResolveRecoveredOutcome(d InDoubtTxn, committed bool, commitSe
 		Txn: d.Txn, CommitSeq: commitSeq,
 	})
 	return nil
+}
+
+// AdoptInDoubt re-tracks an in-doubt transaction that recovery could not
+// resolve (coordinator unreachable, no decisive witness) as a prepared
+// in-flight transaction. The crash erased the volatile entry StaleTxns
+// scans, so without re-tracking the prepare record would outlive every
+// janitor sweep; the zero preparedAt makes it stale immediately, and the
+// next sweep retries cooperative termination.
+func (m *Manager) AdoptInDoubt(d InDoubtTxn) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.inflight[d.Txn]; ok {
+		return
+	}
+	m.inflight[d.Txn] = &txnLocal{
+		meta:      proto.TxnMeta{ID: d.Txn, Origin: d.Origin, Class: proto.ClassUser},
+		missedBy:  make(map[proto.Item][]proto.SiteID),
+		refreshes: make(map[proto.Item]refreshVal),
+		prepared:  true,
+	}
 }
 
 // Store exposes the underlying store to the site assembly (recovery marks,

@@ -233,6 +233,7 @@ func (n *Network) Sites() []proto.SiteID {
 func (n *Network) Call(ctx context.Context, from, to proto.SiteID, msg proto.Message) (proto.Message, error) {
 	kind := msg.Kind()
 	n.bump(kind, func(s *Stat) { s.Sent++ })
+	n.cfg.Obs.MsgSent(from, to, kind)
 
 	h, err := n.deliver(ctx, from, to, kind)
 	if err != nil {

@@ -356,6 +356,18 @@ func (h *Hub) SiteCrash(site proto.SiteID) {
 	h.emit(Event{Type: EvSiteCrash, Site: site})
 }
 
+// MsgSent counts a wire message leaving a site, by kind. Metrics only — no
+// event is emitted, so wiring it into a transport never perturbs the
+// byte-identical trace streams the deterministic harnesses compare. The
+// batching benchmark reads these counters to report messages per committed
+// transaction.
+func (h *Hub) MsgSent(from, to proto.SiteID, kind string) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(from), "net", "sent."+kind).Inc()
+}
+
 // MsgDropped records the network losing a message of the given kind.
 func (h *Hub) MsgDropped(from, to proto.SiteID, kind string) {
 	if h == nil {

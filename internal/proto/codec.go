@@ -41,6 +41,8 @@ func init() {
 	register[ReadResp](ReadResp{}.Kind())
 	register[WriteReq](WriteReq{}.Kind())
 	register[WriteResp](WriteResp{}.Kind())
+	register[BatchReq](BatchReq{}.Kind())
+	register[BatchResp](BatchResp{}.Kind())
 	register[PrepareReq](PrepareReq{}.Kind())
 	register[PrepareResp](PrepareResp{}.Kind())
 	register[CommitReq](CommitReq{}.Kind())
@@ -102,7 +104,9 @@ func DecodeMessage(data []byte) (Message, error) {
 // An error that wraps one of these travels as its code plus the full
 // message text, and is reconstructed on the receiving side so errors.Is
 // still matches the sentinel — the transaction managers' retry decisions
-// work identically over TCP and in process.
+// work identically over TCP and in process. Encoding picks the FIRST
+// matching entry, so sentinels that wrap another sentinel (ErrNoReplica
+// wraps ErrUnavailable) must precede the one they wrap.
 var errorCodes = []struct {
 	code     string
 	sentinel error
@@ -116,10 +120,25 @@ var errorCodes = []struct {
 	{"wounded", ErrWounded},
 	{"txn_aborted", ErrTxnAborted},
 	{"unknown_txn", ErrUnknownTxn},
+	{"txn_finished", ErrTxnFinished},
+	{"no_replica", ErrNoReplica},
 	{"unavailable", ErrUnavailable},
 	{"no_quorum", ErrNoQuorum},
 	{"total_failure", ErrTotalFailure},
 	{"abort_requested", ErrAbortRequested},
+	{"unknown_policy", ErrUnknownPolicy},
+}
+
+// WireSentinels lists every protocol error sentinel registered in the wire
+// table, in table order. The codec tests walk it — together with a source
+// scan of errors.go — so a newly exported sentinel cannot be silently
+// missing from the wire mapping.
+func WireSentinels() []error {
+	out := make([]error, len(errorCodes))
+	for i, e := range errorCodes {
+		out[i] = e.sentinel
+	}
+	return out
 }
 
 // WireError is the wire form of a handler error.

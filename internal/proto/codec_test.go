@@ -31,6 +31,17 @@ func wireSamples() []Message {
 			MissedBy: []SiteID{2, 5},
 		},
 		WriteResp{},
+		BatchReq{
+			Txn:    TxnMeta{ID: 48, Class: ClassUser, Origin: 2},
+			Mode:   CheckSession,
+			Expect: 4,
+			Ops: []BatchOp{
+				{Item: "x", Value: 10, MissedBy: []SiteID{3}},
+				{Item: "y", Value: -2},
+			},
+			Prepare: true,
+		},
+		BatchResp{Vote: true, MaxSeq: 71},
 		PrepareReq{Txn: TxnMeta{ID: 44, Class: ClassControl1, Origin: 2}},
 		PrepareResp{Vote: true, MaxSeq: 64},
 		CommitReq{Txn: TxnMeta{ID: 44, Class: ClassControl2, Origin: 2}, CommitSeq: 99},

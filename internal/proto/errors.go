@@ -1,6 +1,9 @@
 package proto
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Protocol error taxonomy. These sentinels cross the (in-process) network
 // and drive transaction-manager retry decisions, so they are matched with
@@ -60,6 +63,22 @@ var (
 	// ErrAbortRequested is used by user transaction bodies to abort
 	// voluntarily; the retry wrapper does not retry it.
 	ErrAbortRequested = errors.New("abort requested")
+
+	// ErrTxnFinished rejects an operation on a Tx whose Commit or Abort has
+	// already run. It marks a caller bug, not a protocol outcome, and is
+	// therefore not retryable.
+	ErrTxnFinished = errors.New("transaction already finished")
+
+	// ErrNoReplica reports a write whose replica set has zero nominally-up
+	// sites. It wraps ErrUnavailable, so existing errors.Is checks, the
+	// retry classification, and the abort-reason taxonomy are unchanged;
+	// callers can now also match the specific condition.
+	ErrNoReplica = fmt.Errorf("no nominally-up replica: %w", ErrUnavailable)
+
+	// ErrUnknownPolicy rejects a logical operation under a replication
+	// profile with an unrecognized read or write policy (a configuration
+	// bug; not retryable).
+	ErrUnknownPolicy = errors.New("unknown replication policy")
 )
 
 // Retryable reports whether an error is a transient protocol outcome that a

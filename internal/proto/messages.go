@@ -46,6 +46,41 @@ type WriteReq struct {
 // WriteResp acknowledges a buffered write.
 type WriteResp struct{}
 
+// BatchOp is one deferred write inside a BatchReq.
+type BatchOp struct {
+	Item  Item
+	Value Value
+	// MissedBy lists replica sites this write skipped because the issuing
+	// transaction considered them unavailable (per-op, like
+	// WriteReq.MissedBy).
+	MissedBy []SiteID `json:",omitempty"`
+}
+
+// BatchReq carries every operation a transaction's deferred write set holds
+// for one participant site in a single wire message: the ROWAA fan-out of
+// W×R per-item WriteReqs collapses to one frame per site. The receiving
+// data manager executes the batch atomically — one session-gate check, one
+// lock-manager pass, one group-commit log append — and, with Prepare set,
+// votes in the response, so the flush round doubles as phase one of
+// two-phase commit (W×R + 2R messages become R + R).
+type BatchReq struct {
+	Txn    TxnMeta
+	Mode   CheckMode
+	Expect Session // session number the sender believes the target has
+	Ops    []BatchOp
+	// Prepare piggybacks the 2PC prepare on the flush: the site logs the
+	// batch as its prepare record and votes in the BatchResp.
+	Prepare bool
+}
+
+// BatchResp acknowledges an executed batch. With BatchReq.Prepare set, Vote
+// and MaxSeq mirror PrepareResp: the participant's yes/no vote and its
+// high-water commit sequence number.
+type BatchResp struct {
+	Vote   bool
+	MaxSeq uint64
+}
+
 // PrepareReq is phase one of two-phase commit.
 type PrepareReq struct {
 	Txn TxnMeta
@@ -168,6 +203,12 @@ func (WriteReq) Kind() string { return "write" }
 
 // Kind implements Message.
 func (WriteResp) Kind() string { return "write.resp" }
+
+// Kind implements Message.
+func (BatchReq) Kind() string { return "batch" }
+
+// Kind implements Message.
+func (BatchResp) Kind() string { return "batch.resp" }
 
 // Kind implements Message.
 func (PrepareReq) Kind() string { return "prepare" }

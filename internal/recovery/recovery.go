@@ -344,11 +344,13 @@ func (m *Manager) resolveInDoubt(ctx context.Context, d dm.InDoubtTxn) {
 		m.mu.Unlock()
 	default:
 		// Still undecided (coordinator active, or unreachable with no
-		// witness): stay conservative — mark the write set and leave the
-		// record in doubt.
+		// witness): stay conservative — mark the write set, leave the
+		// record in doubt, and hand the transaction back to the janitor so
+		// cooperative termination keeps retrying once peers are reachable.
 		for _, item := range d.Items() {
 			m.cfg.Local.Store().MarkUnreadable(item)
 		}
+		m.cfg.Local.AdoptInDoubt(d)
 		m.mu.Lock()
 		m.stats.InDoubtUnresolved++
 		m.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -260,5 +261,44 @@ func TestHandlerDeadlineCarriesCallerBudget(t *testing.T) {
 	}
 	if d := <-budget; d <= 0 || d > 500*time.Millisecond {
 		t.Fatalf("handler budget = %v, want ~300ms (caller's deadline, not the 2s CallTimeout)", d)
+	}
+}
+
+// TestBatchRoundTrip pins the batched flush's wire contract: a multi-op
+// BatchReq crosses TCP as one frame per site and its BatchResp carries the
+// piggybacked prepare vote and commit-sequence watermark back intact.
+func TestBatchRoundTrip(t *testing.T) {
+	trs := newPair(t, 2)
+	got := make(chan proto.BatchReq, 1)
+	trs[2].SetHandler(func(ctx context.Context, from proto.SiteID, msg proto.Message) (proto.Message, error) {
+		br, ok := msg.(proto.BatchReq)
+		if !ok {
+			return nil, fmt.Errorf("unhandled %T", msg)
+		}
+		got <- br
+		return proto.BatchResp{Vote: true, MaxSeq: 42}, nil
+	})
+
+	req := proto.BatchReq{
+		Txn:    proto.TxnMeta{ID: 7, Origin: 1, Class: proto.ClassUser},
+		Mode:   proto.CheckSession,
+		Expect: 3,
+		Ops: []proto.BatchOp{
+			{Item: "x", Value: 5, MissedBy: []proto.SiteID{3}},
+			{Item: "y", Value: 6},
+		},
+		Prepare: true,
+	}
+	resp, err := trs[1].Call(context.Background(), 1, 2, req)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	vote, ok := resp.(proto.BatchResp)
+	if !ok || !vote.Vote || vote.MaxSeq != 42 {
+		t.Fatalf("resp = %#v, want yes vote with MaxSeq 42", resp)
+	}
+	arrived := <-got
+	if !reflect.DeepEqual(arrived, req) {
+		t.Fatalf("batch changed in flight:\nsent %+v\ngot  %+v", req, arrived)
 	}
 }

@@ -67,6 +67,9 @@ type Log struct {
 	state map[proto.TxnID]Record
 	// prepared index: participant prepare records awaiting a decision
 	prepared map[proto.TxnID]bool
+	// syncs models the force-to-disk cost: one per Append, one per
+	// AppendGroup regardless of how many records the group carries.
+	syncs uint64
 }
 
 // New returns an empty log.
@@ -77,10 +80,31 @@ func New() *Log {
 	}
 }
 
-// Append durably adds a record.
+// Append durably adds a record, costing one stable-storage sync.
 func (l *Log) Append(rec Record) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.appendLocked(rec)
+	l.syncs++
+}
+
+// AppendGroup is the group-commit entry point: it durably adds all records
+// under a single sync — the log force for a whole operation batch costs one
+// disk write instead of one per record. The records become visible (and the
+// outcome indexes update) atomically with respect to concurrent readers.
+func (l *Log) AppendGroup(recs []Record) {
+	if len(recs) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, rec := range recs {
+		l.appendLocked(rec)
+	}
+	l.syncs++
+}
+
+func (l *Log) appendLocked(rec Record) {
 	l.records = append(l.records, rec)
 	switch rec.Type {
 	case RecordPrepare:
@@ -91,6 +115,14 @@ func (l *Log) Append(rec Record) {
 		l.state[rec.Txn] = rec
 		delete(l.prepared, rec.Txn)
 	}
+}
+
+// Syncs reports how many stable-storage syncs the log has performed; the
+// batching benchmark reads it to show group commit amortizing log forces.
+func (l *Log) Syncs() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncs
 }
 
 // Outcome reports the durable outcome of txn at this site: StateCommitted or

@@ -135,3 +135,40 @@ func TestLatestPrepareRecordWins(t *testing.T) {
 		t.Fatalf("latest prepare not returned: (%v, %v)", writes, origin)
 	}
 }
+
+func TestAppendGroupCostsOneSync(t *testing.T) {
+	l := New()
+	recs := []Record{
+		{Type: RecordPrepare, Role: RoleParticipant, Txn: 10, Origin: 1,
+			Writes: []WriteRec{{Item: "x", Value: 1}}},
+		{Type: RecordCommit, Role: RoleParticipant, Txn: 10, CommitSeq: 4},
+		{Type: RecordAbort, Role: RoleParticipant, Txn: 11},
+	}
+	l.AppendGroup(recs)
+	if got := l.Syncs(); got != 1 {
+		t.Fatalf("AppendGroup of %d records cost %d syncs, want 1", len(recs), got)
+	}
+	if l.Len() != len(recs) {
+		t.Fatalf("Len = %d, want %d", l.Len(), len(recs))
+	}
+	// The grouped records still maintain the outcome indexes.
+	if state, seq := l.Outcome(10); state != proto.StateCommitted || seq != 4 {
+		t.Fatalf("Outcome(10) = (%v, %d)", state, seq)
+	}
+	if state, _ := l.Outcome(11); state != proto.StateAborted {
+		t.Fatalf("Outcome(11) = %v", state)
+	}
+	// Per-record Append costs one sync each.
+	per := New()
+	for _, rec := range recs {
+		per.Append(rec)
+	}
+	if got := per.Syncs(); got != uint64(len(recs)) {
+		t.Fatalf("per-record appends cost %d syncs, want %d", got, len(recs))
+	}
+	// Empty group is free.
+	l.AppendGroup(nil)
+	if got := l.Syncs(); got != 1 {
+		t.Fatalf("empty AppendGroup changed sync count to %d", got)
+	}
+}
