@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench trace cover chaos fuzz e2e
+.PHONY: all build test race lint bench trace cover chaos fuzz e2e load perf-check
 
 all: lint build test
 
@@ -24,11 +24,24 @@ lint:
 		else echo "staticcheck not installed; skipping (CI runs it)"; fi
 
 # Mirrors the bench CI job: the Go benchmark smoke plus the flag-matrix
-# protocol benchmarks (transport fan-out, eager vs batched writes).
+# protocol benchmarks (transport fan-out, eager vs batched writes). Fresh
+# runs land in the gitignored bench/out/, never on top of the committed
+# BENCH_PR*.json baselines.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
-	$(GO) run ./cmd/srbench -transport -json BENCH_PR4.json
-	$(GO) run ./cmd/srbench -batch -json BENCH_PR5.json
+	$(GO) run ./cmd/srbench -transport -json bench/out/BENCH_PR4.json
+	$(GO) run ./cmd/srbench -batch -json bench/out/BENCH_PR5.json
+
+# Mirrors the perf-trend CI job: the deterministic srload profile
+# (concurrency 1, fixed seed) against netsim and a 3-process TCP cluster,
+# then the regression gate against the committed BENCH_PR6.json baseline.
+# msgs/committed-txn is deterministic and gated at the strict 10%; p95
+# latency gets machine-variance slack.
+load:
+	$(GO) run ./cmd/srload -cluster all -txns 150 -concurrency 1 -seed 1 -json bench/out/BENCH_PR6.json
+
+perf-check: load
+	$(GO) run ./cmd/srbench -check -baseline BENCH_PR6.json -fresh bench/out/BENCH_PR6.json -latency-slack 3.0
 
 # Fuzz the self-describing wire codec (FUZZTIME to adjust).
 FUZZTIME ?= 10s

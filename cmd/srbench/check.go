@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fmt"
+
+	"siterecovery/internal/load"
+	"siterecovery/internal/load/trend"
+)
+
+// runCheck is the CI perf-regression gate: compare a fresh srload bench
+// file against the committed baseline and exit nonzero on any regression
+// past tolerance (srbench -check -baseline BENCH_PR6.json -fresh
+// bench/out/BENCH_PR6.json). msgs/committed-txn is deterministic for the
+// gate's fixed workload, so its tolerance stays strict; -latency-slack
+// loosens only the p95 gate for cross-machine wall-clock variance.
+func runCheck(baselinePath, freshPath string, msgsSlack, latencySlack float64) error {
+	baseline, err := load.ReadBenchFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	fresh, err := load.ReadBenchFile(freshPath)
+	if err != nil {
+		return fmt.Errorf("fresh: %w", err)
+	}
+	violations := trend.Check(baseline, fresh, trend.Options{
+		MsgsTolerance:    msgsSlack,
+		LatencyTolerance: latencySlack,
+	})
+	if len(violations) == 0 {
+		fmt.Printf("perf check: %d baseline columns, no regressions (%s vs %s)\n",
+			len(baseline.Results), freshPath, baselinePath)
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Println("perf check: FAIL:", v)
+	}
+	return fmt.Errorf("%d perf regression(s) past tolerance", len(violations))
+}

@@ -6,6 +6,7 @@
 //	srbench [-run E3] [-scale quick|full] [-csv] [-json BENCH.json]
 //	srbench -transport [-txns 50] [-json BENCH_PR4.json]
 //	srbench -batch [-txns 50] [-json BENCH_PR5.json]
+//	srbench -check [-baseline BENCH_PR6.json] [-fresh bench/out/BENCH_PR6.json]
 //	srbench -list
 //
 // With -json, srbench additionally writes a machine-readable per-experiment
@@ -43,8 +44,20 @@ func main() {
 		trans    = flag.Bool("transport", false, "benchmark the transport dimension (inproc-seq, inproc-par, tcp) instead of the experiments")
 		batch    = flag.Bool("batch", false, "benchmark eager vs deferred-write-set batching (wire messages and WAL syncs per committed txn)")
 		txns     = flag.Int("txns", 50, "transactions per transport/batch mode")
+		check    = flag.Bool("check", false, "compare a fresh srload bench file against the committed baseline and fail on regressions")
+		baseline = flag.String("baseline", "BENCH_PR6.json", "committed baseline bench file for -check")
+		fresh    = flag.String("fresh", "bench/out/BENCH_PR6.json", "fresh bench file for -check")
+		msgSlack = flag.Float64("msgs-slack", 0.10, "allowed fractional msgs/committed-txn increase for -check")
+		latSlack = flag.Float64("latency-slack", 0.10, "allowed fractional p95 commit-latency increase for -check")
 	)
 	flag.Parse()
+	if *check {
+		if err := runCheck(*baseline, *fresh, *msgSlack, *latSlack); err != nil {
+			fmt.Fprintln(os.Stderr, "srbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *trans {
 		if err := runTransportBench(*txns, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "srbench:", err)

@@ -1,0 +1,258 @@
+// Command srload is the open-loop production load harness: Poisson
+// arrivals at a target QPS (or unpaced, for the throughput ceiling),
+// Zipfian key skew, and a configurable read/write mix, driven against the
+// in-process netsim cluster in eager / batched / parallel-fanout modes and
+// against a real multi-process srnode cluster over localhost TCP — with an
+// optional mid-run crash/recover phase so availability under load is
+// measured, not assumed.
+//
+// Usage:
+//
+//	srload                          # netsim + tcp columns, unpaced
+//	srload -cluster netsim -qps 500 -txns 1000 -dist zipf
+//	srload -cluster netsim -concurrency 1 -seed 7   # deterministic profile
+//	srload -crash -json bench/out/BENCH_PR6.json
+//
+// With -json, srload writes the machine-readable BENCH_PR6 bench file the
+// CI perf-trend gate (srbench -check) compares against the committed
+// baseline.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"siterecovery/internal/core"
+	"siterecovery/internal/load"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/workload"
+)
+
+// crashSite is the replica the -crash phase fail-stops; coordinators then
+// round-robin over the surviving sites.
+const crashSite = proto.SiteID(2)
+
+type options struct {
+	cluster     string
+	txns        int
+	qps         float64
+	concurrency int
+	items       int
+	sites       int
+	replicas    int
+	readFrac    float64
+	ops         int
+	dist        workload.Dist
+	distName    string
+	seed        int64
+	jsonPath    string
+	crash       bool
+	srnodeBin   string
+}
+
+func main() {
+	var o options
+	var distName string
+	flag.StringVar(&o.cluster, "cluster", "all", "which clusters to drive: netsim|tcp|all")
+	flag.IntVar(&o.txns, "txns", 200, "total arrivals per run column")
+	flag.Float64Var(&o.qps, "qps", 0, "target arrivals/sec (Poisson); 0 = unpaced, the throughput-ceiling profile")
+	flag.IntVar(&o.concurrency, "concurrency", 8, "max in-flight transactions; 1 = deterministic inline execution")
+	flag.IntVar(&o.items, "items", 48, "logical items")
+	flag.IntVar(&o.sites, "sites", 3, "cluster sites")
+	flag.IntVar(&o.replicas, "replicas", 3, "replication degree on netsim (TCP items are always fully replicated)")
+	flag.Float64Var(&o.readFrac, "read-frac", 0.5, "probability an operation is a read")
+	flag.IntVar(&o.ops, "ops", 4, "logical operations per transaction")
+	flag.StringVar(&distName, "dist", "zipf", "item-access distribution: uniform|zipf|hotspot")
+	flag.Int64Var(&o.seed, "seed", 1, "seed for arrivals and the workload mix")
+	flag.StringVar(&o.jsonPath, "json", "", "write the machine-readable bench file here")
+	flag.BoolVar(&o.crash, "crash", false, fmt.Sprintf("crash site %d at txns/3 and recover it at 2*txns/3", crashSite))
+	flag.StringVar(&o.srnodeBin, "srnode", "", "prebuilt srnode binary for the TCP cluster (default: go build ./cmd/srnode)")
+	flag.Parse()
+
+	dist, err := parseDist(distName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srload:", err)
+		os.Exit(2)
+	}
+	o.dist, o.distName = dist, distName
+	if o.crash && o.sites < 3 {
+		fmt.Fprintln(os.Stderr, "srload: -crash needs at least 3 sites")
+		os.Exit(2)
+	}
+
+	if err := realMain(o); err != nil {
+		fmt.Fprintln(os.Stderr, "srload:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(o options) error {
+	bench := load.BenchFile{
+		Schema:       load.BenchSchema,
+		Sites:        o.sites,
+		Items:        o.items,
+		Replicas:     o.replicas,
+		OpsPerTxn:    o.ops,
+		ReadFraction: o.readFrac,
+		Dist:         o.distName,
+		TargetQPS:    o.qps,
+		Txns:         o.txns,
+		Concurrency:  o.concurrency,
+		Seed:         o.seed,
+	}
+	ctx := context.Background()
+
+	if o.cluster == "netsim" || o.cluster == "all" {
+		netsimModes := []struct {
+			name string
+			opts []core.Option
+		}{
+			{"netsim/eager", nil},
+			{"netsim/batched", []core.Option{core.WithBatching(true)}},
+			{"netsim/parallel", []core.Option{core.WithParallelFanout(true)}},
+		}
+		for _, mode := range netsimModes {
+			rep, err := runNetsim(ctx, o, mode.name, mode.opts...)
+			if err != nil {
+				return fmt.Errorf("%s: %w", mode.name, err)
+			}
+			bench.Results = append(bench.Results, rep)
+		}
+	}
+	if o.cluster == "tcp" || o.cluster == "all" {
+		for _, mode := range []struct {
+			name  string
+			batch bool
+		}{{"tcp/eager", false}, {"tcp/batched", true}} {
+			rep, err := runTCP(ctx, o, mode.name, mode.batch)
+			if err != nil {
+				return fmt.Errorf("%s: %w", mode.name, err)
+			}
+			bench.Results = append(bench.Results, rep)
+		}
+	}
+	if len(bench.Results) == 0 {
+		return fmt.Errorf("unknown -cluster %q: want netsim|tcp|all", o.cluster)
+	}
+
+	printTable(bench)
+	if o.jsonPath != "" {
+		if err := bench.WriteFile(o.jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.jsonPath)
+	}
+	return nil
+}
+
+// runNetsim drives one freshly built in-process cluster in the given mode.
+func runNetsim(ctx context.Context, o options, name string, opts ...core.Option) (load.Report, error) {
+	base := []core.Option{
+		core.WithSites(o.sites),
+		core.WithPlacement(workload.UniformPlacement(o.items, o.replicas, o.sites, o.seed)),
+		core.WithSeed(o.seed),
+	}
+	cl, err := core.NewCluster(append(base, opts...)...)
+	if err != nil {
+		return load.Report{}, err
+	}
+	cl.Start()
+	defer cl.Stop()
+
+	coordinators := cl.Sites()
+	if o.crash {
+		coordinators = surviving(coordinators)
+	}
+	targets, ctl := load.ClusterTargets(cl, coordinators...)
+	cfg := loadConfig(o, targets)
+	cfg.Controller = ctl
+	cfg.Faults = faultSchedule(o)
+
+	res, err := load.Run(ctx, cfg)
+	if err != nil {
+		return load.Report{}, err
+	}
+	var wire uint64
+	for _, stat := range cl.Network().Stats() {
+		wire += stat.Sent
+	}
+	return res.Report(name, wire), nil
+}
+
+// loadConfig builds the shared run config for one column.
+func loadConfig(o options, targets []load.Executor) load.Config {
+	itemList := make([]proto.Item, 0, o.items)
+	for i := range o.items {
+		itemList = append(itemList, workload.ItemName(i))
+	}
+	return load.Config{
+		Targets: targets,
+		Generator: workload.GeneratorConfig{
+			Items:        itemList,
+			Dist:         o.dist,
+			ReadFraction: o.readFrac,
+			OpsPerTxn:    o.ops,
+		},
+		TargetQPS:   o.qps,
+		Txns:        o.txns,
+		Concurrency: o.concurrency,
+		Timeout:     30 * time.Second,
+		Seed:        o.seed,
+	}
+}
+
+func faultSchedule(o options) []load.Fault {
+	if !o.crash {
+		return nil
+	}
+	return []load.Fault{
+		{AfterArrival: o.txns / 3, Kind: load.FaultCrash, Site: crashSite},
+		{AfterArrival: 2 * o.txns / 3, Kind: load.FaultRecover, Site: crashSite},
+	}
+}
+
+// surviving drops the crash-phase victim from the coordinator rotation so
+// arrivals never need the crashed site to coordinate.
+func surviving(sites []proto.SiteID) []proto.SiteID {
+	out := make([]proto.SiteID, 0, len(sites))
+	for _, s := range sites {
+		if s != crashSite {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func parseDist(s string) (workload.Dist, error) {
+	switch s {
+	case "uniform":
+		return workload.Uniform, nil
+	case "zipf":
+		return workload.Zipf, nil
+	case "hotspot":
+		return workload.Hotspot, nil
+	default:
+		return 0, fmt.Errorf("unknown -dist %q: want uniform|zipf|hotspot", s)
+	}
+}
+
+func printTable(b load.BenchFile) {
+	fmt.Printf("%-16s %9s %9s %7s %12s %9s %9s %9s %11s\n",
+		"run", "arrivals", "commit", "abort", "tput (txn/s)", "p50 (us)", "p95 (us)", "p99 (us)", "msgs/txn")
+	for _, r := range b.Results {
+		msgs := "-"
+		if r.MsgsPerCommit > 0 {
+			msgs = fmt.Sprintf("%.1f", r.MsgsPerCommit)
+		}
+		fmt.Printf("%-16s %9d %9d %7d %12.1f %9d %9d %9d %11s\n",
+			r.Name, r.Arrivals, r.Committed, r.Failed, r.ThroughputTPS,
+			r.Latency.P50US, r.Latency.P95US, r.Latency.P99US, msgs)
+		if r.FaultWindow != nil {
+			fmt.Printf("%-16s   fault window: %d arrivals, %d committed, %d failed\n",
+				"", r.FaultWindow.Arrivals, r.FaultWindow.Committed, r.FaultWindow.Failed)
+		}
+	}
+}

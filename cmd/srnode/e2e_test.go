@@ -10,6 +10,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 )
@@ -69,6 +70,16 @@ func TestE2EThreeSiteCluster(t *testing.T) {
 	}
 	if got := readItem(t, controlAddrs[1], "x"); got != 41 {
 		t.Fatalf("x at site 2 = %d, want 41", got)
+	}
+
+	// The srload driving surface: an arbitrary read/write transaction via
+	// POST /txn, committed at site 2, visible at site 1.
+	if code, body := postJSON(t, controlAddrs[1], "/txn",
+		`{"reads":["x"],"writes":[{"item":"y","value":13}]}`); code != http.StatusOK {
+		t.Fatalf("txn at site 2: %d %s", code, body)
+	}
+	if got := readItem(t, controlAddrs[0], "y"); got != 13 {
+		t.Fatalf("y at site 1 = %d, want 13", got)
 	}
 
 	// Crash site 3. Writes at site 1 fail until the failure detector's
@@ -169,6 +180,17 @@ func waitOperational(t *testing.T, ctrl string) {
 func post(t *testing.T, ctrl, path string) (int, []byte) {
 	t.Helper()
 	resp, err := http.Post("http://"+ctrl+path, "", nil)
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	buf, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, buf
+}
+
+func postJSON(t *testing.T, ctrl, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post("http://"+ctrl+path, "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatalf("POST %s: %v", path, err)
 	}

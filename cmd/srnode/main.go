@@ -35,9 +35,12 @@ import (
 	"strings"
 	"time"
 
+	"siterecovery/internal/load"
+	"siterecovery/internal/lockmgr"
 	"siterecovery/internal/node"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/recovery"
+	"siterecovery/internal/replication"
 	"siterecovery/internal/txn"
 )
 
@@ -48,6 +51,8 @@ func main() {
 		items    = flag.String("items", "x,y", "comma-separated logical items, fully replicated across all sites")
 		control  = flag.String("control", "127.0.0.1:0", "HTTP control listen address")
 		identify = flag.String("identify", "markall", "out-of-date identification: markall|faillock|missinglist")
+		batch    = flag.Bool("batch", false, "deferred write-set batching: buffer writes locally and flush one batch per participant at commit")
+		lock     = flag.String("lock", "timeout", "deadlock policy: timeout|wound (wound-wait resolves cross-site deadlocks without waiting out the lock timeout)")
 	)
 	flag.Parse()
 
@@ -81,12 +86,28 @@ func main() {
 		}
 	}
 
+	profile := replication.ROWAA
+	if *batch {
+		profile = profile.Batched()
+	}
+	var policy lockmgr.Policy
+	switch *lock {
+	case "timeout":
+		policy = lockmgr.PolicyTimeout
+	case "wound":
+		policy = lockmgr.PolicyWoundWait
+	default:
+		fmt.Fprintf(os.Stderr, "srnode: unknown -lock %q: want timeout|wound\n", *lock)
+		os.Exit(2)
+	}
 	n, err := node.New(node.Config{
-		Site:      id,
-		Sites:     len(addrs),
-		Addrs:     addrs,
-		Placement: placement,
-		Identify:  ident,
+		Site:       id,
+		Sites:      len(addrs),
+		Addrs:      addrs,
+		Placement:  placement,
+		Profile:    profile,
+		Identify:   ident,
+		LockPolicy: policy,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "srnode:", err)
@@ -174,6 +195,42 @@ func controlMux(id proto.SiteID, n *node.Node) *http.ServeMux {
 				return err
 			}
 			return tx.Write(ctx, item, proto.Value(value))
+		})
+		if err != nil {
+			writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"committed": true})
+	})
+
+	// POST /txn runs an arbitrary read/write transaction from a JSON body
+	// (load.TxnRequest): all reads, then all writes, one atomic commit.
+	// This is the srload driving surface — /exec only covers the fixed
+	// read-then-write shape.
+	mux.HandleFunc("POST /txn", func(w http.ResponseWriter, r *http.Request) {
+		var req load.TxnRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad JSON body: " + err.Error()})
+			return
+		}
+		if len(req.Reads) == 0 && len(req.Writes) == 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "empty transaction"})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+		defer cancel()
+		err := n.Exec(ctx, func(ctx context.Context, tx *txn.Tx) error {
+			for _, item := range req.Reads {
+				if _, err := tx.Read(ctx, item); err != nil {
+					return err
+				}
+			}
+			for _, wr := range req.Writes {
+				if err := tx.Write(ctx, wr.Item, wr.Value); err != nil {
+					return err
+				}
+			}
+			return nil
 		})
 		if err != nil {
 			writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error()})

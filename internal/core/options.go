@@ -72,6 +72,13 @@ func WithBatching(on bool) Option {
 	return func(c *Config) { c.Batching = on }
 }
 
+// WithParallelFanout lets multi-replica phases (write-all, prepare/commit,
+// claim broadcasts) issue their per-site calls concurrently instead of
+// sequentially, so a phase costs one round-trip instead of one per replica.
+func WithParallelFanout(on bool) Option {
+	return func(c *Config) { c.ParallelFanout = on }
+}
+
 // WithSeed seeds the network simulator and retry jitter.
 func WithSeed(seed int64) Option {
 	return func(c *Config) { c.Seed = seed }

@@ -1,0 +1,306 @@
+// Package load is the open-loop production load harness: transactions
+// arrive on a target-QPS Poisson process from a seeded RNG (not when the
+// previous one finishes, as the closed-loop internal/workload driver does),
+// so queueing delay under saturation shows up in the measured latency
+// instead of silently throttling the offered load. The driver is
+// executor-agnostic — the same run drives an in-process netsim cluster, an
+// in-process TCP node, or a multi-process srnode cluster over its HTTP
+// control surface (see adapters.go) — and can inject a crash/recover phase
+// mid-run so availability under load is measured, not assumed.
+package load
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"siterecovery/internal/metrics"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/workload"
+)
+
+// Write is one write operation of a generated transaction.
+type Write struct {
+	Item  proto.Item
+	Value proto.Value
+}
+
+// Txn is one fully materialized transaction: read every item in Reads,
+// then apply every Write. The driver generates these; executors run them.
+type Txn struct {
+	Reads  []proto.Item
+	Writes []Write
+}
+
+// Executor runs one transaction to commit or failure. Implementations wrap
+// a netsim cluster site, a TCP node, or an srnode control endpoint.
+type Executor func(ctx context.Context, t Txn) error
+
+// FaultKind is a mid-run fault action.
+type FaultKind int
+
+// Fault kinds.
+const (
+	FaultCrash FaultKind = iota + 1
+	FaultRecover
+)
+
+// Fault schedules one crash or recover against the cluster under load,
+// keyed to the arrival sequence (not wall time) so a schedule means the
+// same thing at any QPS.
+type Fault struct {
+	// AfterArrival fires the fault just before the arrival with this
+	// 0-based index is dispatched.
+	AfterArrival int
+	Kind         FaultKind
+	Site         proto.SiteID
+}
+
+// Controller applies faults to whatever cluster the executors target.
+type Controller interface {
+	Crash(site proto.SiteID)
+	Recover(ctx context.Context, site proto.SiteID) error
+}
+
+// Config tunes one open-loop run.
+type Config struct {
+	// Targets are the per-coordinator executors; arrivals round-robin
+	// over them. Required.
+	Targets []Executor
+	// Generator tunes the transaction mix. Its Seed is overridden with
+	// Config.Seed so one knob reproduces the whole run.
+	Generator workload.GeneratorConfig
+	// TargetQPS paces arrivals with Poisson inter-arrival gaps drawn
+	// from the seeded RNG. <= 0 disables pacing (arrivals are issued
+	// back-to-back — the throughput-ceiling profile).
+	TargetQPS float64
+	// Txns is the total number of arrivals. Required.
+	Txns int
+	// Concurrency caps in-flight transactions. Concurrency 1 executes
+	// each arrival inline before the next is generated, which makes a
+	// netsim run fully deterministic for a fixed Seed. Defaults to 16.
+	Concurrency int
+	// Timeout bounds each transaction. Defaults to 30s.
+	Timeout time.Duration
+	// Seed drives the arrival process and the workload generator.
+	Seed int64
+	// Faults optionally crash/recover sites mid-run; requires Controller.
+	Faults     []Fault
+	Controller Controller
+}
+
+// WindowStats counts the arrivals dispatched while at least one scheduled
+// fault was outstanding (between a crash and the completion of its
+// recover), and how they fared.
+type WindowStats struct {
+	Arrivals  uint64 `json:"arrivals"`
+	Committed uint64 `json:"committed"`
+	Failed    uint64 `json:"failed"`
+}
+
+// Result aggregates one run.
+type Result struct {
+	Arrivals  uint64
+	Committed uint64
+	Failed    uint64
+	Elapsed   time.Duration
+	// Latency holds commit latencies measured from arrival dispatch, so
+	// under saturation it includes time queued behind the concurrency cap.
+	Latency *metrics.Histogram
+	// SpecDigest fingerprints the generated transaction stream (items,
+	// order, and values). Two runs with the same Config produce the same
+	// digest — the determinism handle the acceptance tests check.
+	SpecDigest string
+	// FaultWindow is populated when Faults were configured.
+	FaultWindow WindowStats
+}
+
+// Throughput reports committed transactions per second of wall time.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Committed) / r.Elapsed.Seconds()
+}
+
+func (c *Config) validate() error {
+	if len(c.Targets) == 0 {
+		return fmt.Errorf("load: config needs at least one target executor")
+	}
+	if c.Txns <= 0 {
+		return fmt.Errorf("load: config needs Txns > 0")
+	}
+	if len(c.Faults) > 0 && c.Controller == nil {
+		return fmt.Errorf("load: faults scheduled without a controller")
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 16
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return nil
+}
+
+// Run drives the targets with cfg.Txns open-loop arrivals and returns the
+// aggregate result. The context cancels the run early; transactions already
+// in flight still settle.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	gcfg := cfg.Generator
+	gcfg.Seed = cfg.Seed
+	gen, err := workload.NewGenerator(gcfg)
+	if err != nil {
+		return Result{}, err
+	}
+	// A distinct stream from the generator's: the same seed must not make
+	// arrival gaps correlate with item choices.
+	arrivalRNG := rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d))
+
+	faults := append([]Fault(nil), cfg.Faults...)
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].AfterArrival < faults[j].AfterArrival })
+
+	var (
+		committed, failed     metrics.Counter
+		fwArr, fwComm, fwFail metrics.Counter
+		hist                  metrics.Histogram
+		faultDepth            atomic.Int64
+		wg, recoveries        sync.WaitGroup
+	)
+	digest := fnv.New64a()
+	sem := make(chan struct{}, cfg.Concurrency)
+
+	fire := func(f Fault) {
+		switch f.Kind {
+		case FaultCrash:
+			faultDepth.Add(1)
+			cfg.Controller.Crash(f.Site)
+		case FaultRecover:
+			if cfg.Concurrency == 1 {
+				// Inline keeps the deterministic profile deterministic.
+				_ = cfg.Controller.Recover(ctx, f.Site)
+				faultDepth.Add(-1)
+				return
+			}
+			recoveries.Add(1)
+			go func() {
+				defer recoveries.Done()
+				_ = cfg.Controller.Recover(ctx, f.Site)
+				faultDepth.Add(-1)
+			}()
+		}
+	}
+
+	start := time.Now()
+	next := start
+	fi := 0
+	arrivals := 0
+	for i := 0; i < cfg.Txns && ctx.Err() == nil; i++ {
+		for fi < len(faults) && faults[fi].AfterArrival <= i {
+			fire(faults[fi])
+			fi++
+		}
+		if cfg.TargetQPS > 0 {
+			gap := time.Duration(arrivalRNG.ExpFloat64() / cfg.TargetQPS * float64(time.Second))
+			next = next.Add(gap)
+			if wait := time.Until(next); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+				}
+				if ctx.Err() != nil {
+					break
+				}
+			}
+		}
+		t := materialize(gen, digest)
+		target := cfg.Targets[i%len(cfg.Targets)]
+		faulted := faultDepth.Load() > 0
+		if faulted {
+			fwArr.Inc()
+		}
+		arrivals++
+		dispatched := time.Now()
+		exec := func() {
+			tctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+			err := target(tctx, t)
+			cancel()
+			if err == nil {
+				committed.Inc()
+				hist.Observe(time.Since(dispatched))
+				if faulted {
+					fwComm.Inc()
+				}
+			} else {
+				failed.Inc()
+				if faulted {
+					fwFail.Inc()
+				}
+			}
+		}
+		if cfg.Concurrency == 1 {
+			exec()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			exec()
+		}()
+	}
+	// Faults scheduled at or past the end of the arrival stream (e.g. a
+	// recover after the last arrival) still fire.
+	for ; fi < len(faults) && ctx.Err() == nil; fi++ {
+		fire(faults[fi])
+	}
+	wg.Wait()
+	recoveries.Wait()
+
+	res := Result{
+		Arrivals:   uint64(arrivals),
+		Committed:  committed.Value(),
+		Failed:     failed.Value(),
+		Elapsed:    time.Since(start),
+		Latency:    &hist,
+		SpecDigest: fmt.Sprintf("%016x", digest.Sum64()),
+	}
+	if len(faults) > 0 {
+		res.FaultWindow = WindowStats{
+			Arrivals:  fwArr.Value(),
+			Committed: fwComm.Value(),
+			Failed:    fwFail.Value(),
+		}
+	}
+	return res, nil
+}
+
+// materialize turns the generator's next spec into a concrete transaction
+// and folds its shape and values into the run digest.
+func materialize(gen *workload.Generator, digest interface{ Write([]byte) (int, error) }) Txn {
+	spec := gen.Next()
+	t := Txn{Reads: spec.Reads, Writes: make([]Write, 0, len(spec.Writes))}
+	for _, item := range spec.Reads {
+		digest.Write([]byte("r"))
+		digest.Write([]byte(item))
+	}
+	var buf [8]byte
+	for _, item := range spec.Writes {
+		v := gen.Value()
+		t.Writes = append(t.Writes, Write{Item: item, Value: v})
+		digest.Write([]byte("w"))
+		digest.Write([]byte(item))
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		digest.Write(buf[:])
+	}
+	return t
+}

@@ -1,0 +1,237 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"siterecovery/internal/core"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/workload"
+)
+
+func testItems(n int) []proto.Item {
+	items := make([]proto.Item, 0, n)
+	for i := range n {
+		items = append(items, workload.ItemName(i))
+	}
+	return items
+}
+
+func newTestCluster(t *testing.T, opts ...core.Option) *core.Cluster {
+	t.Helper()
+	base := []core.Option{
+		core.WithSites(3),
+		core.WithPlacement(workload.UniformPlacement(16, 3, 3, 1)),
+	}
+	cl, err := core.NewCluster(append(base, opts...)...)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cl.Start()
+	t.Cleanup(cl.Stop)
+	return cl
+}
+
+// TestDeterministicAtConcurrencyOne is the acceptance check: two netsim
+// runs with the same seed at Concurrency 1 produce identical commit/abort
+// counts and an identical generated-transaction digest.
+func TestDeterministicAtConcurrencyOne(t *testing.T) {
+	run := func(seed int64) Result {
+		cl := newTestCluster(t)
+		targets, _ := ClusterTargets(cl)
+		res, err := Run(context.Background(), Config{
+			Targets: targets,
+			Generator: workload.GeneratorConfig{
+				Items: testItems(16),
+				Dist:  workload.Zipf,
+			},
+			Txns:        40,
+			Concurrency: 1,
+			Seed:        seed,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a, b := run(7), run(7)
+	if a.Committed != b.Committed || a.Failed != b.Failed {
+		t.Fatalf("same seed diverged: %d/%d committed, %d/%d failed",
+			a.Committed, b.Committed, a.Failed, b.Failed)
+	}
+	if a.SpecDigest != b.SpecDigest {
+		t.Fatalf("same seed, different workload digest: %s vs %s", a.SpecDigest, b.SpecDigest)
+	}
+	if a.Arrivals != 40 || a.Committed+a.Failed != a.Arrivals {
+		t.Fatalf("arrivals %d, committed %d, failed %d: counts do not add up",
+			a.Arrivals, a.Committed, a.Failed)
+	}
+	if other := run(8); other.SpecDigest == a.SpecDigest {
+		t.Fatalf("different seeds produced the same digest %s", a.SpecDigest)
+	}
+}
+
+// TestOpenLoopPacing checks the Poisson arrival process roughly hits the
+// target rate: at 2000 QPS, 50 arrivals should take about 25ms of pacing,
+// and certainly finish well under the no-pacing-at-all bound.
+func TestOpenLoopPacing(t *testing.T) {
+	var n atomic.Int64
+	noop := Executor(func(ctx context.Context, txn Txn) error {
+		n.Add(1)
+		return nil
+	})
+	res, err := Run(context.Background(), Config{
+		Targets:   []Executor{noop},
+		Generator: workload.GeneratorConfig{Items: testItems(4)},
+		TargetQPS: 2000,
+		Txns:      50,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := n.Load(); got != 50 {
+		t.Fatalf("executor saw %d arrivals, want 50", got)
+	}
+	if res.Elapsed < 5*time.Millisecond {
+		t.Fatalf("50 arrivals at 2000 QPS finished in %v: pacing not applied", res.Elapsed)
+	}
+	if res.Elapsed > 5*time.Second {
+		t.Fatalf("pacing took %v, far over the expected ~25ms", res.Elapsed)
+	}
+}
+
+type fakeController struct {
+	crashed   atomic.Int64
+	recovered atomic.Int64
+}
+
+func (f *fakeController) Crash(proto.SiteID) { f.crashed.Add(1) }
+func (f *fakeController) Recover(context.Context, proto.SiteID) error {
+	f.recovered.Add(1)
+	return nil
+}
+
+// TestFaultWindowAttribution drives a stub executor that fails exactly
+// while the scheduled fault is outstanding and checks the window counters
+// capture those arrivals.
+func TestFaultWindowAttribution(t *testing.T) {
+	ctl := &fakeController{}
+	down := atomic.Bool{}
+	exec := Executor(func(ctx context.Context, txn Txn) error {
+		if down.Load() {
+			return errors.New("site down")
+		}
+		return nil
+	})
+	// Mirror the controller actions into the stub executor's availability.
+	mirror := controllerFunc{
+		crash:   func(s proto.SiteID) { ctl.Crash(s); down.Store(true) },
+		recover: func(ctx context.Context, s proto.SiteID) error { down.Store(false); return ctl.Recover(ctx, s) },
+	}
+	res, err := Run(context.Background(), Config{
+		Targets:     []Executor{exec},
+		Generator:   workload.GeneratorConfig{Items: testItems(4)},
+		Txns:        30,
+		Concurrency: 1,
+		Seed:        5,
+		Faults: []Fault{
+			{AfterArrival: 10, Kind: FaultCrash, Site: 2},
+			{AfterArrival: 20, Kind: FaultRecover, Site: 2},
+		},
+		Controller: mirror,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ctl.crashed.Load() != 1 || ctl.recovered.Load() != 1 {
+		t.Fatalf("controller saw %d crashes, %d recoveries; want 1 and 1",
+			ctl.crashed.Load(), ctl.recovered.Load())
+	}
+	// Arrivals 10..19 happen inside the window; all of them fail.
+	if res.FaultWindow.Arrivals != 10 || res.FaultWindow.Failed != 10 || res.FaultWindow.Committed != 0 {
+		t.Fatalf("fault window = %+v, want 10 arrivals all failed", res.FaultWindow)
+	}
+	if res.Committed != 20 || res.Failed != 10 {
+		t.Fatalf("committed %d failed %d, want 20 and 10", res.Committed, res.Failed)
+	}
+}
+
+type controllerFunc struct {
+	crash   func(proto.SiteID)
+	recover func(context.Context, proto.SiteID) error
+}
+
+func (c controllerFunc) Crash(s proto.SiteID) { c.crash(s) }
+func (c controllerFunc) Recover(ctx context.Context, s proto.SiteID) error {
+	return c.recover(ctx, s)
+}
+
+// TestCrashRecoverUnderNetsimLoad runs the real mid-run crash/recover
+// phase against a netsim cluster: a replica crashes under load, recovers,
+// and the run still terminates with every arrival settled.
+func TestCrashRecoverUnderNetsimLoad(t *testing.T) {
+	cl := newTestCluster(t)
+	// Coordinate only at sites 1 and 3 so the crashed site 2 never has to
+	// accept new transactions while down.
+	targets, ctl := ClusterTargets(cl, 1, 3)
+	res, err := Run(context.Background(), Config{
+		Targets:     targets,
+		Generator:   workload.GeneratorConfig{Items: testItems(16), Dist: workload.Zipf},
+		Txns:        60,
+		Concurrency: 4,
+		Timeout:     10 * time.Second,
+		Seed:        11,
+		Faults: []Fault{
+			{AfterArrival: 20, Kind: FaultCrash, Site: 2},
+			{AfterArrival: 40, Kind: FaultRecover, Site: 2},
+		},
+		Controller: ctl,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Committed+res.Failed != res.Arrivals {
+		t.Fatalf("arrivals %d != committed %d + failed %d", res.Arrivals, res.Committed, res.Failed)
+	}
+	if res.Committed == 0 {
+		t.Fatal("nothing committed under crash/recover load")
+	}
+	if res.FaultWindow.Arrivals == 0 {
+		t.Fatal("fault window saw no arrivals despite a 20-arrival crash phase")
+	}
+}
+
+// TestReportDerivedFields checks the JSON column derivations.
+func TestReportDerivedFields(t *testing.T) {
+	res := Result{Arrivals: 10, Committed: 8, Failed: 2, Elapsed: 2 * time.Second}
+	rep := res.Report("netsim/eager", 96)
+	if rep.ThroughputTPS != 4 {
+		t.Fatalf("throughput = %v, want 4", rep.ThroughputTPS)
+	}
+	if rep.MsgsPerCommit != 12 {
+		t.Fatalf("msgs/commit = %v, want 12", rep.MsgsPerCommit)
+	}
+	if rep.FaultWindow != nil {
+		t.Fatalf("fault window reported without faults: %+v", rep.FaultWindow)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	_, err := Run(context.Background(), Config{})
+	if err == nil {
+		t.Fatal("empty config accepted")
+	}
+	_, err = Run(context.Background(), Config{
+		Targets:   []Executor{func(context.Context, Txn) error { return nil }},
+		Generator: workload.GeneratorConfig{Items: testItems(2)},
+		Txns:      1,
+		Faults:    []Fault{{AfterArrival: 0, Kind: FaultCrash, Site: 1}},
+	})
+	if err == nil {
+		t.Fatal("faults without controller accepted")
+	}
+}

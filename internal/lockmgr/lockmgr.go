@@ -2,6 +2,14 @@
 // locking over named resources (physical data copies, including the copies
 // of the nominal session numbers).
 //
+// The lock table is sharded by key hash: each shard owns its keys' lock
+// states and wait queues under its own mutex, so transactions contending on
+// different keys never serialize on a single table lock — the difference
+// between one global mutex and usable throughput under the skewed,
+// many-client workloads cmd/srload generates. Cross-key state (the wounded
+// set) lives behind a separate small mutex that is only ever taken after a
+// shard mutex, never before, so no lock-ordering cycle exists.
+//
 // Two deadlock-resolution policies are provided, as an ablation of the
 // "works with a large group of concurrency control algorithms" claim:
 //
@@ -21,8 +29,10 @@ package lockmgr
 import (
 	"context"
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"siterecovery/internal/clock"
@@ -68,6 +78,9 @@ type Config struct {
 	Timeout time.Duration
 	// Policy defaults to PolicyTimeout.
 	Policy Policy
+	// Shards is the number of hash shards the lock table is split into.
+	// Defaults to 16. A value of 1 degenerates to one global table.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Policy == 0 {
 		c.Policy = PolicyTimeout
+	}
+	if c.Shards == 0 {
+		c.Shards = 16
 	}
 	return c
 }
@@ -93,12 +109,27 @@ type Stats struct {
 
 // Manager is one site's lock table. Create with New.
 type Manager struct {
-	cfg Config
+	cfg    Config
+	seed   maphash.Seed
+	shards []*shard
 
+	// wmu guards wounded, the cross-shard wound-wait state. Lock ordering:
+	// a shard mutex may be held when wmu is taken, never the reverse.
+	wmu     sync.Mutex
+	wounded map[proto.TxnID]bool
+
+	acquired atomic.Uint64
+	waited   atomic.Uint64
+	timeouts atomic.Uint64
+	wounds   atomic.Uint64
+}
+
+// shard is one hash partition of the lock table, with its own mutex, lock
+// states, and per-transaction bookkeeping for keys living in this shard.
+type shard struct {
 	mu    sync.Mutex
 	locks map[string]*lockState
 	txns  map[proto.TxnID]*txnState
-	stats Stats
 }
 
 type lockState struct {
@@ -113,21 +144,46 @@ type request struct {
 	ready   chan error // buffered; receives nil on grant, error on kill
 }
 
+// txnState is one transaction's footprint within ONE shard: the locks it
+// holds and the requests it has queued on this shard's keys.
 type txnState struct {
-	held    map[string]Mode
-	wounded bool
-	// pending requests of this transaction, by resource, so a wound can
-	// fail them promptly
+	held map[string]Mode
+	// pending requests of this transaction, by resource, so a wound or
+	// release can fail them promptly
 	waiting map[string]*request
 }
 
 // New returns a lock manager.
 func New(cfg Config) *Manager {
-	return &Manager{
-		cfg:   cfg.withDefaults(),
-		locks: make(map[string]*lockState),
-		txns:  make(map[proto.TxnID]*txnState),
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:     cfg,
+		seed:    maphash.MakeSeed(),
+		shards:  make([]*shard, cfg.Shards),
+		wounded: make(map[proto.TxnID]bool),
 	}
+	for i := range m.shards {
+		m.shards[i] = &shard{
+			locks: make(map[string]*lockState),
+			txns:  make(map[proto.TxnID]*txnState),
+		}
+	}
+	return m
+}
+
+// shardFor maps a key to its hash shard.
+func (m *Manager) shardFor(key string) *shard {
+	if len(m.shards) == 1 {
+		return m.shards[0]
+	}
+	return m.shards[maphash.String(m.seed, key)%uint64(len(m.shards))]
+}
+
+// isWounded reads the cross-shard wound flag.
+func (m *Manager) isWounded(txn proto.TxnID) bool {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	return m.wounded[txn]
 }
 
 // Acquire obtains a lock on key in the given mode on behalf of txn,
@@ -136,26 +192,26 @@ func New(cfg Config) *Manager {
 // supported and take priority over queued waiters (an upgrader already
 // excludes any queued Exclusive from ever being granted first).
 func (m *Manager) Acquire(ctx context.Context, txn proto.TxnID, key string, mode Mode) error {
-	m.mu.Lock()
-	ts := m.txnState(txn)
-	if ts.wounded {
-		m.mu.Unlock()
+	if m.isWounded(txn) {
 		return fmt.Errorf("lock %q: %w", key, proto.ErrWounded)
 	}
-	ls := m.lockState(key)
+	s := m.shardFor(key)
+	s.mu.Lock()
+	ts := s.txnState(txn)
+	ls := s.lockState(key)
 
 	held := ts.held[key]
 	if held >= mode {
-		m.stats.Acquired++
-		m.mu.Unlock()
+		m.acquired.Add(1)
+		s.mu.Unlock()
 		return nil // re-entrant
 	}
 
 	req := &request{txn: txn, mode: mode, upgrade: held == Shared && mode == Exclusive}
-	if m.grantable(ls, req) {
-		m.grantLocked(ls, ts, key, req)
-		m.stats.Acquired++
-		m.mu.Unlock()
+	if grantable(ls, req) {
+		grantLocked(ls, ts, key, req)
+		m.acquired.Add(1)
+		s.mu.Unlock()
 		return nil
 	}
 
@@ -171,10 +227,26 @@ func (m *Manager) Acquire(ctx context.Context, txn proto.TxnID, key string, mode
 	}
 	ts.waiting[key] = req
 
+	var victims []proto.TxnID
 	if m.cfg.Policy == PolicyWoundWait {
-		m.woundYoungerHoldersLocked(ls, txn)
+		victims = m.woundYoungerHoldersLocked(ls, txn)
 	}
-	m.mu.Unlock()
+	// Re-check the wound flag now that the request is enqueued (shard mutex
+	// still held, wmu nested inside — the allowed order). Either this
+	// enqueue is visible to a concurrent wound's shard sweep, or the sweep's
+	// mark is visible here; both ways the wounded waiter unblocks promptly
+	// instead of riding out the timeout.
+	if m.isWounded(txn) {
+		s.removeQueued(key, req)
+		delete(ts.waiting, key)
+		s.mu.Unlock()
+		return fmt.Errorf("lock %q: %w", key, proto.ErrWounded)
+	}
+	s.mu.Unlock()
+
+	// Fail the victims' requests queued in OTHER shards, outside this
+	// shard's mutex (shard mutexes never nest).
+	m.sweepWoundedWaiters(victims)
 
 	timeout := m.cfg.Clock.After(m.cfg.Timeout)
 	select {
@@ -182,26 +254,22 @@ func (m *Manager) Acquire(ctx context.Context, txn proto.TxnID, key string, mode
 		if err != nil {
 			return fmt.Errorf("lock %q: %w", key, err)
 		}
-		m.mu.Lock()
-		m.stats.Acquired++
-		m.stats.Waited++
-		m.mu.Unlock()
+		m.acquired.Add(1)
+		m.waited.Add(1)
 		return nil
 	case <-timeout:
-		granted, killErr := m.cancelWait(txn, key, req)
+		granted, killErr := m.cancelWait(s, txn, key, req)
 		switch {
 		case killErr != nil:
 			return fmt.Errorf("lock %q: %w", key, killErr)
 		case granted:
 			return nil // grant won the race; the lock is held
 		default:
-			m.mu.Lock()
-			m.stats.Timeouts++
-			m.mu.Unlock()
+			m.timeouts.Add(1)
 			return fmt.Errorf("lock %q: %w", key, proto.ErrLockTimeout)
 		}
 	case <-ctx.Done():
-		granted, killErr := m.cancelWait(txn, key, req)
+		granted, killErr := m.cancelWait(s, txn, key, req)
 		switch {
 		case killErr != nil:
 			return fmt.Errorf("lock %q: %w", key, killErr)
@@ -217,26 +285,24 @@ func (m *Manager) Acquire(ctx context.Context, txn proto.TxnID, key string, mode
 // promotes any waiters the removal unblocked. If the request was resolved
 // concurrently it reports the outcome instead: granted (the caller holds the
 // lock) or the kill error.
-func (m *Manager) cancelWait(txn proto.TxnID, key string, req *request) (granted bool, killErr error) {
-	m.mu.Lock()
-	ls := m.locks[key]
+func (m *Manager) cancelWait(s *shard, txn proto.TxnID, key string, req *request) (granted bool, killErr error) {
+	s.mu.Lock()
+	ls := s.locks[key]
 	if ls != nil {
 		for i, r := range ls.queue {
 			if r == req {
 				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
-				if ts := m.txns[txn]; ts != nil {
+				if ts := s.txns[txn]; ts != nil {
 					delete(ts.waiting, key)
 				}
-				grants := m.promoteLocked(key, ls)
-				m.mu.Unlock()
-				for _, g := range grants {
-					g.req.ready <- nil
-				}
+				grants := s.promoteLocked(key, ls)
+				s.mu.Unlock()
+				deliver(grants)
 				return false, nil // successfully cancelled
 			}
 		}
 	}
-	m.mu.Unlock()
+	s.mu.Unlock()
 	// Not in the queue: the request was resolved concurrently.
 	if err := <-req.ready; err != nil {
 		return false, err
@@ -248,47 +314,48 @@ func (m *Manager) cancelWait(txn proto.TxnID, key string, req *request) (granted
 // and forgets the transaction. It is the only release operation: strict
 // two-phase locking releases at commit or abort only.
 func (m *Manager) ReleaseAll(txn proto.TxnID) {
-	m.mu.Lock()
-	ts := m.txns[txn]
-	if ts == nil {
-		m.mu.Unlock()
-		return
-	}
-	delete(m.txns, txn)
-
-	keys := make([]string, 0, len(ts.held)+len(ts.waiting))
-	for key := range ts.held {
-		keys = append(keys, key)
-	}
-	for key := range ts.waiting {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-
-	var grants []grant
-	for _, key := range keys {
-		ls := m.locks[key]
-		if ls == nil {
+	for _, s := range m.shards {
+		s.mu.Lock()
+		ts := s.txns[txn]
+		if ts == nil {
+			s.mu.Unlock()
 			continue
 		}
-		delete(ls.holders, txn)
-		if req := ts.waiting[key]; req != nil {
-			for i, r := range ls.queue {
-				if r == req {
-					ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
-					break
-				}
+		delete(s.txns, txn)
+
+		keys := make([]string, 0, len(ts.held)+len(ts.waiting))
+		for key := range ts.held {
+			keys = append(keys, key)
+		}
+		for key := range ts.waiting {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+
+		var grants []grant
+		for _, key := range keys {
+			ls := s.locks[key]
+			if ls == nil {
+				continue
+			}
+			delete(ls.holders, txn)
+			if req := ts.waiting[key]; req != nil {
+				s.removeQueued(key, req)
+			}
+			grants = append(grants, s.promoteLocked(key, ls)...)
+			if len(ls.holders) == 0 && len(ls.queue) == 0 {
+				delete(s.locks, key)
 			}
 		}
-		grants = append(grants, m.promoteLocked(key, ls)...)
-		if len(ls.holders) == 0 && len(ls.queue) == 0 {
-			delete(m.locks, key)
-		}
+		s.mu.Unlock()
+		deliver(grants)
 	}
-	m.mu.Unlock()
-	for _, g := range grants {
-		g.req.ready <- nil
-	}
+	// Clear the wound flag last, after every shard has forgotten the
+	// transaction: a concurrent wound only marks transactions it finds
+	// holding a lock, so no marked entry can appear after this point.
+	m.wmu.Lock()
+	delete(m.wounded, txn)
+	m.wmu.Unlock()
 }
 
 // ReleaseOne releases txn's lock on a single key and promotes waiters.
@@ -297,44 +364,41 @@ func (m *Manager) ReleaseAll(txn proto.TxnID) {
 // protected state was never read or written (e.g. a shared lock acquired on
 // a copy that turned out to be unreadable).
 func (m *Manager) ReleaseOne(txn proto.TxnID, key string) {
-	m.mu.Lock()
-	ts := m.txns[txn]
-	ls := m.locks[key]
+	s := m.shardFor(key)
+	s.mu.Lock()
+	ts := s.txns[txn]
+	ls := s.locks[key]
 	if ts == nil || ls == nil {
-		m.mu.Unlock()
+		s.mu.Unlock()
 		return
 	}
 	delete(ts.held, key)
 	delete(ls.holders, txn)
-	grants := m.promoteLocked(key, ls)
+	grants := s.promoteLocked(key, ls)
 	if len(ls.holders) == 0 && len(ls.queue) == 0 {
-		delete(m.locks, key)
+		delete(s.locks, key)
 	}
-	m.mu.Unlock()
-	for _, g := range grants {
-		g.req.ready <- nil
-	}
+	s.mu.Unlock()
+	deliver(grants)
 }
 
 // Wounded reports whether txn has been wounded by an older transaction.
 // Transaction managers check it at operation boundaries.
 func (m *Manager) Wounded(txn proto.TxnID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ts := m.txns[txn]
-	return ts != nil && ts.wounded
+	return m.isWounded(txn)
 }
 
 // Held returns the locks currently held by txn (for tests and debugging).
 func (m *Manager) Held(txn proto.TxnID) map[string]Mode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ts := m.txns[txn]
 	out := make(map[string]Mode)
-	if ts != nil {
-		for k, v := range ts.held {
-			out[k] = v
+	for _, s := range m.shards {
+		s.mu.Lock()
+		if ts := s.txns[txn]; ts != nil {
+			for k, v := range ts.held {
+				out[k] = v
+			}
 		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -352,13 +416,15 @@ type HeldLock struct {
 // invariant suite checks exactly that (a leaked lock means a transaction
 // ended without ReleaseAll).
 func (m *Manager) OutstandingLocks() []HeldLock {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var out []HeldLock
-	for key, ls := range m.locks {
-		for txn, mode := range ls.holders {
-			out = append(out, HeldLock{Key: key, Txn: txn, Mode: mode})
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for key, ls := range s.locks {
+			for txn, mode := range ls.holders {
+				out = append(out, HeldLock{Key: key, Txn: txn, Mode: mode})
+			}
 		}
+		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Key != out[j].Key {
@@ -371,51 +437,73 @@ func (m *Manager) OutstandingLocks() []HeldLock {
 
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Acquired: m.acquired.Load(),
+		Waited:   m.waited.Load(),
+		Timeouts: m.timeouts.Load(),
+		Wounds:   m.wounds.Load(),
+	}
 }
 
 // CrashReset drops the whole lock table (volatile state) and fails every
 // waiter with proto.ErrSiteDown semantics via proto.ErrTxnAborted.
 func (m *Manager) CrashReset() {
-	m.mu.Lock()
 	var waiters []*request
-	for _, ls := range m.locks {
-		waiters = append(waiters, ls.queue...)
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for _, ls := range s.locks {
+			waiters = append(waiters, ls.queue...)
+		}
+		s.locks = make(map[string]*lockState)
+		s.txns = make(map[proto.TxnID]*txnState)
+		s.mu.Unlock()
 	}
-	m.locks = make(map[string]*lockState)
-	m.txns = make(map[proto.TxnID]*txnState)
-	m.mu.Unlock()
+	m.wmu.Lock()
+	m.wounded = make(map[proto.TxnID]bool)
+	m.wmu.Unlock()
 	for _, req := range waiters {
 		req.ready <- proto.ErrTxnAborted
 	}
 }
 
-// --- internals (m.mu held unless noted) ---
+// --- shard internals (s.mu held unless noted) ---
 
-func (m *Manager) txnState(txn proto.TxnID) *txnState {
-	ts, ok := m.txns[txn]
+func (s *shard) txnState(txn proto.TxnID) *txnState {
+	ts, ok := s.txns[txn]
 	if !ok {
 		ts = &txnState{held: make(map[string]Mode), waiting: make(map[string]*request)}
-		m.txns[txn] = ts
+		s.txns[txn] = ts
 	}
 	return ts
 }
 
-func (m *Manager) lockState(key string) *lockState {
-	ls, ok := m.locks[key]
+func (s *shard) lockState(key string) *lockState {
+	ls, ok := s.locks[key]
 	if !ok {
 		ls = &lockState{holders: make(map[proto.TxnID]Mode)}
-		m.locks[key] = ls
+		s.locks[key] = ls
 	}
 	return ls
+}
+
+// removeQueued drops req from key's wait queue if still present.
+func (s *shard) removeQueued(key string, req *request) {
+	ls := s.locks[key]
+	if ls == nil {
+		return
+	}
+	for i, r := range ls.queue {
+		if r == req {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			return
+		}
+	}
 }
 
 // grantable reports whether req can be granted right now, respecting FIFO
 // fairness: a fresh request is only granted immediately when nothing is
 // queued ahead of it (upgrades exempt).
-func (m *Manager) grantable(ls *lockState, req *request) bool {
+func grantable(ls *lockState, req *request) bool {
 	if req.upgrade {
 		// Sole holder required.
 		return len(ls.holders) == 1
@@ -431,7 +519,7 @@ func (m *Manager) grantable(ls *lockState, req *request) bool {
 	return true
 }
 
-func (m *Manager) grantLocked(ls *lockState, ts *txnState, key string, req *request) {
+func grantLocked(ls *lockState, ts *txnState, key string, req *request) {
 	ls.holders[req.txn] = req.mode
 	ts.held[key] = req.mode
 	delete(ts.waiting, key)
@@ -439,23 +527,30 @@ func (m *Manager) grantLocked(ls *lockState, ts *txnState, key string, req *requ
 
 type grant struct{ req *request }
 
+// deliver signals grants outside any shard mutex.
+func deliver(grants []grant) {
+	for _, g := range grants {
+		g.req.ready <- nil
+	}
+}
+
 // promoteLocked grants queued requests that have become compatible, in
 // queue order, and returns the grants to signal outside the lock.
-func (m *Manager) promoteLocked(key string, ls *lockState) []grant {
+func (s *shard) promoteLocked(key string, ls *lockState) []grant {
 	var grants []grant
 	for len(ls.queue) > 0 {
 		req := ls.queue[0]
-		ts := m.txns[req.txn]
+		ts := s.txns[req.txn]
 		if ts == nil {
 			// Owner vanished (released/crashed); drop the stale request.
 			ls.queue = ls.queue[1:]
 			continue
 		}
-		if !m.compatibleWithHolders(ls, req) {
+		if !compatibleWithHolders(ls, req) {
 			break
 		}
 		ls.queue = ls.queue[1:]
-		m.grantLocked(ls, ts, key, req)
+		grantLocked(ls, ts, key, req)
 		grants = append(grants, grant{req: req})
 		if req.mode == Exclusive {
 			break
@@ -464,7 +559,7 @@ func (m *Manager) promoteLocked(key string, ls *lockState) []grant {
 	return grants
 }
 
-func (m *Manager) compatibleWithHolders(ls *lockState, req *request) bool {
+func compatibleWithHolders(ls *lockState, req *request) bool {
 	if req.upgrade {
 		_, holds := ls.holders[req.txn]
 		return holds && len(ls.holders) == 1
@@ -478,34 +573,52 @@ func (m *Manager) compatibleWithHolders(ls *lockState, req *request) bool {
 }
 
 // woundYoungerHoldersLocked implements wound-wait: the waiting transaction
-// wounds every younger holder of the contested lock. Wounded transactions
-// have their queued requests failed immediately and their future Acquire
-// calls rejected; their manager will abort them and ReleaseAll.
-func (m *Manager) woundYoungerHoldersLocked(ls *lockState, waiter proto.TxnID) {
-	var killed []*request
+// marks every younger holder of the contested lock wounded (the contested
+// key's shard mutex is held; wmu nests inside it). The victims' queued
+// requests — which may live in any shard — are failed by the caller via
+// sweepWoundedWaiters once the shard mutex is released, and their future
+// Acquire calls are rejected by the wound flag; their manager will abort
+// them and ReleaseAll.
+func (m *Manager) woundYoungerHoldersLocked(ls *lockState, waiter proto.TxnID) []proto.TxnID {
+	var victims []proto.TxnID
+	m.wmu.Lock()
 	for holder := range ls.holders {
 		if holder <= waiter { // older or self: wait politely
 			continue
 		}
-		ts := m.txns[holder]
-		if ts == nil || ts.wounded {
+		if m.wounded[holder] {
 			continue
 		}
-		ts.wounded = true
-		m.stats.Wounds++
-		// Fail all of the victim's queued requests so it unblocks fast.
-		for key, req := range ts.waiting {
-			if victimLS := m.locks[key]; victimLS != nil {
-				for i, r := range victimLS.queue {
-					if r == req {
-						victimLS.queue = append(victimLS.queue[:i], victimLS.queue[i+1:]...)
-						break
-					}
-				}
+		m.wounded[holder] = true
+		m.wounds.Add(1)
+		victims = append(victims, holder)
+	}
+	m.wmu.Unlock()
+	return victims
+}
+
+// sweepWoundedWaiters fails every queued request of the freshly wounded
+// victims, across all shards, so they unblock fast. Called without any shard
+// mutex held.
+func (m *Manager) sweepWoundedWaiters(victims []proto.TxnID) {
+	if len(victims) == 0 {
+		return
+	}
+	var killed []*request
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for _, victim := range victims {
+			ts := s.txns[victim]
+			if ts == nil {
+				continue
 			}
-			delete(ts.waiting, key)
-			killed = append(killed, req)
+			for key, req := range ts.waiting {
+				s.removeQueued(key, req)
+				delete(ts.waiting, key)
+				killed = append(killed, req)
+			}
 		}
+		s.mu.Unlock()
 	}
 	for _, req := range killed {
 		req.ready <- proto.ErrWounded

@@ -417,3 +417,150 @@ func TestOutstandingLocksEnumeratesAndDrains(t *testing.T) {
 		t.Fatalf("locks leaked after ReleaseAll: %v", left)
 	}
 }
+
+// TestShardedCrossShardFootprint runs a transaction whose lock set spans
+// many shards and checks that Held, OutstandingLocks, and ReleaseAll all see
+// the whole footprint, not just one shard's slice.
+func TestShardedCrossShardFootprint(t *testing.T) {
+	for _, shards := range []int{1, 4, 64} {
+		m := newMgr(t, Config{Shards: shards})
+		keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+		for _, k := range keys {
+			mustAcquire(t, m, 1, k, Exclusive)
+		}
+		if got := len(m.Held(1)); got != len(keys) {
+			t.Fatalf("shards=%d: Held = %d keys, want %d", shards, got, len(keys))
+		}
+		if got := len(m.OutstandingLocks()); got != len(keys) {
+			t.Fatalf("shards=%d: OutstandingLocks = %d, want %d", shards, got, len(keys))
+		}
+		m.ReleaseAll(1)
+		if got := m.OutstandingLocks(); len(got) != 0 {
+			t.Fatalf("shards=%d: locks leaked after ReleaseAll: %v", shards, got)
+		}
+	}
+}
+
+// TestShardedWoundCrossesShards pins the cross-shard wound path: the victim
+// holds the contested key in one shard while WAITING on a key that (with
+// enough shards) hashes elsewhere — the wound must still fail the victim's
+// queued request promptly, not leave it to ride out the timeout.
+func TestShardedWoundCrossesShards(t *testing.T) {
+	m := newMgr(t, Config{Policy: PolicyWoundWait, Shards: 64, Timeout: 5 * time.Second})
+
+	mustAcquire(t, m, 2, "contested", Exclusive) // younger txn holds
+	mustAcquire(t, m, 3, "elsewhere", Exclusive) // blocks the victim's other request
+
+	victimBlocked := make(chan error, 1)
+	go func() {
+		victimBlocked <- m.Acquire(context.Background(), 2, "elsewhere", Exclusive)
+	}()
+	waitForQueue(t, m, "elsewhere", 1)
+
+	// The older transaction wounds txn 2 by waiting on "contested"; txn 2's
+	// queued request on "elsewhere" (a different shard) must fail fast.
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Acquire(context.Background(), 1, "contested", Exclusive)
+	}()
+	select {
+	case err := <-victimBlocked:
+		if !errors.Is(err, proto.ErrWounded) {
+			t.Fatalf("victim's cross-shard wait = %v, want ErrWounded", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("wound did not reach the victim's wait in another shard")
+	}
+	if !m.Wounded(2) {
+		t.Fatal("txn 2 not marked wounded")
+	}
+	if err := m.Acquire(context.Background(), 2, "new", Shared); !errors.Is(err, proto.ErrWounded) {
+		t.Fatalf("wounded txn's fresh acquire = %v, want ErrWounded", err)
+	}
+
+	m.ReleaseAll(2) // the wounded victim aborts
+	if err := <-done; err != nil {
+		t.Fatalf("older txn never got the contested lock: %v", err)
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(3)
+	if m.Wounded(2) {
+		t.Fatal("wound flag leaked past ReleaseAll")
+	}
+}
+
+// waitForQueue spins until key has n queued waiters.
+func waitForQueue(t *testing.T, m *Manager, key string, n int) {
+	t.Helper()
+	s := m.shardFor(key)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		ls := s.locks[key]
+		queued := 0
+		if ls != nil {
+			queued = len(ls.queue)
+		}
+		s.mu.Unlock()
+		if queued >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("key %q never reached %d waiters", key, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShardedContentionSmoke hammers the sharded table from many goroutines
+// with a skewed key distribution (most of the load on a few hot keys) under
+// both policies — the -race CI job turns this into a memory-safety check of
+// the shard/wound-lock interplay, and the invariant checked here is that
+// every transaction either completes all its acquisitions or aborts, and the
+// table drains to empty.
+func TestShardedContentionSmoke(t *testing.T) {
+	keys := []string{
+		"hot-0", "hot-1", // ~2 hot keys take most of the traffic
+		"cold-0", "cold-1", "cold-2", "cold-3", "cold-4", "cold-5", "cold-6", "cold-7",
+	}
+	for _, policy := range []Policy{PolicyTimeout, PolicyWoundWait} {
+		m := newMgr(t, Config{Policy: policy, Shards: 8, Timeout: 200 * time.Millisecond})
+		const goroutines = 16
+		const txnsEach = 30
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < txnsEach; i++ {
+					txn := proto.TxnID(1 + g*txnsEach + i)
+					// Zipf-ish skew: 3 of 4 accesses hit a hot key.
+					for op := 0; op < 3; op++ {
+						var key string
+						if (g+i+op)%4 != 0 {
+							key = keys[(g+op)%2]
+						} else {
+							key = keys[2+(g+i+op)%8]
+						}
+						mode := Shared
+						if op == 2 {
+							mode = Exclusive
+						}
+						if err := m.Acquire(context.Background(), txn, key, mode); err != nil {
+							break // wounded or timed out: abort
+						}
+					}
+					m.ReleaseAll(txn)
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := m.OutstandingLocks(); len(got) != 0 {
+			t.Fatalf("policy %v: locks leaked after drain: %v", policy, got)
+		}
+		st := m.Stats()
+		if st.Acquired == 0 {
+			t.Fatalf("policy %v: no locks ever granted", policy)
+		}
+	}
+}

@@ -4,6 +4,15 @@
 // database run as its own OS process (cmd/srnode) while the protocol layers
 // above — transaction manager, session manager, recovery — stay unchanged.
 //
+// Calls are multiplexed: each site keeps ONE connection per peer, every
+// request frame carries a transport-assigned request ID, and a per-connection
+// demux goroutine routes response frames (which may arrive out of order) back
+// to their waiting callers. The serving side dispatches each inbound frame on
+// its own goroutine, so a slow handler never blocks later requests on the
+// same connection. This replaces the PR 4 conn-per-call pool, where N
+// concurrent calls to one peer cost N TCP connections and a response had to
+// be read before the next request could use the conn.
+//
 // Failure semantics follow the paper's fail-stop model: a connection refused
 // (after brief retries, to ride over peer startup) or any transport-level
 // I/O failure surfaces as proto.ErrSiteDown, exactly what the simulator
@@ -17,6 +26,7 @@
 package tcpnet
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"encoding/json"
@@ -25,6 +35,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"siterecovery/internal/proto"
@@ -75,23 +86,80 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// wireReq frames one request: the sender's site ID, the encoded message
-// envelope, and the caller's remaining time budget. Carrying the budget (a
-// duration, not an absolute time, so clocks need not be synchronized) lets
-// the serving side stop an abandoned handler at roughly the moment the
-// caller gives up instead of running out the full CallTimeout while holding
-// locks.
+// wireReq frames one request: a connection-scoped request ID for demuxing
+// the (possibly out-of-order) response stream, the sender's site ID, the
+// encoded message envelope, and the caller's remaining time budget. Carrying
+// the budget (a duration, not an absolute time, so clocks need not be
+// synchronized) lets the serving side stop an abandoned handler at roughly
+// the moment the caller gives up instead of running out the full CallTimeout
+// while holding locks.
 type wireReq struct {
+	ID        uint64          `json:"id"`
 	From      proto.SiteID    `json:"from"`
 	Msg       json.RawMessage `json:"msg"`
 	TimeoutMS int64           `json:"timeout_ms,omitempty"`
 }
 
-// wireResp frames one response: the encoded reply envelope, or the wire form
-// of the handler error.
+// wireResp frames one response: the request ID it answers, and the encoded
+// reply envelope or the wire form of the handler error.
 type wireResp struct {
+	ID  uint64           `json:"id"`
 	Msg json.RawMessage  `json:"msg,omitempty"`
 	Err *proto.WireError `json:"err,omitempty"`
+}
+
+// peerConn is one multiplexed outbound connection: many calls in flight at
+// once, each waiting on its registered pending channel for the demux loop to
+// route its response frame back.
+type peerConn struct {
+	conn net.Conn
+
+	// wmu serializes request-frame writes; responses are read only by the
+	// demux loop, which owns the read side outright.
+	wmu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan wireResp
+	dead    bool
+}
+
+// register enrolls a request ID for demuxing. It fails if the connection
+// already died, so the caller retries on a fresh one (nothing was written).
+func (p *peerConn) register(id uint64) (chan wireResp, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead {
+		return nil, errors.New("connection closed")
+	}
+	ch := make(chan wireResp, 1)
+	p.pending[id] = ch
+	return ch, nil
+}
+
+// unregister abandons a pending request (timeout, cancellation, or write
+// failure). A response racing in afterwards is dropped by the demux loop.
+func (p *peerConn) unregister(id uint64) {
+	p.mu.Lock()
+	delete(p.pending, id)
+	p.mu.Unlock()
+}
+
+// fail marks the connection dead and wakes every pending caller by closing
+// its channel: their frames were written, so the failure is conclusive.
+func (p *peerConn) fail() {
+	p.conn.Close()
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return
+	}
+	p.dead = true
+	pending := p.pending
+	p.pending = make(map[uint64]chan wireResp)
+	p.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
 }
 
 // Transport is a running TCP transport. Create with New, then Start.
@@ -103,10 +171,13 @@ type Transport struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
+	nextID atomic.Uint64
+
 	mu      sync.Mutex
 	handler transport.Handler
 	ln      net.Listener
-	idle    map[proto.SiteID][]net.Conn
+	peers   map[proto.SiteID]*peerConn
+	dialing map[proto.SiteID]chan struct{}
 	serving map[net.Conn]bool
 	closed  bool
 
@@ -124,7 +195,8 @@ func New(cfg Config) *Transport {
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
 		handler:    cfg.Handler,
-		idle:       make(map[proto.SiteID][]net.Conn),
+		peers:      make(map[proto.SiteID]*peerConn),
+		dialing:    make(map[proto.SiteID]chan struct{}),
 		serving:    make(map[net.Conn]bool),
 	}
 }
@@ -187,10 +259,11 @@ func (t *Transport) Close() error {
 	for c := range t.serving {
 		conns = append(conns, c)
 	}
-	for _, pool := range t.idle {
-		conns = append(conns, pool...)
+	peers := make([]*peerConn, 0, len(t.peers))
+	for _, pc := range t.peers {
+		peers = append(peers, pc)
 	}
-	t.idle = make(map[proto.SiteID][]net.Conn)
+	t.peers = make(map[proto.SiteID]*peerConn)
 	t.mu.Unlock()
 
 	t.baseCancel()
@@ -199,6 +272,9 @@ func (t *Transport) Close() error {
 	}
 	for _, c := range conns {
 		c.Close()
+	}
+	for _, pc := range peers {
+		pc.fail()
 	}
 	t.wg.Wait()
 	return nil
@@ -224,36 +300,51 @@ func (t *Transport) acceptLoop(ln net.Listener) {
 	}
 }
 
-// serveConn handles one inbound connection: a sequence of request frames,
-// each answered before the next is read (the client keeps at most one call
-// in flight per connection).
+// serveConn handles one inbound connection: request frames are read in
+// order, but each is dispatched on its own goroutine and its response frame
+// written (serialized by wmu) whenever the handler finishes — so a slow
+// handler does not block later requests on the same connection, and
+// responses may cross the wire out of order.
 func (t *Transport) serveConn(conn net.Conn) {
 	defer t.wg.Done()
+	var hwg sync.WaitGroup
+	var wmu sync.Mutex
 	defer func() {
 		conn.Close()
+		hwg.Wait()
 		t.mu.Lock()
 		delete(t.serving, conn)
 		t.mu.Unlock()
 	}()
+	r := bufio.NewReader(conn)
 	for {
-		payload, err := readFrame(conn)
+		payload, err := readFrame(r)
 		if err != nil {
 			return // peer closed, or stream corrupt: drop the connection
 		}
-		resp := t.dispatch(payload)
-		out, err := json.Marshal(resp)
-		if err != nil {
-			return
-		}
-		if err := writeFrame(conn, out); err != nil {
-			return
-		}
+		hwg.Add(1)
+		go func(payload []byte) {
+			defer hwg.Done()
+			resp := t.dispatch(payload)
+			out, err := json.Marshal(resp)
+			if err != nil {
+				return
+			}
+			wmu.Lock()
+			err = writeFrame(conn, out)
+			wmu.Unlock()
+			if err != nil {
+				// The response stream is poisoned; drop the connection so
+				// the read loop exits and the peer re-establishes.
+				conn.Close()
+			}
+		}(payload)
 	}
 }
 
 func (t *Transport) dispatch(payload []byte) wireResp {
-	fail := func(err error) wireResp { return wireResp{Err: proto.EncodeError(err)} }
 	var req wireReq
+	fail := func(err error) wireResp { return wireResp{ID: req.ID, Err: proto.EncodeError(err)} }
 	if err := json.Unmarshal(payload, &req); err != nil {
 		return fail(fmt.Errorf("malformed request frame: %w", err))
 	}
@@ -287,12 +378,13 @@ func (t *Transport) dispatch(payload []byte) wireResp {
 	if err != nil {
 		return fail(err)
 	}
-	return wireResp{Msg: data}
+	return wireResp{ID: req.ID, Msg: data}
 }
 
 // Call implements transport.Transport: one request/response exchange with
-// site to. Calls to Self are served by the local handler directly, matching
-// the simulator's local bus.
+// site to, multiplexed onto the shared per-peer connection. Calls to Self
+// are served by the local handler directly, matching the simulator's local
+// bus.
 func (t *Transport) Call(ctx context.Context, from, to proto.SiteID, msg proto.Message) (proto.Message, error) {
 	if from != t.cfg.Self {
 		return nil, fmt.Errorf("tcpnet: call from %v on site %v's transport", from, t.cfg.Self)
@@ -315,58 +407,73 @@ func (t *Transport) Call(ctx context.Context, from, to proto.SiteID, msg proto.M
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
-	payload, err := json.Marshal(wireReq{
-		From: from, Msg: data,
-		TimeoutMS: time.Until(deadline).Milliseconds(),
-	})
-	if err != nil {
-		return nil, err
-	}
 
-	// A pooled connection may have been closed by the peer since its last
-	// use; a write failure on one means the request frame never arrived
-	// intact, so the next pooled connection (or a fresh dial, once the pool
-	// is drained) is tried. Once the frame was fully written — or the
-	// connection was freshly dialed — a failure is conclusive: the peer may
+	// The shared connection may have been closed by the peer since its last
+	// use; a registration or write failure means the request frame never
+	// arrived intact (a partial frame fails the peer's length-prefixed read
+	// and is never dispatched), so a fresh connection is dialed and the call
+	// retried. Once the frame was fully written — or the connection was
+	// freshly dialed by this call — a failure is conclusive: the peer may
 	// already have received and executed the request, and resending it would
 	// execute a non-idempotent message twice. Under fail-stop the conclusive
 	// case is a site crash.
 	for {
-		conn, fresh, err := t.getConn(ctx, to)
+		pc, fresh, err := t.getPeer(ctx, to)
 		if err != nil {
 			return nil, err
 		}
-		reply, wrote, err := t.exchange(conn, deadline, payload)
-		if err == nil {
-			t.putConn(to, conn)
-			return decodeReply(reply)
+		id := t.nextID.Add(1)
+		payload, err := json.Marshal(wireReq{
+			ID: id, From: from, Msg: data,
+			TimeoutMS: time.Until(deadline).Milliseconds(),
+		})
+		if err != nil {
+			return nil, err
 		}
-		conn.Close()
-		if fresh || wrote {
-			return nil, fmt.Errorf("site %v: exchange failed (%v): %w", to, err, proto.ErrSiteDown)
+		ch, err := pc.register(id)
+		if err != nil {
+			// Nothing written; a dead shared conn is replaced and retried.
+			t.dropPeer(to, pc)
+			if fresh {
+				return nil, fmt.Errorf("site %v: connection lost (%v): %w", to, err, proto.ErrSiteDown)
+			}
+			continue
 		}
+		pc.wmu.Lock()
+		pc.conn.SetWriteDeadline(deadline)
+		err = writeFrame(pc.conn, payload)
+		pc.wmu.Unlock()
+		if err != nil {
+			pc.unregister(id)
+			t.dropPeer(to, pc)
+			if fresh {
+				return nil, fmt.Errorf("site %v: write failed (%v): %w", to, err, proto.ErrSiteDown)
+			}
+			continue
+		}
+		return t.await(ctx, to, pc, id, ch, deadline)
 	}
 }
 
-// exchange runs one framed request/response on conn under deadline. wrote
-// reports whether the request frame was fully handed to the connection —
-// after that point the peer may have executed the request, so the caller
-// must not retry on another connection.
-func (t *Transport) exchange(conn net.Conn, deadline time.Time, payload []byte) (resp wireResp, wrote bool, err error) {
-	if err := conn.SetDeadline(deadline); err != nil {
-		return wireResp{}, false, err
+// await blocks until the demux loop delivers the response for id, the
+// connection dies, or the deadline passes. The frame was already written, so
+// every failure here is conclusive (at-most-once: never resent).
+func (t *Transport) await(ctx context.Context, to proto.SiteID, pc *peerConn, id uint64, ch chan wireResp, deadline time.Time) (proto.Message, error) {
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("site %v: connection lost awaiting reply: %w", to, proto.ErrSiteDown)
+		}
+		return decodeReply(resp)
+	case <-timer.C:
+		pc.unregister(id)
+		return nil, fmt.Errorf("site %v: call timed out: %w", to, proto.ErrSiteDown)
+	case <-ctx.Done():
+		pc.unregister(id)
+		return nil, fmt.Errorf("site %v: %v: %w", to, ctx.Err(), proto.ErrSiteDown)
 	}
-	if err := writeFrame(conn, payload); err != nil {
-		return wireResp{}, false, err
-	}
-	frame, err := readFrame(conn)
-	if err != nil {
-		return wireResp{}, true, err
-	}
-	if err := json.Unmarshal(frame, &resp); err != nil {
-		return wireResp{}, true, err
-	}
-	return resp, true, nil
 }
 
 func decodeReply(resp wireResp) (proto.Message, error) {
@@ -376,71 +483,139 @@ func decodeReply(resp wireResp) (proto.Message, error) {
 	return proto.DecodeMessage(resp.Msg)
 }
 
-// getConn returns a pooled idle connection to site to, or dials a new one.
-// Refused dials are retried briefly (a peer process may still be starting);
-// a dial that keeps failing means the site is down.
-func (t *Transport) getConn(ctx context.Context, to proto.SiteID) (conn net.Conn, fresh bool, err error) {
-	t.mu.Lock()
-	if t.closed {
+// getPeer returns the shared multiplexed connection to site to, dialing one
+// if none is live. Concurrent callers coalesce onto a single dial; fresh
+// reports whether THIS call dialed the connection (its failures are then
+// conclusive rather than retriable). Refused dials are retried briefly (a
+// peer process may still be starting); a dial that keeps failing means the
+// site is down.
+func (t *Transport) getPeer(ctx context.Context, to proto.SiteID) (pc *peerConn, fresh bool, err error) {
+	for {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return nil, false, fmt.Errorf("tcpnet: transport closed")
+		}
+		if pc := t.peers[to]; pc != nil {
+			t.mu.Unlock()
+			return pc, false, nil
+		}
+		if wait := t.dialing[to]; wait != nil {
+			t.mu.Unlock()
+			select {
+			case <-wait:
+				continue // re-check: the dial finished (either way)
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		done := make(chan struct{})
+		t.dialing[to] = done
+		addr, ok := t.cfg.Addrs[to]
 		t.mu.Unlock()
-		return nil, false, fmt.Errorf("tcpnet: transport closed")
-	}
-	if pool := t.idle[to]; len(pool) > 0 {
-		conn = pool[len(pool)-1]
-		t.idle[to] = pool[:len(pool)-1]
-		t.mu.Unlock()
-		return conn, false, nil
-	}
-	addr, ok := t.cfg.Addrs[to]
-	t.mu.Unlock()
-	if !ok {
-		return nil, false, fmt.Errorf("tcpnet: no address for site %v", to)
-	}
 
+		conn, err := func() (net.Conn, error) {
+			if !ok {
+				return nil, fmt.Errorf("tcpnet: no address for site %v", to)
+			}
+			return t.dial(ctx, to, addr)
+		}()
+
+		t.mu.Lock()
+		delete(t.dialing, to)
+		close(done)
+		if err != nil {
+			t.mu.Unlock()
+			return nil, false, err
+		}
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return nil, false, fmt.Errorf("tcpnet: transport closed")
+		}
+		pc := &peerConn{conn: conn, pending: make(map[uint64]chan wireResp)}
+		t.peers[to] = pc
+		t.wg.Add(1)
+		go t.readLoop(to, pc)
+		t.mu.Unlock()
+		return pc, true, nil
+	}
+}
+
+// dial establishes one connection with the configured refused-dial retries.
+func (t *Transport) dial(ctx context.Context, to proto.SiteID, addr string) (net.Conn, error) {
 	var lastErr error
 	for attempt := 0; attempt <= t.cfg.DialRetries; attempt++ {
 		if attempt > 0 {
 			select {
 			case <-time.After(t.cfg.DialRetryWait):
 			case <-ctx.Done():
-				return nil, false, ctx.Err()
+				return nil, ctx.Err()
 			}
 		}
 		d := net.Dialer{Timeout: t.cfg.DialTimeout}
 		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
-			return conn, true, nil
+			return conn, nil
 		}
 		lastErr = err
 		if ctx.Err() != nil {
-			return nil, false, ctx.Err()
+			return nil, ctx.Err()
 		}
 	}
-	return nil, false, fmt.Errorf("site %v unreachable at %s (%v): %w", to, addr, lastErr, proto.ErrSiteDown)
+	return nil, fmt.Errorf("site %v unreachable at %s (%v): %w", to, addr, lastErr, proto.ErrSiteDown)
 }
 
-// putConn returns a healthy connection to the idle pool.
-func (t *Transport) putConn(to proto.SiteID, conn net.Conn) {
-	conn.SetDeadline(time.Time{})
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		conn.Close()
-		return
+// readLoop is the demux side of one peer connection: it owns the read
+// stream, routing each response frame to the caller registered under its
+// request ID. When the stream dies, every pending caller is failed
+// conclusively and the connection is retired.
+func (t *Transport) readLoop(to proto.SiteID, pc *peerConn) {
+	defer t.wg.Done()
+	r := bufio.NewReader(pc.conn)
+	for {
+		frame, err := readFrame(r)
+		if err != nil {
+			break
+		}
+		var resp wireResp
+		if err := json.Unmarshal(frame, &resp); err != nil {
+			break // corrupt stream: drop the connection
+		}
+		pc.mu.Lock()
+		ch := pc.pending[resp.ID]
+		delete(pc.pending, resp.ID)
+		pc.mu.Unlock()
+		if ch != nil {
+			ch <- resp // buffered; the caller may have gone, then it's dropped
+		}
 	}
-	t.idle[to] = append(t.idle[to], conn)
+	t.dropPeer(to, pc)
 }
 
+// dropPeer retires a dead connection: it is removed from the peer table (if
+// still current) so the next call dials afresh, and every pending caller is
+// failed.
+func (t *Transport) dropPeer(to proto.SiteID, pc *peerConn) {
+	t.mu.Lock()
+	if t.peers[to] == pc {
+		delete(t.peers, to)
+	}
+	t.mu.Unlock()
+	pc.fail()
+}
+
+// writeFrame writes one length-prefixed frame as a single Write call, so
+// concurrent writers (serialized by the caller's mutex) never interleave
+// partial frames.
 func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("frame too large: %d bytes", len(payload))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
 	return err
 }
 

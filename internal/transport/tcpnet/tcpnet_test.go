@@ -189,7 +189,12 @@ func TestNoResendAfterDeliveredFrame(t *testing.T) {
 			go func(c net.Conn) {
 				defer c.Close()
 				for {
-					if _, err := readFrame(c); err != nil {
+					payload, err := readFrame(c)
+					if err != nil {
+						return
+					}
+					var req wireReq
+					if err := json.Unmarshal(payload, &req); err != nil {
 						return
 					}
 					mu.Lock()
@@ -200,7 +205,7 @@ func TestNoResendAfterDeliveredFrame(t *testing.T) {
 						return // delivered but unanswered: close the conn
 					}
 					data, _ := proto.EncodeMessage(proto.ProbeResp{Operational: true})
-					out, _ := json.Marshal(wireResp{Msg: data})
+					out, _ := json.Marshal(wireResp{ID: req.ID, Msg: data})
 					if err := writeFrame(c, out); err != nil {
 						return
 					}
@@ -300,5 +305,230 @@ func TestBatchRoundTrip(t *testing.T) {
 	arrived := <-got
 	if !reflect.DeepEqual(arrived, req) {
 		t.Fatalf("batch changed in flight:\nsent %+v\ngot  %+v", req, arrived)
+	}
+}
+
+// countingListener counts accepted connections, so tests can assert that
+// multiplexing keeps many in-flight calls on ONE connection.
+type countingListener struct {
+	net.Listener
+	mu      sync.Mutex
+	accepts int
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.mu.Lock()
+		l.accepts++
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+func (l *countingListener) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accepts
+}
+
+// newCountedPeer starts a server transport behind a counting listener and a
+// client transport pointed at it.
+func newCountedPeer(t *testing.T, handler transport.Handler) (client *Transport, accepts func() int) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &countingListener{Listener: ln}
+	srv := New(Config{
+		Self:     2,
+		Addrs:    map[proto.SiteID]string{2: ln.Addr().String()},
+		Listener: cl,
+		Handler:  handler,
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	client = New(Config{
+		Self:        1,
+		Addrs:       map[proto.SiteID]string{2: ln.Addr().String()},
+		DialRetries: 1,
+		CallTimeout: 5 * time.Second,
+	})
+	t.Cleanup(func() { client.Close() })
+	return client, cl.count
+}
+
+// TestMultiplexedCallsShareOneConnection pins the tentpole property of the
+// multiplexed framing: many interleaved concurrent calls to one peer ride a
+// single TCP connection (the PR 4 pool would have opened one per in-flight
+// call), and every response is demuxed back to its own caller.
+func TestMultiplexedCallsShareOneConnection(t *testing.T) {
+	const inflight = 8
+	gate := make(chan struct{})
+	started := make(chan struct{}, inflight)
+	client, accepts := newCountedPeer(t, func(ctx context.Context, from proto.SiteID, msg proto.Message) (proto.Message, error) {
+		started <- struct{}{}
+		<-gate // hold every request in flight simultaneously
+		rr := msg.(proto.ReadReq)
+		return proto.ReadResp{Value: proto.Value(len(rr.Item))}, nil
+	})
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, inflight)
+	for g := 0; g < inflight; g++ {
+		item := proto.Item(make([]byte, g+1))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Call(ctx, 1, 2, proto.ReadReq{Item: item})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if rr := resp.(proto.ReadResp); rr.Value != proto.Value(len(item)) {
+				errs <- fmt.Errorf("demux mixed up responses: len %d got %d", len(item), rr.Value)
+			}
+		}()
+	}
+	// Wait until every call is simultaneously in flight, then release.
+	for i := 0; i < inflight; i++ {
+		<-started
+	}
+	if got := accepts(); got != 1 {
+		t.Errorf("%d in-flight calls used %d connections, want 1", inflight, got)
+	}
+	close(gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSlowResponseDoesNotBlockLaterRequests checks head-of-line freedom on
+// both sides: a request whose handler stalls must not delay a later request
+// on the same connection, because the server dispatches frames concurrently
+// and the client demuxes out-of-order responses.
+func TestSlowResponseDoesNotBlockLaterRequests(t *testing.T) {
+	slowGate := make(chan struct{})
+	slowArrived := make(chan struct{})
+	client, accepts := newCountedPeer(t, func(ctx context.Context, from proto.SiteID, msg proto.Message) (proto.Message, error) {
+		rr := msg.(proto.ReadReq)
+		if rr.Item == "slow" {
+			close(slowArrived)
+			<-slowGate
+		}
+		return proto.ReadResp{Value: 1}, nil
+	})
+
+	ctx := context.Background()
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := client.Call(ctx, 1, 2, proto.ReadReq{Item: "slow"})
+		slowDone <- err
+	}()
+	<-slowArrived // the slow request is on the wire and stalled in its handler
+
+	// The fast call, issued later on the same connection, must complete
+	// while the slow one is still stalled.
+	fastCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	if _, err := client.Call(fastCtx, 1, 2, proto.ReadReq{Item: "fast"}); err != nil {
+		t.Fatalf("fast call stuck behind slow one: %v", err)
+	}
+	select {
+	case err := <-slowDone:
+		t.Fatalf("slow call finished before its gate opened: %v", err)
+	default:
+	}
+	if got := accepts(); got != 1 {
+		t.Errorf("slow+fast calls used %d connections, want 1", got)
+	}
+	close(slowGate)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow call: %v", err)
+	}
+}
+
+// TestNoResendWhenConnDiesWithManyInFlight extends the at-most-once contract
+// to the multiplexed connection: when the shared connection dies with several
+// written-but-unanswered frames in flight, EVERY one of those calls must fail
+// conclusively (ErrSiteDown) rather than be resent on a new connection.
+func TestNoResendWhenConnDiesWithManyInFlight(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	const inflight = 3
+	var mu sync.Mutex
+	frames, accepts := 0, 0
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			accepts++
+			mu.Unlock()
+			go func(c net.Conn) {
+				defer c.Close()
+				for {
+					if _, err := readFrame(c); err != nil {
+						return
+					}
+					mu.Lock()
+					frames++
+					n := frames
+					mu.Unlock()
+					if n >= inflight {
+						return // all frames delivered: kill the conn, answer none
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	tr := New(Config{
+		Self:        1,
+		Addrs:       map[proto.SiteID]string{2: ln.Addr().String()},
+		DialRetries: 1,
+		CallTimeout: 2 * time.Second,
+	})
+	defer tr.Close()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := tr.Call(ctx, 1, 2, proto.ProbeReq{})
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, proto.ErrSiteDown) {
+			t.Fatalf("in-flight call err = %v, want ErrSiteDown", err)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if frames != inflight {
+		t.Fatalf("peer received %d frames, want %d (more means a conclusive call was resent)", frames, inflight)
+	}
+	if accepts != 1 {
+		t.Fatalf("peer accepted %d connections, want 1 (a resend would have redialed)", accepts)
 	}
 }
