@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench trace cover chaos fuzz e2e load perf-check
+.PHONY: all build test race lint bench trace trace-cluster cover chaos fuzz e2e load perf-check
 
 all: lint build test
 
@@ -70,3 +70,13 @@ chaos:
 trace:
 	$(GO) run ./cmd/srsim -trace -metrics -export trace.jsonl
 	$(GO) run ./cmd/srtrace trace.jsonl
+
+# Mirrors the tcp-e2e trace-merge step: run the 3-process cluster e2e with
+# per-site JSONL exports, then causally merge them and run the trace
+# invariant suite. The merged timeline lands in bench/out/cluster-trace/.
+trace-cluster:
+	rm -rf bench/out/cluster-trace && mkdir -p bench/out/cluster-trace
+	SRNODE_E2E_OUTDIR=$(CURDIR)/bench/out/cluster-trace \
+		$(GO) test -count=1 -run TestE2EThreeSiteCluster ./cmd/srnode/
+	$(GO) run ./cmd/srtrace -merge -check -out bench/out/cluster-trace/merged.jsonl \
+		bench/out/cluster-trace/site1.jsonl bench/out/cluster-trace/site2.jsonl bench/out/cluster-trace/site3.jsonl

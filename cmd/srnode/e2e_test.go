@@ -13,6 +13,12 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"siterecovery/internal/chaos"
+	"siterecovery/internal/obs"
+	"siterecovery/internal/obs/export"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/trace"
 )
 
 // TestE2EThreeSiteCluster builds the srnode binary, launches a 3-site
@@ -27,13 +33,24 @@ func TestE2EThreeSiteCluster(t *testing.T) {
 
 	bin := buildSrnode(t)
 
+	// Each site exports its event stream as JSONL; SRNODE_E2E_OUTDIR keeps
+	// the files (CI uploads the merged timeline), else they're temporary.
+	outDir := os.Getenv("SRNODE_E2E_OUTDIR")
+	if outDir == "" {
+		outDir = t.TempDir()
+	} else if err := os.MkdirAll(outDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
 	const sites = 3
 	peerAddrs := make([]string, sites)
 	controlAddrs := make([]string, sites)
+	exportPaths := make([]string, sites)
 	peerSpec := ""
 	for i := 0; i < sites; i++ {
 		peerAddrs[i] = freeAddr(t)
 		controlAddrs[i] = freeAddr(t)
+		exportPaths[i] = filepath.Join(outDir, fmt.Sprintf("site%d.jsonl", i+1))
 		if i > 0 {
 			peerSpec += ","
 		}
@@ -47,6 +64,7 @@ func TestE2EThreeSiteCluster(t *testing.T) {
 			"-peers", peerSpec,
 			"-items", "x,y",
 			"-control", controlAddrs[i],
+			"-export", exportPaths[i],
 		)
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
@@ -124,6 +142,127 @@ func TestE2EThreeSiteCluster(t *testing.T) {
 	}
 	if got := readItem(t, controlAddrs[2], "y"); got != 7 {
 		t.Fatalf("y at recovered site = %d, want 7", got)
+	}
+
+	// The runtime surface rides on the control port.
+	checkRuntimeSurface(t, controlAddrs[0])
+
+	// Merge the three per-site traces into one causal timeline and verify
+	// the whole lifecycle — commit, crash, exclusion, type-1 recovery —
+	// reconstructs from the exports alone.
+	streams := make([][]obs.Event, sites)
+	for i := 0; i < sites; i++ {
+		if code, body := post(t, controlAddrs[i], "/flush"); code != http.StatusOK {
+			t.Fatalf("flush site %d: %d %s", i+1, code, body)
+		}
+		evs, err := export.DecodeFile(exportPaths[i])
+		if err != nil {
+			t.Fatalf("decode site %d export: %v", i+1, err)
+		}
+		if len(evs) == 0 {
+			t.Fatalf("site %d exported no events", i+1)
+		}
+		streams[i] = evs
+	}
+	merged := trace.Merge(streams...)
+	if len(merged.Violations) != 0 {
+		t.Fatalf("causal merge found violations: %v", merged.Violations)
+	}
+	if fails := chaos.CheckTrace(merged, chaos.TraceSuite()); len(fails) != 0 {
+		t.Fatalf("trace invariants failed: %v", fails)
+	}
+	checkMergedTimeline(t, merged)
+}
+
+// checkRuntimeSurface asserts /metrics carries the Go runtime gauges and
+// the RPC span counters, and that pprof is mounted.
+func checkRuntimeSurface(t *testing.T, ctrl string) {
+	t.Helper()
+	resp, err := http.Get("http://" + ctrl + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	for _, want := range []string{"sr_go_goroutines", "sr_go_heap_alloc_bytes", "sr_rpc_client_"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	resp, err = http.Get("http://" + ctrl + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/: %d, want 200", resp.StatusCode)
+	}
+}
+
+// checkMergedTimeline asserts the causal order of the lifecycle and that
+// every 2PC RPC is attributable to a transaction the trace saw begin.
+func checkMergedTimeline(t *testing.T, merged trace.Merged) {
+	t.Helper()
+	begun := map[proto.TxnID]proto.TxnClass{}
+	for _, e := range merged.Events {
+		if e.Type == obs.EvTxnBegin {
+			begun[e.Txn] = e.Class
+		}
+	}
+
+	// Every 2PC RPC span's root transaction began somewhere in the trace.
+	txnScoped := map[string]bool{"read": true, "write": true, "batch": true,
+		"prepare": true, "commit": true, "abort": true}
+	sawPrepare, sawClaimRPC := false, false
+	for _, e := range merged.Events {
+		side, kind, _, ok := obs.SpanSide(e)
+		if !ok {
+			continue
+		}
+		if txnScoped[kind] {
+			if _, ok := begun[e.Txn]; !ok {
+				t.Errorf("%s RPC span %x roots in txn%d which never began in the trace", kind, e.Span, e.Txn)
+			}
+		}
+		if side == obs.SideClient && kind == "prepare" {
+			sawPrepare = true
+		}
+		if begun[e.Txn] == proto.ClassControl1 || begun[e.Txn] == proto.ClassControl2 {
+			sawClaimRPC = true
+		}
+	}
+	if !sawPrepare {
+		t.Error("no client-side prepare span in the merged trace")
+	}
+	if !sawClaimRPC {
+		t.Error("no RPC span attributable to a control-transaction claim")
+	}
+
+	// Lifecycle order: a user commit precedes the crash, the crash precedes
+	// the type-2 exclusion, and the exclusion precedes recovery completion.
+	idx := func(match func(obs.Event) bool) int {
+		for i, e := range merged.Events {
+			if match(e) {
+				return i
+			}
+		}
+		return -1
+	}
+	commitAt := idx(func(e obs.Event) bool { return e.Type == obs.EvTxnCommit && e.Class == proto.ClassUser })
+	crashAt := idx(func(e obs.Event) bool { return e.Type == obs.EvSiteCrash && e.Site == 3 })
+	exclAt := idx(func(e obs.Event) bool { return e.Type == obs.EvControl2 })
+	recDoneAt := idx(func(e obs.Event) bool { return e.Type == obs.EvRecoveryDone && e.Site == 3 })
+	if commitAt < 0 || crashAt < 0 || exclAt < 0 || recDoneAt < 0 {
+		t.Fatalf("lifecycle events missing: commit=%d crash=%d exclusion=%d recovery.done=%d",
+			commitAt, crashAt, exclAt, recDoneAt)
+	}
+	if !(commitAt < crashAt && crashAt < exclAt && exclAt < recDoneAt) {
+		t.Fatalf("merged lifecycle out of order: commit=%d crash=%d exclusion=%d recovery.done=%d",
+			commitAt, crashAt, exclAt, recDoneAt)
 	}
 }
 

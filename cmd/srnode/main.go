@@ -16,6 +16,14 @@
 //	GET  /read?item=x     read item through a user transaction
 //	POST /crash           fail-stop this site (volatile state lost)
 //	POST /recover         run the paper's recovery; returns the report
+//	POST /flush           flush the -export JSONL sink to disk
+//	GET  /metrics         Prometheus exposition incl. Go runtime gauges
+//	GET  /trace           recent events (?n=K, ?since=S, ?format=json)
+//	GET  /debug/pprof/    Go profiling endpoints
+//
+// With -export PATH the node writes its event stream (including the RPC
+// span events the TCP transport records) as JSONL; merge the per-site files
+// with `srtrace -merge` into one causally ordered cluster timeline.
 //
 // Items named with -items are fully replicated across all sites. Storage is
 // in-memory, so /crash models the fail-stop crash in-process (peers see
@@ -38,6 +46,9 @@ import (
 	"siterecovery/internal/load"
 	"siterecovery/internal/lockmgr"
 	"siterecovery/internal/node"
+	"siterecovery/internal/obs"
+	"siterecovery/internal/obs/export"
+	"siterecovery/internal/obshttp"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/recovery"
 	"siterecovery/internal/replication"
@@ -53,6 +64,7 @@ func main() {
 		identify = flag.String("identify", "markall", "out-of-date identification: markall|faillock|missinglist")
 		batch    = flag.Bool("batch", false, "deferred write-set batching: buffer writes locally and flush one batch per participant at commit")
 		lock     = flag.String("lock", "timeout", "deadlock policy: timeout|wound (wound-wait resolves cross-site deadlocks without waiting out the lock timeout)")
+		exportTo = flag.String("export", "", "write this site's event stream (JSONL) here; merge per-site files with 'srtrace -merge'")
 	)
 	flag.Parse()
 
@@ -100,6 +112,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "srnode: unknown -lock %q: want timeout|wound\n", *lock)
 		os.Exit(2)
 	}
+	var sinks []obs.Sink
+	var exporter *export.JSONL
+	if *exportTo != "" {
+		exporter, err = export.Create(*exportTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "srnode:", err)
+			os.Exit(1)
+		}
+		defer exporter.Close()
+		sinks = append(sinks, exporter)
+	}
+	hub := obs.NewHub(obs.Options{Sinks: sinks})
+
 	n, err := node.New(node.Config{
 		Site:       id,
 		Sites:      len(addrs),
@@ -108,6 +133,7 @@ func main() {
 		Profile:    profile,
 		Identify:   ident,
 		LockPolicy: policy,
+		Obs:        hub,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "srnode:", err)
@@ -119,7 +145,7 @@ func main() {
 	}
 	defer n.Stop()
 
-	srv := &http.Server{Addr: *control, Handler: controlMux(id, n)}
+	srv := &http.Server{Addr: *control, Handler: controlMux(id, n, hub, exporter)}
 	fmt.Printf("srnode: site %d serving peers on %s, control on %s\n", id, addrs[id], *control)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "srnode:", err)
@@ -163,8 +189,30 @@ func parseIdentify(s string) (recovery.Identify, error) {
 	}
 }
 
-func controlMux(id proto.SiteID, n *node.Node) *http.ServeMux {
+func controlMux(id proto.SiteID, n *node.Node, hub *obs.Hub, exporter *export.JSONL) *http.ServeMux {
 	mux := http.NewServeMux()
+
+	// Introspection rides on the control port: /metrics (with Go runtime
+	// gauges), /trace, /sites, and the pprof endpoints. The obshttp mux
+	// serves "/" too, but the explicit control routes below take precedence
+	// for their exact paths.
+	intro := obshttp.Handler(obshttp.Config{
+		Hub:     hub,
+		Runtime: true,
+		Pprof:   true,
+		Sites: func() []obshttp.SiteStatus {
+			return []obshttp.SiteStatus{{
+				Site:        int(id),
+				Up:          n.Up(),
+				Operational: n.Operational(),
+				Session:     uint64(n.DM.Session()),
+			}}
+		},
+	})
+	mux.Handle("GET /metrics", intro)
+	mux.Handle("GET /trace", intro)
+	mux.Handle("GET /sites", intro)
+	mux.Handle("GET /debug/pprof/", intro)
 	writeJSON := func(w http.ResponseWriter, status int, v any) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
@@ -258,6 +306,21 @@ func controlMux(id proto.SiteID, n *node.Node) *http.ServeMux {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"item": item, "value": got})
+	})
+
+	// POST /flush pushes the buffered -export JSONL to disk so external
+	// tools (the e2e harness, srtrace -merge) read a complete stream from a
+	// still-running node.
+	mux.HandleFunc("POST /flush", func(w http.ResponseWriter, r *http.Request) {
+		if exporter == nil {
+			writeJSON(w, http.StatusOK, map[string]any{"flushed": false})
+			return
+		}
+		if err := exporter.Flush(); err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"flushed": true, "events": exporter.Count()})
 	})
 
 	mux.HandleFunc("POST /crash", func(w http.ResponseWriter, r *http.Request) {

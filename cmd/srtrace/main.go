@@ -4,6 +4,11 @@
 // percentiles, copier refresh throughput, the abort-rate breakdown by
 // cause, and session-mismatch rates around control transactions.
 //
+// It also merges multi-process traces: each srnode exports its own stream,
+// and -merge joins N of them into one causally ordered timeline using the
+// span happens-before edges the TCP transport records (wall clocks across
+// processes are never trusted for ordering).
+//
 // Usage:
 //
 //	srsim -trace -export trace.jsonl
@@ -11,28 +16,47 @@
 //	srtrace -format json trace.jsonl # machine-readable report
 //	srtrace -events trace.jsonl      # re-render the raw events
 //
+//	srtrace -merge site1.jsonl site2.jsonl site3.jsonl   # merged timeline (JSONL) on stdout
+//	srtrace -merge -out merged.jsonl -check s*.jsonl     # also run the trace invariant suite
+//
 // Reading "-" (or no argument) analyzes stdin. The report is a
 // deterministic function of the trace, so traces exported from the
 // deterministic scripted scenario produce byte-identical reports across
-// runs at the same seed.
+// runs at the same seed. The merge is likewise deterministic for identical
+// inputs. Causality violations found while merging, or invariant failures
+// under -check, exit nonzero.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"siterecovery/internal/chaos"
+	"siterecovery/internal/obs"
 	"siterecovery/internal/obs/export"
+	"siterecovery/internal/trace"
 )
 
 func main() {
 	var (
 		format = flag.String("format", "text", "report format: text or json")
 		events = flag.Bool("events", false, "dump the decoded events instead of the report")
+		merge  = flag.Bool("merge", false, "causally merge N per-site trace files into one timeline")
+		out    = flag.String("out", "-", "with -merge: write the merged JSONL timeline here (default stdout)")
+		check  = flag.Bool("check", false, "with -merge: run the trace invariant suite over the merged timeline")
 	)
 	flag.Parse()
-	if err := realMain(flag.Args(), *format, *events); err != nil {
+	var err error
+	if *merge {
+		err = mergeMain(flag.Args(), *out, *check)
+	} else {
+		err = realMain(flag.Args(), *format, *events)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "srtrace:", err)
 		os.Exit(1)
 	}
@@ -69,4 +93,59 @@ func realMain(args []string, format string, dumpEvents bool) error {
 		return enc.Encode(analysis)
 	}
 	return analysis.WriteText(os.Stdout)
+}
+
+// mergeMain joins per-site trace files into one causally ordered timeline,
+// optionally runs the trace invariant suite, and reports every causality
+// violation. Exit status is nonzero when the merged cluster history is
+// inconsistent — this is what CI gates on.
+func mergeMain(args []string, out string, check bool) error {
+	if len(args) < 1 {
+		return fmt.Errorf("-merge wants at least one trace file")
+	}
+	var streams [][]obs.Event
+	for _, path := range args {
+		evs, err := export.DecodeFile(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		streams = append(streams, evs)
+	}
+	m := trace.Merge(streams...)
+
+	w := io.Writer(os.Stdout)
+	if out != "-" && out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		w = bw
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range m.Events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+
+	bad := false
+	for _, v := range m.Violations {
+		fmt.Fprintf(os.Stderr, "srtrace: causality violation: %s\n", v)
+		bad = true
+	}
+	if check {
+		for _, f := range chaos.CheckTrace(m, chaos.TraceSuite()) {
+			fmt.Fprintf(os.Stderr, "srtrace: invariant failed: %s\n", f)
+			bad = true
+		}
+	}
+	fmt.Fprintf(os.Stderr, "srtrace: merged %d streams, %d events, %d violations\n",
+		m.Streams, len(m.Events), len(m.Violations))
+	if bad {
+		return fmt.Errorf("merged trace is inconsistent")
+	}
+	return nil
 }

@@ -1,0 +1,229 @@
+package chaos
+
+import (
+	"fmt"
+
+	"siterecovery/internal/obs"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/trace"
+)
+
+// Trace-level invariants: the seven-check suite run over a causally merged
+// multi-process trace (trace.Merge of per-site JSONL exports) instead of
+// live cluster state. This is how the chaos contract extends to the real
+// srnode TCP cluster, where no single process holds the whole state: the
+// ROADMAP's "seven invariants checked post-quiesce from exported traces".
+
+// TraceInvariant is one named check over a merged trace.
+type TraceInvariant struct {
+	Name  string
+	Check func(trace.Merged) error
+}
+
+// TraceSuite is the full trace-level invariant suite.
+func TraceSuite() []TraceInvariant {
+	return []TraceInvariant{
+		TraceCausalAcyclic(),
+		TraceSpanComplete(),
+		TraceSpanPaired(),
+		TraceRPCAttributed(),
+		TraceLamportMonotone(),
+		TraceSessionMonotone(),
+		TraceCrashExcluded(),
+	}
+}
+
+// CheckTrace runs every invariant in the suite against a merged trace.
+func CheckTrace(m trace.Merged, invariants []TraceInvariant) []Failure {
+	var out []Failure
+	for _, inv := range invariants {
+		if err := inv.Check(m); err != nil {
+			out = append(out, Failure{Invariant: inv.Name, Detail: err.Error()})
+		}
+	}
+	return out
+}
+
+// TraceCausalAcyclic requires the merge itself to have succeeded: no
+// happens-before cycles, no span pairings that disagree.
+func TraceCausalAcyclic() TraceInvariant {
+	return TraceInvariant{Name: "trace-causal-acyclic", Check: func(m trace.Merged) error {
+		if len(m.Violations) > 0 {
+			return fmt.Errorf("merge reported %d causality violations; first: %v", len(m.Violations), m.Violations[0])
+		}
+		return nil
+	}}
+}
+
+// TraceSpanComplete requires every span side that started to also finish:
+// an RPC with a start and no finish means a handler or caller vanished
+// without reporting an outcome (events emitted before a crash are still
+// exported, so only genuinely lost outcomes trip this).
+func TraceSpanComplete() TraceInvariant {
+	return TraceInvariant{Name: "trace-span-complete", Check: func(m trace.Merged) error {
+		type key struct {
+			span uint64
+			side string
+		}
+		open := map[key]obs.Event{}
+		for _, e := range m.Events {
+			side, _, _, ok := obs.SpanSide(e)
+			if !ok {
+				continue
+			}
+			k := key{e.Span, side}
+			switch e.Type {
+			case obs.EvSpanStart:
+				open[k] = e
+			case obs.EvSpanFinish:
+				delete(open, k)
+			}
+		}
+		if len(open) > 0 {
+			for k, e := range open {
+				return fmt.Errorf("%d unfinished span sides; e.g. span %x %s side started at site%d and never finished",
+					len(open), k.span, k.side, e.Site)
+			}
+		}
+		return nil
+	}}
+}
+
+// TraceSpanPaired requires every server-side span to have a matching
+// client side: a request cannot be served without someone having sent it
+// (the client records its start before writing the frame).
+func TraceSpanPaired() TraceInvariant {
+	return TraceInvariant{Name: "trace-span-paired", Check: func(m trace.Merged) error {
+		clients := map[uint64]bool{}
+		for _, e := range m.Events {
+			if side, _, _, ok := obs.SpanSide(e); ok && side == obs.SideClient {
+				clients[e.Span] = true
+			}
+		}
+		for _, e := range m.Events {
+			side, _, _, ok := obs.SpanSide(e)
+			if ok && side == obs.SideServer && !clients[e.Span] {
+				return fmt.Errorf("span %x was served at site%d but no client side recorded sending it", e.Span, e.Site)
+			}
+		}
+		return nil
+	}}
+}
+
+// TraceRPCAttributed requires every transaction-scoped RPC — data
+// operations and the whole 2PC vocabulary — to carry a root transaction, so
+// nothing in the commit protocol is unattributable. Probes, decision
+// queries, and fetch traffic may legitimately run outside a transaction.
+func TraceRPCAttributed() TraceInvariant {
+	txnScoped := map[string]bool{
+		"read": true, "write": true, "batch": true,
+		"prepare": true, "commit": true, "abort": true,
+	}
+	return TraceInvariant{Name: "trace-rpc-attributed", Check: func(m trace.Merged) error {
+		for _, e := range m.Events {
+			_, kind, _, ok := obs.SpanSide(e)
+			if ok && txnScoped[kind] && e.Txn == 0 {
+				return fmt.Errorf("%s RPC span %x at site%d has no root transaction", kind, e.Span, e.Site)
+			}
+		}
+		return nil
+	}}
+}
+
+// TraceLamportMonotone requires each site's span stamps to be
+// non-decreasing in its own emission order: the high-water commit seq is a
+// maximum, so a site observing it go backwards means a clock bug.
+func TraceLamportMonotone() TraceInvariant {
+	return TraceInvariant{Name: "trace-lamport-monotone", Check: func(m trace.Merged) error {
+		high := map[proto.SiteID]uint64{}
+		for _, e := range m.Events {
+			if e.Lamport == 0 {
+				continue
+			}
+			if e.Lamport < high[e.Site] {
+				return fmt.Errorf("site%d Lamport stamp regressed %d -> %d at %v span %x",
+					e.Site, high[e.Site], e.Lamport, e.Type, e.Span)
+			}
+			high[e.Site] = e.Lamport
+		}
+		return nil
+	}}
+}
+
+// TraceSessionMonotone requires each site's session numbers to advance per
+// the §3.2 convention that makes stale operations detectable: sessions never
+// go backwards, and no session number is announced twice by the same kind of
+// event (two type-1 claims, or two recovery completions, of one session is a
+// lifecycle bug). A claim and its matching recovery-done legitimately carry
+// the SAME session — the claim installs the number the completion reports.
+func TraceSessionMonotone() TraceInvariant {
+	return TraceInvariant{Name: "trace-session-monotone", Check: func(m trace.Merged) error {
+		type key struct {
+			site proto.SiteID
+			typ  obs.EventType
+		}
+		last := map[proto.SiteID]proto.Session{}
+		lastByType := map[key]proto.Session{}
+		for _, e := range m.Events {
+			if e.Type != obs.EvControl1 && e.Type != obs.EvRecoveryDone {
+				continue
+			}
+			if e.Actual == 0 {
+				continue
+			}
+			if e.Actual < last[e.Site] {
+				return fmt.Errorf("site%d session went backwards: %d then %d (%v)",
+					e.Site, last[e.Site], e.Actual, e.Type)
+			}
+			k := key{e.Site, e.Type}
+			if e.Actual <= lastByType[k] {
+				return fmt.Errorf("site%d %v repeated session %d (previous %d)",
+					e.Site, e.Type, e.Actual, lastByType[k])
+			}
+			last[e.Site] = e.Actual
+			lastByType[k] = e.Actual
+		}
+		return nil
+	}}
+}
+
+// TraceCrashExcluded requires the crash/recovery lifecycle to hold per
+// site: a recovery completion must follow a recovery start, and between a
+// site's crash and its next recovery completion the site commits no USER
+// transactions and SERVES no RPC successfully — a fail-stopped site answers
+// nothing (its transport may still record failed server spans, since
+// answering ErrSiteDown is how the in-process crash model refuses service).
+// Two recovery-mandated exceptions: the site's own control transactions (the
+// type-1 claim commits before the site is operational — that IS recovery),
+// and served decision queries (the paper requires a restarted coordinator to
+// answer from its stable log so cooperative termination can unblock
+// participants).
+func TraceCrashExcluded() TraceInvariant {
+	return TraceInvariant{Name: "trace-crash-excluded", Check: func(m trace.Merged) error {
+		down := map[proto.SiteID]bool{}
+		started := map[proto.SiteID]bool{}
+		for _, e := range m.Events {
+			switch e.Type {
+			case obs.EvSiteCrash:
+				down[e.Site] = true
+			case obs.EvRecoveryStart:
+				started[e.Site] = true
+			case obs.EvRecoveryDone:
+				if !started[e.Site] {
+					return fmt.Errorf("site%d completed recovery without a recovery start", e.Site)
+				}
+				down[e.Site] = false
+			case obs.EvTxnCommit:
+				if down[e.Site] && e.Class == proto.ClassUser {
+					return fmt.Errorf("site%d committed user txn%d while crashed", e.Site, e.Txn)
+				}
+			case obs.EvSpanFinish:
+				side, kind, reason, _ := obs.SpanSide(e)
+				if down[e.Site] && side == obs.SideServer && reason == "" && kind != "decision" {
+					return fmt.Errorf("site%d successfully served a %s RPC (span %x) while crashed", e.Site, kind, e.Span)
+				}
+			}
+		}
+		return nil
+	}}
+}

@@ -1,0 +1,193 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"siterecovery/internal/obs"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/trace"
+)
+
+func tat(n int) time.Time { return time.Unix(0, int64(n)*int64(time.Millisecond)).UTC() }
+
+// healthyTrace builds a merged trace of one traced RPC (write txn 7 from
+// site 1 to site 2) followed by a full crash/recovery cycle at site 2,
+// satisfying every invariant in the suite.
+func healthyTrace(t *testing.T) trace.Merged {
+	t.Helper()
+	const sp = 0x1000000000001
+	s1 := []obs.Event{
+		{Type: obs.EvSpanStart, Site: 1, Peer: 2, Txn: 7, Span: sp, Lamport: 3, Detail: "client:write", At: tat(10)},
+		{Type: obs.EvSpanFinish, Site: 1, Peer: 2, Txn: 7, Span: sp, Lamport: 3, Dur: time.Millisecond, Detail: "client:write", At: tat(14)},
+		{Type: obs.EvTxnCommit, Site: 1, Txn: 7, Class: proto.ClassUser, At: tat(15)},
+	}
+	s2 := []obs.Event{
+		{Type: obs.EvSpanStart, Site: 2, Peer: 1, Txn: 7, Span: sp, Lamport: 3, Detail: "server:write", At: tat(11)},
+		{Type: obs.EvSpanFinish, Site: 2, Peer: 1, Txn: 7, Span: sp, Lamport: 3, Detail: "server:write", At: tat(12)},
+		{Type: obs.EvSiteCrash, Site: 2, At: tat(20)},
+		{Type: obs.EvRecoveryStart, Site: 2, At: tat(30)},
+		{Type: obs.EvControl1, Site: 2, Actual: 2, At: tat(32)},
+		{Type: obs.EvTxnCommit, Site: 2, Txn: 901, Class: proto.ClassControl1, At: tat(33)},
+		{Type: obs.EvRecoveryDone, Site: 2, Actual: 2, At: tat(35)},
+		{Type: obs.EvTxnCommit, Site: 2, Txn: 8, Class: proto.ClassUser, At: tat(40)},
+	}
+	m := trace.Merge(s1, s2)
+	if len(m.Violations) != 0 {
+		t.Fatalf("healthy trace failed to merge: %v", m.Violations)
+	}
+	return m
+}
+
+func failuresFor(m trace.Merged) map[string]string {
+	out := map[string]string{}
+	for _, f := range CheckTrace(m, TraceSuite()) {
+		out[f.Invariant] = f.Detail
+	}
+	return out
+}
+
+func TestTraceSuiteCleanOnHealthyTrace(t *testing.T) {
+	if fails := CheckTrace(healthyTrace(t), TraceSuite()); len(fails) != 0 {
+		t.Fatalf("healthy trace failed invariants: %v", fails)
+	}
+}
+
+func TestTraceCausalAcyclicFlagsMergeViolations(t *testing.T) {
+	m := trace.Merged{Violations: []trace.Violation{{Kind: "cycle", Detail: "x"}}}
+	fails := failuresFor(m)
+	if _, ok := fails["trace-causal-acyclic"]; !ok {
+		t.Fatalf("cycle-bearing merge passed: %v", fails)
+	}
+}
+
+func TestTraceSpanCompleteFlagsDanglingStart(t *testing.T) {
+	m := trace.Merge([]obs.Event{
+		{Type: obs.EvSpanStart, Site: 1, Txn: 7, Span: 0x1000000000002, Detail: "client:probe", At: tat(1)},
+	})
+	fails := failuresFor(m)
+	if d, ok := fails["trace-span-complete"]; !ok || !strings.Contains(d, "never finished") {
+		t.Fatalf("dangling span start passed: %v", fails)
+	}
+}
+
+func TestTraceSpanPairedFlagsServerWithoutClient(t *testing.T) {
+	const sp = 0x2000000000003
+	m := trace.Merge([]obs.Event{
+		{Type: obs.EvSpanStart, Site: 2, Txn: 7, Span: sp, Detail: "server:write", At: tat(1)},
+		{Type: obs.EvSpanFinish, Site: 2, Txn: 7, Span: sp, Detail: "server:write", At: tat(2)},
+	})
+	fails := failuresFor(m)
+	if _, ok := fails["trace-span-paired"]; !ok {
+		t.Fatalf("orphan server span passed: %v", fails)
+	}
+}
+
+func TestTraceRPCAttributedFlagsRootlessPrepare(t *testing.T) {
+	const sp = 0x1000000000004
+	m := trace.Merge([]obs.Event{
+		{Type: obs.EvSpanStart, Site: 1, Span: sp, Detail: "client:prepare", At: tat(1)},
+		{Type: obs.EvSpanFinish, Site: 1, Span: sp, Detail: "client:prepare", At: tat(2)},
+	})
+	fails := failuresFor(m)
+	if d, ok := fails["trace-rpc-attributed"]; !ok || !strings.Contains(d, "prepare") {
+		t.Fatalf("rootless prepare passed: %v", fails)
+	}
+	// Probes outside any transaction are legitimate.
+	m2 := trace.Merge([]obs.Event{
+		{Type: obs.EvSpanStart, Site: 1, Span: sp + 1, Detail: "client:probe", At: tat(1)},
+		{Type: obs.EvSpanFinish, Site: 1, Span: sp + 1, Detail: "client:probe", At: tat(2)},
+	})
+	if _, ok := failuresFor(m2)["trace-rpc-attributed"]; ok {
+		t.Fatalf("rootless probe was flagged; probes are not txn-scoped")
+	}
+}
+
+func TestTraceLamportMonotoneFlagsRegression(t *testing.T) {
+	m := trace.Merged{Events: []obs.Event{
+		{Type: obs.EvSpanStart, Site: 1, Span: 1, Lamport: 9, Detail: "client:probe", At: tat(1)},
+		{Type: obs.EvSpanStart, Site: 1, Span: 2, Lamport: 4, Detail: "client:probe", At: tat(2)},
+	}}
+	fails := failuresFor(m)
+	if d, ok := fails["trace-lamport-monotone"]; !ok || !strings.Contains(d, "regressed") {
+		t.Fatalf("lamport regression passed: %v", fails)
+	}
+}
+
+func TestTraceSessionMonotoneFlagsRepeatAndRegression(t *testing.T) {
+	// Two recovery completions announcing the same session is a lifecycle bug.
+	m := trace.Merged{Events: []obs.Event{
+		{Type: obs.EvRecoveryDone, Site: 2, Actual: 3, At: tat(1)},
+		{Type: obs.EvRecoveryDone, Site: 2, Actual: 3, At: tat(2)},
+	}}
+	fails := failuresFor(m)
+	if d, ok := fails["trace-session-monotone"]; !ok || !strings.Contains(d, "repeated session") {
+		t.Fatalf("repeated recovery.done session passed: %v", fails)
+	}
+	// A session number going backwards is worse.
+	m2 := trace.Merged{Events: []obs.Event{
+		{Type: obs.EvControl1, Site: 2, Actual: 5, At: tat(1)},
+		{Type: obs.EvControl1, Site: 2, Actual: 4, At: tat(2)},
+	}}
+	if d, ok := failuresFor(m2)["trace-session-monotone"]; !ok || !strings.Contains(d, "backwards") {
+		t.Fatalf("session regression passed: %v", failuresFor(m2))
+	}
+	// A claim followed by its recovery-done with the SAME session is the
+	// normal lifecycle and must pass.
+	m3 := trace.Merged{Events: []obs.Event{
+		{Type: obs.EvControl1, Site: 2, Actual: 4, At: tat(1)},
+		{Type: obs.EvRecoveryDone, Site: 2, Actual: 4, At: tat(2)},
+	}}
+	if _, ok := failuresFor(m3)["trace-session-monotone"]; ok {
+		t.Fatalf("claim + matching recovery.done was flagged")
+	}
+}
+
+func TestTraceCrashExcludedFlagsCommitWhileDown(t *testing.T) {
+	m := trace.Merged{Events: []obs.Event{
+		{Type: obs.EvSiteCrash, Site: 2, At: tat(1)},
+		{Type: obs.EvTxnCommit, Site: 2, Txn: 9, Class: proto.ClassUser, At: tat(2)},
+	}}
+	fails := failuresFor(m)
+	if d, ok := fails["trace-crash-excluded"]; !ok || !strings.Contains(d, "committed user txn") {
+		t.Fatalf("user commit while crashed passed: %v", fails)
+	}
+}
+
+func TestTraceCrashExcludedFlagsSuccessfulServeWhileDown(t *testing.T) {
+	m := trace.Merged{Events: []obs.Event{
+		{Type: obs.EvSiteCrash, Site: 2, At: tat(1)},
+		{Type: obs.EvSpanFinish, Site: 2, Txn: 9, Span: 5, Detail: "server:write", At: tat(2)},
+	}}
+	fails := failuresFor(m)
+	if d, ok := fails["trace-crash-excluded"]; !ok || !strings.Contains(d, "served") {
+		t.Fatalf("successful serve while crashed passed: %v", fails)
+	}
+}
+
+func TestTraceCrashExcludedAllowsRefusalsAndDecisions(t *testing.T) {
+	// A crashed site refusing service (error finish) or answering decision
+	// queries from its log is fine; so is its own control-1 recovery commit.
+	m := trace.Merged{Events: []obs.Event{
+		{Type: obs.EvSiteCrash, Site: 2, At: tat(1)},
+		{Type: obs.EvSpanFinish, Site: 2, Txn: 9, Span: 5, Detail: "server:write!site-down", At: tat(2)},
+		{Type: obs.EvRecoveryStart, Site: 2, At: tat(3)},
+		{Type: obs.EvSpanFinish, Site: 2, Txn: 9, Span: 6, Detail: "server:decision", At: tat(4)},
+		{Type: obs.EvTxnCommit, Site: 2, Txn: 901, Class: proto.ClassControl1, At: tat(5)},
+		{Type: obs.EvRecoveryDone, Site: 2, Actual: 2, At: tat(6)},
+	}}
+	if d, ok := failuresFor(m)["trace-crash-excluded"]; ok {
+		t.Fatalf("legitimate crash-window activity was flagged: %v", d)
+	}
+}
+
+func TestTraceCrashExcludedFlagsDoneWithoutStart(t *testing.T) {
+	m := trace.Merged{Events: []obs.Event{
+		{Type: obs.EvRecoveryDone, Site: 2, Actual: 2, At: tat(1)},
+	}}
+	fails := failuresFor(m)
+	if d, ok := fails["trace-crash-excluded"]; !ok || !strings.Contains(d, "without a recovery start") {
+		t.Fatalf("recovery done without start passed: %v", fails)
+	}
+}

@@ -133,12 +133,25 @@ func New(cfg Config) (*Node, error) {
 
 	n := &Node{cfg: cfg, cat: cat, up: true}
 
+	// Transaction IDs and commit sequence numbers come from a strided
+	// sequencer: each process draws from its own residue class, so IDs are
+	// cluster-unique without a shared counter. Strided commit counters are
+	// not globally ordered on their own; the DM and TM fold every commit
+	// sequence number they learn from peers back into the sequencer
+	// (Lamport-style), keeping version comparisons aligned with commit
+	// order across coordinators. The transport stamps its span events with
+	// the same high-water mark, so multi-process trace merges order spans by
+	// observed commit history.
+	seq := txn.NewStridedSequencer(cfg.Site, cfg.Sites)
+
 	n.Transport = tcpnet.New(tcpnet.Config{
 		Self:        cfg.Site,
 		Addrs:       cfg.Addrs,
 		Listener:    cfg.Listener,
 		DialTimeout: cfg.DialTimeout,
 		CallTimeout: cfg.CallTimeout,
+		Obs:         cfg.Obs,
+		Lamport:     seq.HighCommitSeq,
 	})
 
 	var items []proto.Item
@@ -167,15 +180,6 @@ func New(cfg Config) (*Node, error) {
 	case recovery.IdentifyMissingList:
 		tracking = dm.TrackMissingList
 	}
-	// Transaction IDs and commit sequence numbers come from a strided
-	// sequencer: each process draws from its own residue class, so IDs are
-	// cluster-unique without a shared counter. Strided commit counters are
-	// not globally ordered on their own; the DM and TM fold every commit
-	// sequence number they learn from peers back into the sequencer
-	// (Lamport-style), keeping version comparisons aligned with commit
-	// order across coordinators.
-	seq := txn.NewStridedSequencer(cfg.Site, cfg.Sites)
-
 	n.DM = dm.New(dm.Config{
 		Site:     cfg.Site,
 		Store:    n.Store,

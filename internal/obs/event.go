@@ -81,14 +81,23 @@ const (
 	// state lost). Paired with EvRecoveryDone it bounds the site's
 	// unavailability window, which is what the offline analysis measures.
 	EvSiteCrash
+	// EvSpanStart: one side of a cross-process RPC began. Span/Parent carry
+	// the span graph, Txn the root transaction, Lamport the recording site's
+	// high-water commit seq, and Detail the "side:kind" pair. Only the real
+	// TCP transport emits span events — the deterministic simulator never
+	// does, keeping netsim traces byte-identical per seed.
+	EvSpanStart
+	// EvSpanFinish: that side completed; Dur is the measured latency and a
+	// failed call appends "!reason" to the detail.
+	EvSpanFinish
 )
 
 // EventTypes returns every defined event type in declaration order. Exports
 // and analysis tools iterate it so a newly added type cannot be silently
 // missing from their mappings (the round-trip tests walk it too).
 func EventTypes() []EventType {
-	types := make([]EventType, 0, int(EvSiteCrash))
-	for t := EvTxnBegin; t <= EvSiteCrash; t++ {
+	types := make([]EventType, 0, int(EvSpanFinish))
+	for t := EvTxnBegin; t <= EvSpanFinish; t++ {
 		types = append(types, t)
 	}
 	return types
@@ -149,6 +158,10 @@ func (t EventType) String() string {
 		return "net.heal"
 	case EvSiteCrash:
 		return "site.crash"
+	case EvSpanStart:
+		return "span.start"
+	case EvSpanFinish:
+		return "span.finish"
 	default:
 		return fmt.Sprintf("event(%d)", int(t))
 	}
@@ -171,8 +184,17 @@ type Event struct {
 	// Expect and Actual are session numbers for session-check events.
 	Expect, Actual proto.Session
 	// Detail is a short, deterministic annotation (abort cause, message
-	// kind, claimed sites).
+	// kind, claimed sites; "side:kind" for span events).
 	Detail string
+	// Span and Parent carry the distributed-tracing span graph for span
+	// events: Span identifies the RPC (shared by its client and server
+	// sides), Parent the span that caused it.
+	Span, Parent uint64
+	// Lamport is the emitting site's high-water Lamport commit sequence at
+	// emission time (span events only).
+	Lamport uint64
+	// Dur is the measured latency of a finished span.
+	Dur time.Duration
 }
 
 // format renders the event's payload without its sequence number or
@@ -202,6 +224,18 @@ func (e Event) format() string {
 	}
 	if e.Expect != 0 || e.Actual != 0 {
 		fmt.Fprintf(&b, " expect=%d actual=%d", e.Expect, e.Actual)
+	}
+	if e.Span != 0 {
+		fmt.Fprintf(&b, " span=%x", e.Span)
+	}
+	if e.Parent != 0 {
+		fmt.Fprintf(&b, " parent=%x", e.Parent)
+	}
+	if e.Lamport != 0 {
+		fmt.Fprintf(&b, " lam=%d", e.Lamport)
+	}
+	if e.Dur != 0 {
+		fmt.Fprintf(&b, " dur=%v", e.Dur)
 	}
 	if e.Detail != "" {
 		fmt.Fprintf(&b, " (%s)", e.Detail)

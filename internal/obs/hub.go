@@ -107,10 +107,15 @@ func (h *Hub) Snapshot() metrics.Snapshot {
 }
 
 // emit stamps and appends one event, fans it out to the sinks, and returns
-// the stamped event so span bookkeeping can reuse its timestamp.
+// the stamped event so span bookkeeping can reuse its timestamp. Ring
+// wrap-around is surfaced as the cluster-level obs.events.dropped counter so
+// trace truncation shows up on /metrics instead of failing silently.
 func (h *Hub) emit(e Event) Event {
 	e.At = h.clk.Now()
-	e = h.tr.Append(e)
+	e, dropped := h.tr.Append(e)
+	if dropped {
+		h.reg.Counter(0, "obs", "events.dropped").Inc()
+	}
 	for _, s := range h.sinks {
 		s.Emit(e)
 	}

@@ -50,6 +50,7 @@ func BenchmarkEmitHubWithSink(b *testing.B) {
 func TestEmitNoHubZeroAllocs(t *testing.T) {
 	var h *obs.Hub
 	err := proto.ErrSessionMismatch
+	sc := obs.SpanContext{Root: 7, Span: 0x1000000000003, Parent: 9, Origin: 1}
 	if allocs := testing.AllocsPerRun(200, func() {
 		h.TxnBegin(1, 7, proto.ClassUser, 1)
 		h.TxnCommit(1, 7, proto.ClassUser, 1)
@@ -58,8 +59,34 @@ func TestEmitNoHubZeroAllocs(t *testing.T) {
 		h.SiteDownObserved(1, 2, 1)
 		h.SiteCrash(2)
 		h.CopierCopy(1, "x", 2)
+		h.SpanStart(1, 2, sc, obs.SideClient, "prepare", 12)
+		h.SpanFinish(1, 2, sc, obs.SideClient, "prepare", 13, 250, err)
 	}); allocs != 0 {
 		t.Errorf("nil-hub emits allocate %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkSpanEmitNoHub measures the per-RPC cost the TCP transport pays
+// for span instrumentation when no hub is installed — the acceptance bar is
+// 0 allocs/op.
+func BenchmarkSpanEmitNoHub(b *testing.B) {
+	var h *obs.Hub
+	sc := obs.SpanContext{Root: 7, Span: 0x1000000000003, Parent: 9, Origin: 1}
+	b.ReportAllocs()
+	for b.Loop() {
+		h.SpanStart(1, 2, sc, obs.SideClient, "prepare", 12)
+		h.SpanFinish(1, 2, sc, obs.SideClient, "prepare", 13, 250, nil)
+	}
+}
+
+// BenchmarkSpanEmitHub measures the live-hub span path (ring buffer only).
+func BenchmarkSpanEmitHub(b *testing.B) {
+	h := obs.NewHub(obs.Options{})
+	sc := obs.SpanContext{Root: 7, Span: 0x1000000000003, Parent: 9, Origin: 1}
+	b.ReportAllocs()
+	for b.Loop() {
+		h.SpanStart(1, 2, sc, obs.SideClient, "prepare", 12)
+		h.SpanFinish(1, 2, sc, obs.SideClient, "prepare", 13, 250, nil)
 	}
 }
 

@@ -26,6 +26,10 @@ type eventJSON struct {
 	Expect  uint64 `json:"expect,omitempty"`
 	Actual  uint64 `json:"actual,omitempty"`
 	Detail  string `json:"detail,omitempty"`
+	Span    uint64 `json:"span,omitempty"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Lamport uint64 `json:"lamport,omitempty"`
+	DurNS   int64  `json:"dur_ns,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler.
@@ -41,6 +45,10 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		Expect:  uint64(e.Expect),
 		Actual:  uint64(e.Actual),
 		Detail:  e.Detail,
+		Span:    e.Span,
+		Parent:  e.Parent,
+		Lamport: e.Lamport,
+		DurNS:   int64(e.Dur),
 	}
 	if !e.At.IsZero() {
 		w.AtNS = e.At.UnixNano()
@@ -80,6 +88,10 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 		Expect:  proto.Session(w.Expect),
 		Actual:  proto.Session(w.Actual),
 		Detail:  w.Detail,
+		Span:    w.Span,
+		Parent:  w.Parent,
+		Lamport: w.Lamport,
+		Dur:     time.Duration(w.DurNS),
 	}
 	if w.AtNS != 0 {
 		e.At = time.Unix(0, w.AtNS).UTC()

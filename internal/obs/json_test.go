@@ -50,6 +50,14 @@ func sampleEvent(t EventType) Event {
 		e.Site, e.Detail = 0, "[1]|[2,3]"
 	case EvHeal:
 		e.Site = 0
+	case EvSpanStart:
+		e.Txn, e.Peer = 99, 4
+		e.Span, e.Parent, e.Lamport = 0x2000000000007, 0x1000000000003, 12
+		e.Detail = "client:prepare"
+	case EvSpanFinish:
+		e.Txn, e.Peer = 99, 4
+		e.Span, e.Parent, e.Lamport = 0x2000000000007, 0x1000000000003, 13
+		e.Dur, e.Detail = 250*time.Microsecond, "client:prepare!site-down"
 	}
 	return e
 }

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"siterecovery/internal/proto"
+)
+
+// Distributed-tracing span context. A SpanContext names one RPC (or one
+// transaction attempt) in the cluster-wide causal graph: Root ties it to the
+// transaction or recovery claim it works for, Span identifies this unit,
+// Parent is the span that caused it, and Origin is the site that allocated
+// the span ID. The context travels two ways: in process via context.Context
+// (WithSpan/SpanFrom), and across processes inside the tcpnet request frame,
+// so a prepare sent by site 1 and served by site 3 shares one span ID with
+// two recording sides.
+//
+// Span recording is deliberately confined to the real TCP transport: the
+// deterministic in-process simulator never emits span events, so scripted
+// and chaos traces stay byte-identical per seed whether or not the protocol
+// layers annotate their contexts.
+
+// SpanContext is the compact trace context propagated with every RPC.
+type SpanContext struct {
+	// Root is the transaction (user, control, or in-doubt) this span works
+	// for; 0 when the work is not transaction-scoped (peer probes, recovery
+	// fetches).
+	Root proto.TxnID
+	// Span identifies this span; allocate with NewSpanID.
+	Span uint64
+	// Parent is the causing span's ID (0 for a root span).
+	Parent uint64
+	// Origin is the site that allocated Span.
+	Origin proto.SiteID
+}
+
+// spanIDCounter feeds NewSpanID. Process-local; NewSpanID folds the site ID
+// into the high bits so concurrently allocating processes cannot collide.
+var spanIDCounter atomic.Uint64
+
+// spanIDSiteShift positions the origin site in the top 16 bits of a span ID,
+// leaving 48 bits of per-process counter.
+const spanIDSiteShift = 48
+
+// NewSpanID allocates a cluster-unique span ID: the site's ID in the high
+// bits over a process-local counter. It never returns 0, and it does not
+// require a hub — annotating contexts stays valid (and cheap) with
+// observability off.
+func NewSpanID(site proto.SiteID) uint64 {
+	n := spanIDCounter.Add(1) & (1<<spanIDSiteShift - 1)
+	return uint64(site)<<spanIDSiteShift | n
+}
+
+// SpanOrigin extracts the allocating site back out of a span ID.
+func SpanOrigin(span uint64) proto.SiteID {
+	return proto.SiteID(span >> spanIDSiteShift)
+}
+
+// spanCtxKey keys SpanContext values in a context.Context.
+type spanCtxKey struct{}
+
+// WithSpan returns ctx annotated with sc. The annotation is inert until a
+// recording transport reads it back with SpanFrom.
+func WithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanFrom reads the span context threaded through ctx, reporting whether
+// one was set. The zero SpanContext (no root, no parent) is returned for an
+// unannotated context, so callers can use the result unconditionally.
+func SpanFrom(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc, ok
+}
+
+// Span sides: which end of the RPC recorded the event. The side travels in
+// Event.Detail as "side:kind" so one JSONL stream needs no extra field.
+const (
+	SideClient = "client"
+	SideServer = "server"
+)
+
+// SpanStart records one side of an RPC beginning. site is the recording
+// site, peer the other end, kind the message kind, and lamport the recording
+// site's high-water Lamport commit sequence at that moment. Nil-safe and
+// allocation-free on a nil hub: every argument is a value, and nothing is
+// formatted before the receiver check.
+func (h *Hub) SpanStart(site, peer proto.SiteID, sc SpanContext, side, kind string, lamport uint64) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter(int(site), "rpc", side+"."+kind).Inc()
+	h.emit(Event{
+		Type: EvSpanStart, Site: site, Peer: peer,
+		Txn: sc.Root, Span: sc.Span, Parent: sc.Parent,
+		Lamport: lamport, Detail: side + ":" + kind,
+	})
+}
+
+// SpanFinish records one side of an RPC completing after d, with the
+// outcome's error (nil for success) classified into the detail. Latency is
+// observed into a per-kind histogram on the recording site.
+func (h *Hub) SpanFinish(site, peer proto.SiteID, sc SpanContext, side, kind string, lamport uint64, d time.Duration, err error) {
+	if h == nil {
+		return
+	}
+	detail := side + ":" + kind
+	if err != nil {
+		detail += "!" + AbortReason(err)
+	}
+	h.reg.IntHist(int(site), "rpc", side+"_latency_us."+kind).Observe(d.Microseconds())
+	h.emit(Event{
+		Type: EvSpanFinish, Site: site, Peer: peer,
+		Txn: sc.Root, Span: sc.Span, Parent: sc.Parent,
+		Lamport: lamport, Dur: d, Detail: detail,
+	})
+}
+
+// SpanSide splits a span event's Detail back into (side, kind, reason):
+// "client:prepare" or "server:read!site-down". It returns ok=false for
+// events that are not span events or whose detail does not parse.
+func SpanSide(e Event) (side, kind, reason string, ok bool) {
+	if e.Type != EvSpanStart && e.Type != EvSpanFinish {
+		return "", "", "", false
+	}
+	d := e.Detail
+	for i := 0; i < len(d); i++ {
+		if d[i] == ':' {
+			side, d = d[:i], d[i+1:]
+			break
+		}
+	}
+	if side != SideClient && side != SideServer {
+		return "", "", "", false
+	}
+	kind = d
+	for i := 0; i < len(d); i++ {
+		if d[i] == '!' {
+			kind, reason = d[:i], d[i+1:]
+			break
+		}
+	}
+	return side, kind, reason, true
+}

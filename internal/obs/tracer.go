@@ -32,19 +32,20 @@ func NewTracer(capacity int) *Tracer {
 }
 
 // Append stamps e with the next sequence number, records it, and returns
-// the stamped event (so callers can fan it out to sinks).
-func (t *Tracer) Append(e Event) Event {
+// the stamped event (so callers can fan it out to sinks) along with whether
+// recording it overwrote — dropped — the oldest buffered event.
+func (t *Tracer) Append(e Event) (Event, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	e.Seq = t.next
 	t.next++
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, e)
-		return e
+		return e, false
 	}
 	t.buf[int(e.Seq)%cap(t.buf)] = e
 	t.dropped++
-	return e
+	return e, true
 }
 
 // Len reports how many events are currently buffered.

@@ -9,8 +9,14 @@
 //	/         index listing the endpoints
 //	/metrics  Prometheus text exposition; ?format=json for the JSON snapshot
 //	/trace    recent events, newest last; ?n=K bounds the count (default
-//	          100), ?format=json for a JSON array of events
+//	          100), ?since=S keeps only events with sequence number > S
+//	          (for incremental tailing), ?format=json for a JSON array
 //	/sites    JSON array of per-site status (up, operational, session)
+//
+// With Config.Runtime the /metrics snapshot additionally carries Go runtime
+// gauges (goroutines, heap, GC) under the "go" subsystem; with Config.Pprof
+// the standard net/http/pprof handlers are mounted at /debug/pprof/. Both
+// read runtime state only — the read-only contract holds.
 package obshttp
 
 import (
@@ -18,9 +24,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"time"
 
+	"siterecovery/internal/metrics"
 	"siterecovery/internal/obs"
 )
 
@@ -40,6 +49,29 @@ type Config struct {
 	// Sites supplies the per-site status for /sites; nil serves an empty
 	// list. It is called per request, so it should read live state.
 	Sites func() []SiteStatus
+	// Runtime merges Go runtime gauges (goroutines, heap bytes/objects, GC
+	// runs and pause time) into every /metrics response, keyed under the
+	// "go" subsystem at cluster scope.
+	Runtime bool
+	// Pprof mounts the standard net/http/pprof handlers at /debug/pprof/
+	// so a live cluster node can be profiled without a side port.
+	Pprof bool
+}
+
+// runtimeMetrics reads the Go runtime into cluster-scope gauges. The keys
+// render in Prometheus form as sr_go_goroutines, sr_go_heap_alloc_bytes,
+// sr_go_heap_objects, sr_go_gc_runs, and sr_go_gc_pause_total_ns.
+func runtimeMetrics() metrics.Snapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	g := func(v int64) metrics.Sample { return metrics.Sample{Kind: metrics.KindGauge, Sum: v} }
+	return metrics.Snapshot{
+		{Site: 0, Subsystem: "go", Name: "goroutines"}:        g(int64(runtime.NumGoroutine())),
+		{Site: 0, Subsystem: "go", Name: "heap_alloc_bytes"}:  g(int64(ms.HeapAlloc)),
+		{Site: 0, Subsystem: "go", Name: "heap_objects"}:      g(int64(ms.HeapObjects)),
+		{Site: 0, Subsystem: "go", Name: "gc_runs"}:           g(int64(ms.NumGC)),
+		{Site: 0, Subsystem: "go", Name: "gc_pause_total_ns"}: g(int64(ms.PauseTotalNs)),
+	}
 }
 
 // defaultTraceN bounds /trace responses when the request does not say.
@@ -56,13 +88,26 @@ func Handler(cfg Config) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, "siterecovery live introspection\n\n"+
 			"/metrics  Prometheus text exposition (?format=json for the JSON snapshot)\n"+
-			"/trace    recent events (?n=K, ?format=json)\n"+
+			"/trace    recent events (?n=K, ?since=S, ?format=json)\n"+
 			"/sites    per-site session status (JSON)\n")
+		if cfg.Pprof {
+			fmt.Fprint(w, "/debug/pprof/  Go profiling endpoints\n")
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		// A nil hub yields a nil Snapshot, which both writers render as
 		// the empty (but well-formed) document.
 		snap := cfg.Hub.Snapshot()
+		if cfg.Runtime {
+			rt := runtimeMetrics()
+			if snap == nil {
+				snap = rt
+			} else {
+				for k, v := range rt {
+					snap[k] = v
+				}
+			}
+		}
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
 			_ = snap.WriteJSON(w)
@@ -84,6 +129,23 @@ func Handler(cfg Config) http.Handler {
 		var events []obs.Event
 		if tr := cfg.Hub.Tracer(); tr != nil {
 			events = tr.Events()
+		}
+		if arg := r.URL.Query().Get("since"); arg != "" {
+			since, err := strconv.ParseUint(arg, 10, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad since=%q: want a sequence number", arg), http.StatusBadRequest)
+				return
+			}
+			// Sequence numbers are gapless and ascending within the ring, so
+			// the cut point is the first event past `since`.
+			cut := len(events)
+			for i, e := range events {
+				if e.Seq > since {
+					cut = i
+					break
+				}
+			}
+			events = events[cut:]
 		}
 		if len(events) > n {
 			events = events[len(events)-n:]
@@ -107,6 +169,13 @@ func Handler(cfg Config) http.Handler {
 			fmt.Fprintf(w, "%12s  %s\n", e.At.Sub(start), e.String())
 		}
 	})
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/sites", func(w http.ResponseWriter, r *http.Request) {
 		sites := []SiteStatus{}
 		if cfg.Sites != nil {

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 
 	"siterecovery/internal/obs"
@@ -188,4 +189,172 @@ func TestStartClose(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestRuntimeMetrics requires the Go runtime gauges to appear (and be valid
+// exposition) only when opted in.
+func TestRuntimeMetrics(t *testing.T) {
+	srv := httptest.NewServer(Handler(Config{Hub: testHub(), Runtime: true}))
+	defer srv.Close()
+	code, body, _ := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE sr_go_goroutines gauge",
+		`sr_go_goroutines{site="cluster"}`,
+		`sr_go_heap_alloc_bytes{site="cluster"}`,
+		`sr_go_heap_objects{site="cluster"}`,
+		`sr_go_gc_runs{site="cluster"}`,
+		`sr_go_gc_pause_total_ns{site="cluster"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Hub metrics still present alongside the runtime ones.
+	if !strings.Contains(body, `sr_txn_commit_user_total{site="1"} 1`) {
+		t.Error("hub metrics lost when runtime gauges merged in")
+	}
+
+	// A nil hub with Runtime on still serves the runtime gauges.
+	srv2 := httptest.NewServer(Handler(Config{Runtime: true}))
+	defer srv2.Close()
+	if _, body2, _ := get(t, srv2, "/metrics"); !strings.Contains(body2, "sr_go_goroutines") {
+		t.Error("nil hub with Runtime on lacks runtime gauges")
+	}
+
+	// Default config stays runtime-free.
+	srv3 := httptest.NewServer(Handler(Config{Hub: testHub()}))
+	defer srv3.Close()
+	if _, body3, _ := get(t, srv3, "/metrics"); strings.Contains(body3, "sr_go_") {
+		t.Error("runtime gauges served without opt-in")
+	}
+}
+
+// TestPprofMount requires /debug/pprof/ to serve only when opted in.
+func TestPprofMount(t *testing.T) {
+	srv := httptest.NewServer(Handler(Config{Hub: testHub(), Pprof: true}))
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1", "/debug/pprof/cmdline"} {
+		if code, _, _ := get(t, srv, path); code != http.StatusOK {
+			t.Errorf("%s: status %d, want 200", path, code)
+		}
+	}
+	srv2 := httptest.NewServer(Handler(Config{Hub: testHub()}))
+	defer srv2.Close()
+	if code, _, _ := get(t, srv2, "/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof served without opt-in: %d", code)
+	}
+}
+
+// TestTraceSince pages the ring incrementally by sequence number, including
+// after the ring has wrapped and dropped its oldest events.
+func TestTraceSince(t *testing.T) {
+	h := obs.NewHub(obs.Options{TraceCapacity: 8})
+	for i := 0; i < 20; i++ {
+		h.SiteCrash(proto.SiteID(1 + i%3))
+	}
+	srv := httptest.NewServer(Handler(Config{Hub: h}))
+	defer srv.Close()
+
+	// Seqs are 0-based: 20 emits into a ring of 8 leaves 12..19; since=15
+	// should yield exactly 16..19.
+	code, body, _ := get(t, srv, "/trace?format=json&since=15")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var events []obs.Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 || events[0].Seq != 16 || events[3].Seq != 19 {
+		t.Fatalf("since=15 returned seqs %v", seqs(events))
+	}
+
+	// since past the end is an empty page, not an error.
+	if _, body, _ = get(t, srv, "/trace?format=json&since=19"); body != "[]\n" {
+		t.Errorf("since=19 = %q, want empty array", body)
+	}
+	// since composes with n: last page bounded to 2 events.
+	if _, body, _ = get(t, srv, "/trace?format=json&since=15&n=2"); true {
+		events = nil
+		if err := json.Unmarshal([]byte(body), &events); err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != 2 || events[1].Seq != 19 {
+			t.Errorf("since=15&n=2 returned seqs %v", seqs(events))
+		}
+	}
+	if code, _, _ := get(t, srv, "/trace?since=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad since returned %d, want 400", code)
+	}
+}
+
+func seqs(events []obs.Event) []uint64 {
+	out := make([]uint64, len(events))
+	for i, e := range events {
+		out[i] = e.Seq
+	}
+	return out
+}
+
+// TestDroppedCounterExposed: ring overflow surfaces as a scrapeable counter.
+func TestDroppedCounterExposed(t *testing.T) {
+	h := obs.NewHub(obs.Options{TraceCapacity: 4})
+	for i := 0; i < 10; i++ {
+		h.SiteCrash(1)
+	}
+	srv := httptest.NewServer(Handler(Config{Hub: h}))
+	defer srv.Close()
+	_, body, _ := get(t, srv, "/metrics")
+	if !strings.Contains(body, `sr_obs_events_dropped_total{site="cluster"} 6`) {
+		t.Fatalf("exposition lacks the dropped-events counter:\n%s", body)
+	}
+}
+
+// TestConcurrentScrapeAndEmit hammers every endpoint while the hub keeps
+// emitting; run under -race this is the data-race check for the read path.
+func TestConcurrentScrapeAndEmit(t *testing.T) {
+	h := obs.NewHub(obs.Options{TraceCapacity: 64})
+	srv := httptest.NewServer(Handler(Config{Hub: h, Runtime: true}))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	emitterDone := make(chan struct{})
+	go func() {
+		defer close(emitterDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.TxnBegin(proto.SiteID(1+i%3), proto.TxnID(i), proto.ClassUser, 1)
+			h.TxnCommit(proto.SiteID(1+i%3), proto.TxnID(i), proto.ClassUser, 1)
+		}
+	}()
+	paths := []string{"/metrics", "/metrics?format=json", "/trace", "/trace?format=json&since=5", "/sites"}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := srv.Client().Get(srv.URL + paths[(g+i)%len(paths)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d", resp.StatusCode)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-emitterDone
 }

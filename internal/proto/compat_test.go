@@ -1,0 +1,39 @@
+package proto
+
+import "testing"
+
+// TestDecodeMessageIgnoresUnknownFields pins the forward-compatibility
+// contract the wire codec relies on: an envelope produced by a NEWER peer —
+// extra top-level fields (like a trace block) and extra fields inside the
+// message body — decodes cleanly on this (the "older") side, with the known
+// fields intact and the unknown ones dropped. Without this property every
+// added field would need a protocol version bump.
+func TestDecodeMessageIgnoresUnknownFields(t *testing.T) {
+	const body = `{"Txn":{"ID":9,"Class":1,"Origin":2},"Item":"x","Expect":3`
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"extra envelope fields", `{"kind":"read","body":` + body + `},` +
+			`"trace":{"root":9,"span":281474976710659,"parent":7,"origin":1},"hints":["a","b"]}`},
+		{"extra body fields", `{"kind":"read","body":` + body +
+			`,"priority":"high","deadline_ns":123456789,"nested":{"deep":[1,2]}}}`},
+		{"extra everywhere", `{"v":2,"kind":"read","compression":null,` +
+			`"body":` + body + `,"future":true}}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			msg, err := DecodeMessage([]byte(c.data))
+			if err != nil {
+				t.Fatalf("DecodeMessage: %v", err)
+			}
+			rr, ok := msg.(ReadReq)
+			if !ok {
+				t.Fatalf("decoded %T, want ReadReq", msg)
+			}
+			if rr.Txn.ID != 9 || rr.Txn.Origin != 2 || rr.Item != "x" || rr.Expect != 3 {
+				t.Errorf("known fields mutated: %+v", rr)
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"siterecovery/internal/clock"
 	"siterecovery/internal/dm"
+	"siterecovery/internal/obs"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/replication"
 	"siterecovery/internal/transport"
@@ -126,6 +127,11 @@ func (j *Janitor) Sweep(ctx context.Context) {
 }
 
 func (j *Janitor) resolve(ctx context.Context, st dm.StaleTxn) {
+	// Cooperative-termination traffic (decision queries, witness probes) is
+	// attributed to the stale transaction's root ID.
+	ctx = obs.WithSpan(ctx, obs.SpanContext{
+		Root: st.Meta.ID, Span: obs.NewSpanID(j.cfg.Site), Origin: j.cfg.Site,
+	})
 	state, seq, reached := j.askDecision(ctx, st.Meta.Origin, st.Meta.ID)
 	if reached {
 		switch state {

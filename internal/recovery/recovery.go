@@ -281,6 +281,12 @@ func (m *Manager) Recover(ctx context.Context) (Report, error) {
 	start := m.cfg.Clock.Now()
 	report := Report{}
 	m.cfg.Obs.RecoveryStart(m.cfg.Site)
+	// One recovery span roots the whole §3.4 procedure: decision queries,
+	// out-of-date identification, and the type-1 claim's control transaction
+	// all trace back to it across processes.
+	ctx = obs.WithSpan(ctx, obs.SpanContext{
+		Span: obs.NewSpanID(m.cfg.Site), Origin: m.cfg.Site,
+	})
 
 	// Step 2a: resolve in-doubt 2PC state from the stable log. Committed
 	// or unresolved outcomes imply the local copies of the transaction's
@@ -329,6 +335,13 @@ func (m *Manager) Recover(ctx context.Context) (Report, error) {
 // (copiers will observe the eventual outcome through ordinary locking at
 // the operational sites).
 func (m *Manager) resolveInDoubt(ctx context.Context, d dm.InDoubtTxn) {
+	// Decision traffic for this transaction is attributed to its own root ID
+	// under the recovery span.
+	parent, _ := obs.SpanFrom(ctx)
+	ctx = obs.WithSpan(ctx, obs.SpanContext{
+		Root: d.Txn, Span: obs.NewSpanID(m.cfg.Site),
+		Parent: parent.Span, Origin: m.cfg.Site,
+	})
 	state, seq := m.queryDecision(ctx, d.Origin, d.Txn)
 	switch state {
 	case proto.StateCommitted:

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"siterecovery/internal/obs"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/transport"
 )
@@ -24,6 +25,9 @@ import (
 func (m *Manager) RecoverSpooled(ctx context.Context) (Report, error) {
 	start := m.cfg.Clock.Now()
 	report := Report{}
+	ctx = obs.WithSpan(ctx, obs.SpanContext{
+		Span: obs.NewSpanID(m.cfg.Site), Origin: m.cfg.Site,
+	})
 
 	inDoubt := m.cfg.Local.RecoverInDoubt()
 	report.InDoubt = len(inDoubt)

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"siterecovery/internal/obs"
+	"siterecovery/internal/proto"
+)
+
+// at builds a deterministic timestamp n milliseconds into the run.
+func at(n int) time.Time { return time.Unix(0, int64(n)*int64(time.Millisecond)).UTC() }
+
+func span(typ obs.EventType, site proto.SiteID, root proto.TxnID, sp, parent uint64, side string, lam uint64, ms int) obs.Event {
+	return obs.Event{
+		Type: typ, Site: site, Txn: root, Span: sp, Parent: parent,
+		Lamport: lam, Detail: side + ":write", At: at(ms),
+	}
+}
+
+// TestMergeOrdersBySpanEdgesDespiteClocks is the core guarantee: the server
+// side of an RPC sorts after the client start and before the client finish
+// even when its wall-clock timestamps SAY otherwise (skewed clocks across
+// processes).
+func TestMergeOrdersBySpanEdgesDespiteClocks(t *testing.T) {
+	const sp = 0x1000000000001
+	client := []obs.Event{
+		span(obs.EvSpanStart, 1, 9, sp, 0, obs.SideClient, 5, 100),
+		span(obs.EvSpanFinish, 1, 9, sp, 0, obs.SideClient, 5, 110),
+	}
+	// Site 2's clock runs far behind: its timestamps predate the client's.
+	server := []obs.Event{
+		span(obs.EvSpanStart, 2, 9, sp, 0, obs.SideServer, 3, 10),
+		span(obs.EvSpanFinish, 2, 9, sp, 0, obs.SideServer, 3, 12),
+	}
+	m := Merge(client, server)
+	if len(m.Violations) != 0 {
+		t.Fatalf("violations: %v", m.Violations)
+	}
+	if len(m.Events) != 4 {
+		t.Fatalf("merged %d events, want 4", len(m.Events))
+	}
+	order := make([]string, len(m.Events))
+	for i, e := range m.Events {
+		side, _, _, _ := obs.SpanSide(e)
+		order[i] = side + e.Type.String()
+	}
+	want := []string{"clientspan.start", "serverspan.start", "serverspan.finish", "clientspan.finish"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("merge order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestMergeLamportTieBreak: causally unrelated events order by Lamport stamp
+// first, and unstamped events inherit their stream's running maximum.
+func TestMergeLamportTieBreak(t *testing.T) {
+	s1 := []obs.Event{
+		span(obs.EvSpanStart, 1, 1, 0x1000000000002, 0, obs.SideClient, 50, 500),
+		{Type: obs.EvTxnCommit, Site: 1, Txn: 1, At: at(501)}, // inherits lam 50
+	}
+	s2 := []obs.Event{
+		span(obs.EvSpanStart, 2, 2, 0x2000000000002, 0, obs.SideClient, 10, 900),
+	}
+	m := Merge(s1, s2)
+	if len(m.Events) != 3 {
+		t.Fatalf("merged %d events, want 3", len(m.Events))
+	}
+	// Site 2's span has the lowest Lamport stamp, so it sorts first even
+	// though its timestamp is latest.
+	if m.Events[0].Site != 2 {
+		t.Errorf("first merged event from site%d, want site2 (lamport 10 < 50)", m.Events[0].Site)
+	}
+	if m.Events[1].Site != 1 || m.Events[2].Type != obs.EvTxnCommit {
+		t.Errorf("tail order wrong: %v then %v", m.Events[1].Type, m.Events[2].Type)
+	}
+}
+
+// TestMergeFlagsRootMismatch: client and server sides of one span naming
+// different root transactions is a causality violation.
+func TestMergeFlagsRootMismatch(t *testing.T) {
+	const sp = 0x1000000000003
+	m := Merge(
+		[]obs.Event{span(obs.EvSpanStart, 1, 7, sp, 0, obs.SideClient, 1, 10)},
+		[]obs.Event{span(obs.EvSpanStart, 2, 8, sp, 0, obs.SideServer, 1, 20)},
+	)
+	if len(m.Violations) != 1 || m.Violations[0].Kind != "root-mismatch" {
+		t.Fatalf("violations = %v, want one root-mismatch", m.Violations)
+	}
+}
+
+// TestMergeFlagsDuplicateSpanSide: two client starts for one span ID.
+func TestMergeFlagsDuplicateSpanSide(t *testing.T) {
+	const sp = 0x1000000000004
+	m := Merge(
+		[]obs.Event{span(obs.EvSpanStart, 1, 7, sp, 0, obs.SideClient, 1, 10)},
+		[]obs.Event{span(obs.EvSpanStart, 3, 7, sp, 0, obs.SideClient, 1, 20)},
+	)
+	if len(m.Violations) != 1 || m.Violations[0].Kind != "duplicate-span-side" {
+		t.Fatalf("violations = %v, want one duplicate-span-side", m.Violations)
+	}
+}
+
+// TestMergeFlagsCycle: mutually entangled spans that cannot be ordered are
+// reported instead of silently dropped. Stream A serves span2 before
+// starting span1; stream B serves span1 before starting span2 — each
+// stream's local order plus the cross edges form a cycle.
+func TestMergeFlagsCycle(t *testing.T) {
+	const sp1, sp2 = 0x1000000000005, 0x2000000000005
+	a := []obs.Event{
+		span(obs.EvSpanStart, 1, 7, sp2, 0, obs.SideServer, 1, 10),
+		span(obs.EvSpanStart, 1, 7, sp1, 0, obs.SideClient, 1, 11),
+	}
+	b := []obs.Event{
+		span(obs.EvSpanStart, 2, 7, sp1, 0, obs.SideServer, 1, 10),
+		span(obs.EvSpanStart, 2, 7, sp2, 0, obs.SideClient, 1, 11),
+	}
+	m := Merge(a, b)
+	var cycle bool
+	for _, v := range m.Violations {
+		if v.Kind == "cycle" {
+			cycle = true
+		}
+	}
+	if !cycle {
+		t.Fatalf("violations = %v, want a cycle", m.Violations)
+	}
+	if len(m.Events) != 0 {
+		t.Errorf("cycle still emitted %d events; all four are entangled", len(m.Events))
+	}
+}
+
+// TestMergeDeterministic: identical inputs produce identical output.
+func TestMergeDeterministic(t *testing.T) {
+	mk := func() [][]obs.Event {
+		return [][]obs.Event{
+			{
+				span(obs.EvSpanStart, 1, 1, 0x1000000000006, 0, obs.SideClient, 3, 10),
+				{Type: obs.EvTxnCommit, Site: 1, Txn: 1, At: at(11)},
+			},
+			{
+				span(obs.EvSpanStart, 2, 2, 0x2000000000006, 0, obs.SideClient, 3, 10),
+				{Type: obs.EvSiteCrash, Site: 2, At: at(11)},
+			},
+		}
+	}
+	a, b := Merge(mk()...), Merge(mk()...)
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs between identical merges", i)
+		}
+	}
+}
+
+// TestMergeHandlesSpanlessStreams: pre-tracing exports (no span events at
+// all) still merge, ordered by timestamp.
+func TestMergeHandlesSpanlessStreams(t *testing.T) {
+	m := Merge(
+		[]obs.Event{{Type: obs.EvTxnBegin, Site: 1, Txn: 1, At: at(5)}, {Type: obs.EvTxnCommit, Site: 1, Txn: 1, At: at(9)}},
+		[]obs.Event{{Type: obs.EvSiteCrash, Site: 2, At: at(7)}},
+	)
+	if len(m.Violations) != 0 || len(m.Events) != 3 {
+		t.Fatalf("merge = %d events, %v", len(m.Events), m.Violations)
+	}
+	if m.Events[1].Type != obs.EvSiteCrash {
+		t.Errorf("timestamp interleave wrong: middle event is %v", m.Events[1].Type)
+	}
+}

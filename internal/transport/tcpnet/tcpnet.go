@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"siterecovery/internal/obs"
 	"siterecovery/internal/proto"
 	"siterecovery/internal/transport"
 )
@@ -68,6 +69,18 @@ type Config struct {
 	// CallTimeout bounds one request/response exchange when the caller's
 	// context carries no earlier deadline. Defaults to 5s.
 	CallTimeout time.Duration
+	// Obs, when non-nil, records distributed-tracing span events (client
+	// side in Call, server side in dispatch) and per-kind RPC metrics. The
+	// span context read from the caller's context via obs.SpanFrom is
+	// propagated inside the request frame, so the server side of a span
+	// shares its ID and root transaction with the client side. A nil hub
+	// costs nothing and sends no trace block, which keeps frames identical
+	// to pre-tracing peers.
+	Obs *obs.Hub
+	// Lamport, when non-nil, supplies the site's high-water Lamport commit
+	// sequence; span events are stamped with it so a causal merge across
+	// sites can order them by (Lamport, happens-before).
+	Lamport func() uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +111,21 @@ type wireReq struct {
 	From      proto.SiteID    `json:"from"`
 	Msg       json.RawMessage `json:"msg"`
 	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	// Trace is the optional distributed-tracing context. Omitted entirely
+	// when the sender has no hub, and ignored by peers that predate it
+	// (encoding/json drops unknown fields), so old and new frames interoperate
+	// in both directions.
+	Trace *wireTrace `json:"trace,omitempty"`
+}
+
+// wireTrace is the on-the-wire span context: the root transaction the RPC
+// works for, the span ID shared by both sides of this call, the caller's
+// parent span, and the site that allocated the span ID.
+type wireTrace struct {
+	Root   uint64       `json:"root,omitempty"`
+	Span   uint64       `json:"span"`
+	Parent uint64       `json:"parent,omitempty"`
+	Origin proto.SiteID `json:"origin,omitempty"`
 }
 
 // wireResp frames one response: the request ID it answers, and the encoded
@@ -370,7 +398,30 @@ func (t *Transport) dispatch(payload []byte) wireResp {
 	}
 	ctx, cancel := context.WithTimeout(t.baseCtx, timeout)
 	defer cancel()
+	// Propagate the caller's span context into the handler even without a
+	// local hub: nested RPCs the handler makes must still carry their causal
+	// parent. With a hub, the server side of the span is recorded too.
+	var sc obs.SpanContext
+	if req.Trace != nil {
+		sc = obs.SpanContext{
+			Root:   proto.TxnID(req.Trace.Root),
+			Span:   req.Trace.Span,
+			Parent: req.Trace.Parent,
+			Origin: req.Trace.Origin,
+		}
+		ctx = obs.WithSpan(ctx, sc)
+	}
+	traced := req.Trace != nil && t.cfg.Obs != nil
+	kind := msg.Kind()
+	var start time.Time
+	if traced {
+		t.cfg.Obs.SpanStart(t.cfg.Self, req.From, sc, obs.SideServer, kind, t.lamport())
+		start = time.Now()
+	}
 	reply, err := h(ctx, req.From, msg)
+	if traced {
+		t.cfg.Obs.SpanFinish(t.cfg.Self, req.From, sc, obs.SideServer, kind, t.lamport(), time.Since(start), err)
+	}
 	if err != nil {
 		return fail(err)
 	}
@@ -399,6 +450,43 @@ func (t *Transport) Call(ctx context.Context, from, to proto.SiteID, msg proto.M
 		return h(ctx, from, msg)
 	}
 
+	// With a hub installed, the remote call becomes one client-side span:
+	// its context is read from ctx (parent and root), a fresh span ID is
+	// allocated here, and the same context rides the request frame so the
+	// serving side records the matching server span. Self-calls above stay
+	// untraced, matching the simulator's local bus.
+	if t.cfg.Obs == nil {
+		return t.callRemote(ctx, to, msg, nil)
+	}
+	parent, _ := obs.SpanFrom(ctx)
+	sc := obs.SpanContext{
+		Root:   parent.Root,
+		Span:   obs.NewSpanID(t.cfg.Self),
+		Parent: parent.Span,
+		Origin: t.cfg.Self,
+	}
+	kind := msg.Kind()
+	t.cfg.Obs.MsgSent(from, to, kind)
+	t.cfg.Obs.SpanStart(t.cfg.Self, to, sc, obs.SideClient, kind, t.lamport())
+	start := time.Now()
+	reply, err := t.callRemote(ctx, to, msg, &wireTrace{
+		Root: uint64(sc.Root), Span: sc.Span, Parent: sc.Parent, Origin: sc.Origin,
+	})
+	t.cfg.Obs.SpanFinish(t.cfg.Self, to, sc, obs.SideClient, kind, t.lamport(), time.Since(start), err)
+	return reply, err
+}
+
+// lamport reads the configured Lamport clock, 0 when none is wired.
+func (t *Transport) lamport() uint64 {
+	if t.cfg.Lamport == nil {
+		return 0
+	}
+	return t.cfg.Lamport()
+}
+
+// callRemote performs the request/response exchange with a remote site,
+// attaching wt (which may be nil) to the request frame.
+func (t *Transport) callRemote(ctx context.Context, to proto.SiteID, msg proto.Message, wt *wireTrace) (proto.Message, error) {
 	data, err := proto.EncodeMessage(msg)
 	if err != nil {
 		return nil, err
@@ -424,8 +512,9 @@ func (t *Transport) Call(ctx context.Context, from, to proto.SiteID, msg proto.M
 		}
 		id := t.nextID.Add(1)
 		payload, err := json.Marshal(wireReq{
-			ID: id, From: from, Msg: data,
+			ID: id, From: t.cfg.Self, Msg: data,
 			TimeoutMS: time.Until(deadline).Milliseconds(),
+			Trace:     wt,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,218 @@
+package tcpnet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"siterecovery/internal/obs"
+	"siterecovery/internal/proto"
+)
+
+// newTracedPair starts two transports with live hubs and fixed Lamport
+// clocks, site 2 echoing probes.
+func newTracedPair(t *testing.T) (trs map[proto.SiteID]*Transport, hubs map[proto.SiteID]*obs.Hub) {
+	t.Helper()
+	listeners := make(map[proto.SiteID]net.Listener, 2)
+	addrs := make(map[proto.SiteID]string, 2)
+	for i := 1; i <= 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[proto.SiteID(i)] = ln
+		addrs[proto.SiteID(i)] = ln.Addr().String()
+	}
+	trs = make(map[proto.SiteID]*Transport, 2)
+	hubs = make(map[proto.SiteID]*obs.Hub, 2)
+	for i := 1; i <= 2; i++ {
+		id := proto.SiteID(i)
+		hub := obs.NewHub(obs.Options{})
+		lam := uint64(100 * i)
+		tr := New(Config{
+			Self:        id,
+			Addrs:       addrs,
+			Listener:    listeners[id],
+			CallTimeout: 2 * time.Second,
+			Obs:         hub,
+			Lamport:     func() uint64 { return lam },
+		})
+		tr.SetHandler(func(ctx context.Context, from proto.SiteID, msg proto.Message) (proto.Message, error) {
+			return proto.ProbeResp{Operational: true, Session: proto.Session(id)}, nil
+		})
+		if err := tr.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		trs[id] = tr
+		hubs[id] = hub
+	}
+	return trs, hubs
+}
+
+// spanEvents filters a hub's ring down to span events.
+func spanEvents(h *obs.Hub) []obs.Event {
+	var out []obs.Event
+	for _, e := range h.Tracer().Events() {
+		if e.Type == obs.EvSpanStart || e.Type == obs.EvSpanFinish {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestCallPropagatesSpanContext drives one traced RPC and checks the full
+// span contract: the client records start/finish under a fresh span whose
+// parent and root came from the caller's context; the server records the
+// SAME span ID with the same root; both sides stamp their own Lamport
+// clocks; and the handler's context carries the span for nested calls.
+func TestCallPropagatesSpanContext(t *testing.T) {
+	trs, hubs := newTracedPair(t)
+
+	var serverCtxSpan obs.SpanContext
+	trs[2].SetHandler(func(ctx context.Context, from proto.SiteID, msg proto.Message) (proto.Message, error) {
+		serverCtxSpan, _ = obs.SpanFrom(ctx)
+		return proto.ProbeResp{Operational: true}, nil
+	})
+
+	caller := obs.SpanContext{Root: 77, Span: obs.NewSpanID(1), Origin: 1}
+	ctx := obs.WithSpan(context.Background(), caller)
+	if _, err := trs[1].Call(ctx, 1, 2, proto.ProbeReq{}); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+
+	client := spanEvents(hubs[1])
+	if len(client) != 2 {
+		t.Fatalf("client span events = %d, want start+finish", len(client))
+	}
+	cs, cf := client[0], client[1]
+	if cs.Type != obs.EvSpanStart || cf.Type != obs.EvSpanFinish {
+		t.Fatalf("client events out of order: %v then %v", cs.Type, cf.Type)
+	}
+	if cs.Txn != 77 || cs.Parent != caller.Span || cs.Span == caller.Span || cs.Span == 0 {
+		t.Errorf("client start = %+v; want root 77, parent %x, fresh span", cs, caller.Span)
+	}
+	if obs.SpanOrigin(cs.Span) != 1 {
+		t.Errorf("client span %x not tagged with origin site 1", cs.Span)
+	}
+	if cs.Lamport != 100 || cs.Peer != 2 || cs.Site != 1 {
+		t.Errorf("client start stamped %+v; want lamport 100, site1->site2", cs)
+	}
+	if side, kind, _, _ := obs.SpanSide(cs); side != obs.SideClient || kind != "probe" {
+		t.Errorf("client start detail = %q", cs.Detail)
+	}
+	if cf.Span != cs.Span || cf.Dur <= 0 {
+		t.Errorf("client finish = %+v; want same span with positive duration", cf)
+	}
+
+	server := spanEvents(hubs[2])
+	if len(server) != 2 {
+		t.Fatalf("server span events = %d, want start+finish", len(server))
+	}
+	ss := server[0]
+	if ss.Span != cs.Span || ss.Txn != 77 || ss.Parent != caller.Span {
+		t.Errorf("server start = %+v; want shared span %x under root 77", ss, cs.Span)
+	}
+	if ss.Lamport != 200 || ss.Site != 2 || ss.Peer != 1 {
+		t.Errorf("server start stamped %+v; want lamport 200, site2 from site1", ss)
+	}
+	if side, _, _, _ := obs.SpanSide(ss); side != obs.SideServer {
+		t.Errorf("server start detail = %q", ss.Detail)
+	}
+	if serverCtxSpan.Span != cs.Span || serverCtxSpan.Root != 77 {
+		t.Errorf("handler ctx span = %+v; nested RPCs would lose their parent", serverCtxSpan)
+	}
+}
+
+// TestUntracedPeerInterop pins frame compatibility in both directions: a
+// hubless client sends no trace block to a traced server (no server span,
+// call succeeds), and a traced client's trace block is carried through a
+// hubless server's context without a hub.
+func TestUntracedPeerInterop(t *testing.T) {
+	trs, hubs := newTracedPair(t)
+
+	// Rebuild site 1 without a hub on the same address map.
+	trs[1].Close()
+	ln, err := net.Listen("tcp", trs[1].cfg.Addrs[1])
+	if err != nil {
+		t.Skipf("rebind %s: %v", trs[1].cfg.Addrs[1], err)
+	}
+	plain := New(Config{Self: 1, Addrs: trs[1].cfg.Addrs, Listener: ln, CallTimeout: 2 * time.Second})
+	plain.SetHandler(func(ctx context.Context, from proto.SiteID, msg proto.Message) (proto.Message, error) {
+		sc, _ := obs.SpanFrom(ctx)
+		return proto.ProbeResp{Operational: true, Session: proto.Session(sc.Span)}, nil
+	})
+	if err := plain.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { plain.Close() })
+
+	// Hubless -> traced: succeeds, and the server records no span.
+	if _, err := plain.Call(context.Background(), 1, 2, proto.ProbeReq{}); err != nil {
+		t.Fatalf("hubless call to traced peer: %v", err)
+	}
+	if got := spanEvents(hubs[2]); len(got) != 0 {
+		t.Errorf("traced server recorded %d span events for an untraced frame", len(got))
+	}
+
+	// Traced -> hubless: the span context still reaches the handler's ctx.
+	caller := obs.SpanContext{Root: 9, Span: obs.NewSpanID(2), Origin: 2}
+	resp, err := trs[2].Call(obs.WithSpan(context.Background(), caller), 2, 1, proto.ProbeReq{})
+	if err != nil {
+		t.Fatalf("traced call to hubless peer: %v", err)
+	}
+	if resp.(proto.ProbeResp).Session == 0 {
+		t.Error("hubless server's handler ctx lost the propagated span")
+	}
+}
+
+// TestFrameForwardCompat proves an "older peer" property at the frame level:
+// a request whose JSON carries unrecognized extra fields — both in the
+// wireReq envelope and inside the message envelope — is decoded and served
+// cleanly, because encoding/json ignores unknown fields. This is the
+// compatibility contract that let the trace block ship without a version
+// bump.
+func TestFrameForwardCompat(t *testing.T) {
+	trs := newPair(t, 2)
+	addr := trs[2].Addr().String()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	msg := json.RawMessage(`{"kind":"probe","body":{},"future_envelope_field":[1,2,3]}`)
+	frame := fmt.Sprintf(
+		`{"id":7,"from":1,"msg":%s,"timeout_ms":2000,"trace":{"root":5,"span":9,"parent":1,"origin":1},"future_field":{"deep":true}}`,
+		msg)
+	if err := writeFrame(conn, []byte(frame)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	raw, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatalf("read response frame: %v", err)
+	}
+	var resp wireResp
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	if resp.ID != 7 {
+		t.Errorf("response ID = %d, want 7", resp.ID)
+	}
+	if resp.Err != nil {
+		t.Fatalf("handler error: %v", resp.Err.Err())
+	}
+	reply, err := proto.DecodeMessage(resp.Msg)
+	if err != nil {
+		t.Fatalf("decode reply: %v", err)
+	}
+	if pr, ok := reply.(proto.ProbeResp); !ok || !pr.Operational {
+		t.Errorf("reply = %#v, want operational probe response", reply)
+	}
+}
