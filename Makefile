@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench trace trace-cluster cover chaos fuzz e2e load perf-check
+.PHONY: all build test race lint bench trace trace-cluster cover chaos proc-chaos fuzz e2e load perf-check
 
 all: lint build test
 
@@ -72,11 +72,26 @@ trace:
 	$(GO) run ./cmd/srtrace trace.jsonl
 
 # Mirrors the tcp-e2e trace-merge step: run the 3-process cluster e2e with
-# per-site JSONL exports, then causally merge them and run the trace
-# invariant suite. The merged timeline lands in bench/out/cluster-trace/.
+# per-site JSONL exports (once per crash model), then causally merge the
+# crash-http model's streams and run the trace invariant suite. The merged
+# timeline lands in bench/out/cluster-trace/crash-http/.
 trace-cluster:
 	rm -rf bench/out/cluster-trace && mkdir -p bench/out/cluster-trace
 	SRNODE_E2E_OUTDIR=$(CURDIR)/bench/out/cluster-trace \
 		$(GO) test -count=1 -run TestE2EThreeSiteCluster ./cmd/srnode/
-	$(GO) run ./cmd/srtrace -merge -check -out bench/out/cluster-trace/merged.jsonl \
-		bench/out/cluster-trace/site1.jsonl bench/out/cluster-trace/site2.jsonl bench/out/cluster-trace/site3.jsonl
+	$(GO) run ./cmd/srtrace -merge -check -out bench/out/cluster-trace/crash-http/merged.jsonl \
+		bench/out/cluster-trace/crash-http/site1.gen0.jsonl \
+		bench/out/cluster-trace/crash-http/site2.gen0.jsonl \
+		bench/out/cluster-trace/crash-http/site3.gen0.jsonl
+
+# Mirrors the proc-chaos CI job: schedule determinism, the scripted
+# process-cluster scenarios, the injected-bug shrink oracle, and one
+# seeded srchaos run (artifacts in bench/out/proc-chaos/).
+proc-chaos:
+	$(GO) run ./cmd/srchaos -seed 7 -steps 40 -dry > /tmp/srchaos-a.json
+	$(GO) run ./cmd/srchaos -seed 7 -steps 40 -dry > /tmp/srchaos-b.json
+	cmp /tmp/srchaos-a.json /tmp/srchaos-b.json
+	$(GO) test -count=1 -run 'TestProc' ./internal/chaos/proc/
+	SRCHAOS_E2E=1 $(GO) test -count=1 -run TestProcInjectedBugCaughtAndShrinks ./internal/chaos/proc/
+	rm -rf bench/out/proc-chaos
+	$(GO) run ./cmd/srchaos -seed 1 -steps 30 -outdir bench/out/proc-chaos -shrink

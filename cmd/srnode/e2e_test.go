@@ -24,8 +24,17 @@ import (
 // TestE2EThreeSiteCluster builds the srnode binary, launches a 3-site
 // cluster as real OS processes over localhost TCP, and drives the paper's
 // lifecycle through the HTTP control surface: commit a read-write
-// transaction, crash a site, keep committing on the survivors, then run
+// transaction, take a site down, keep committing on the survivors, then run
 // type-1 recovery and verify the recovered site converged.
+//
+// The lifecycle runs once per crash model:
+//
+//   - crash-http: POST /crash. The process survives; its in-memory "stable"
+//     storage and WAL carry into /recover directly.
+//   - sigkill: the process is killed outright and relaunched over its
+//     -statedir with -start-down and the next -epoch. Only the disk-spilled
+//     stable slice survives; data pages come back through the copiers, and
+//     the incarnations' exports are stitched with a kill-cut marker.
 func TestE2EThreeSiteCluster(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping process-spawning e2e test in -short mode")
@@ -33,145 +42,272 @@ func TestE2EThreeSiteCluster(t *testing.T) {
 
 	bin := buildSrnode(t)
 
-	// Each site exports its event stream as JSONL; SRNODE_E2E_OUTDIR keeps
-	// the files (CI uploads the merged timeline), else they're temporary.
-	outDir := os.Getenv("SRNODE_E2E_OUTDIR")
-	if outDir == "" {
-		outDir = t.TempDir()
-	} else if err := os.MkdirAll(outDir, 0o755); err != nil {
-		t.Fatal(err)
+	const victim = 2 // index of site 3, the site taken down
+
+	models := []struct {
+		name string
+		// strictOrder enables the full merged-timeline ordering check.
+		// The sigkill model's crash event is a synthetic kill-cut marker
+		// whose merge position is exact only within its own stream, so it
+		// gets the stream-order subset of the assertions.
+		strictOrder bool
+		down        func(t *testing.T, c *e2eCluster)
+		bringBack   func(t *testing.T, c *e2eCluster)
+	}{
+		{
+			name:        "crash-http",
+			strictOrder: true,
+			down: func(t *testing.T, c *e2eCluster) {
+				if code, body := post(t, c.controlAddrs[victim], "/crash"); code != http.StatusOK {
+					t.Fatalf("crash site 3: %d %s", code, body)
+				}
+			},
+			bringBack: func(t *testing.T, c *e2eCluster) {},
+		},
+		{
+			name:        "sigkill",
+			strictOrder: false,
+			down: func(t *testing.T, c *e2eCluster) {
+				c.kill(victim)
+			},
+			bringBack: func(t *testing.T, c *e2eCluster) {
+				// Respawn over the same statedir and addresses: a restarted
+				// process is a DOWN site until /recover runs.
+				c.spawn(t, victim, true)
+				c.waitReachable(t, victim)
+			},
+		},
 	}
 
-	const sites = 3
-	peerAddrs := make([]string, sites)
-	controlAddrs := make([]string, sites)
-	exportPaths := make([]string, sites)
-	peerSpec := ""
-	for i := 0; i < sites; i++ {
-		peerAddrs[i] = freeAddr(t)
-		controlAddrs[i] = freeAddr(t)
-		exportPaths[i] = filepath.Join(outDir, fmt.Sprintf("site%d.jsonl", i+1))
-		if i > 0 {
-			peerSpec += ","
-		}
-		peerSpec += fmt.Sprintf("%d=%s", i+1, peerAddrs[i])
-	}
+	for _, model := range models {
+		t.Run(model.name, func(t *testing.T) {
+			// Each site exports its event stream as JSONL; SRNODE_E2E_OUTDIR
+			// keeps the files (CI uploads the merged timeline), else they're
+			// temporary.
+			outDir := os.Getenv("SRNODE_E2E_OUTDIR")
+			if outDir == "" {
+				outDir = t.TempDir()
+			} else {
+				outDir = filepath.Join(outDir, model.name)
+			}
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				t.Fatal(err)
+			}
 
-	procs := make([]*exec.Cmd, sites)
-	for i := 0; i < sites; i++ {
-		cmd := exec.Command(bin,
-			"-site", fmt.Sprint(i+1),
-			"-peers", peerSpec,
-			"-items", "x,y",
-			"-control", controlAddrs[i],
-			"-export", exportPaths[i],
-		)
-		cmd.Stdout = os.Stderr
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			t.Fatalf("start srnode %d: %v", i+1, err)
-		}
-		procs[i] = cmd
-		t.Cleanup(func() {
-			cmd.Process.Kill()
-			cmd.Wait()
+			c := newE2ECluster(t, bin, outDir)
+			for i := range c.peerAddrs {
+				c.spawn(t, i, false)
+			}
+			for i := range c.peerAddrs {
+				waitOperational(t, c.controlAddrs[i])
+			}
+
+			// A read-write transaction at site 1 replicates to every copy.
+			if code, body := post(t, c.controlAddrs[0], "/exec?item=x&value=41"); code != http.StatusOK {
+				t.Fatalf("exec at site 1: %d %s", code, body)
+			}
+			if got := readItem(t, c.controlAddrs[1], "x"); got != 41 {
+				t.Fatalf("x at site 2 = %d, want 41", got)
+			}
+
+			// The srload driving surface: an arbitrary read/write transaction
+			// via POST /txn, committed at site 2, visible at site 1.
+			if code, body := postJSON(t, c.controlAddrs[1], "/txn",
+				`{"reads":["x"],"writes":[{"item":"y","value":13}]}`); code != http.StatusOK {
+				t.Fatalf("txn at site 2: %d %s", code, body)
+			}
+			if got := readItem(t, c.controlAddrs[0], "y"); got != 13 {
+				t.Fatalf("y at site 1 = %d, want 13", got)
+			}
+
+			// Take site 3 down. Writes at site 1 fail until the failure
+			// detector's type-2 control transaction excludes it, then proceed
+			// on survivors.
+			model.down(t, c)
+			deadline := time.Now().Add(20 * time.Second)
+			for {
+				code, body := post(t, c.controlAddrs[0], "/exec?item=x&value=100")
+				if code == http.StatusOK {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("write never succeeded after crash: %d %s", code, body)
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			if code, body := post(t, c.controlAddrs[0], "/exec?item=y&value=7"); code != http.StatusOK {
+				t.Fatalf("write y on survivors: %d %s", code, body)
+			}
+
+			// Recover site 3: the type-1 control transaction claims it
+			// nominally up with a fresh session number, and /recover waits
+			// for the copiers.
+			model.bringBack(t, c)
+			code, body := post(t, c.controlAddrs[victim], "/recover")
+			if code != http.StatusOK {
+				t.Fatalf("recover site 3: %d %s", code, body)
+			}
+			var report struct {
+				Session uint64 `json:"session"`
+			}
+			if err := json.Unmarshal(body, &report); err != nil {
+				t.Fatalf("recover report %s: %v", body, err)
+			}
+			if report.Session <= 1 {
+				t.Fatalf("recovered session = %d, want > 1", report.Session)
+			}
+
+			// The recovered site serves current data from its local copies —
+			// under sigkill those pages died with the process and came back
+			// through the copiers alone.
+			if got := readItem(t, c.controlAddrs[victim], "x"); got != 100 {
+				t.Fatalf("x at recovered site = %d, want 100", got)
+			}
+			if got := readItem(t, c.controlAddrs[victim], "y"); got != 7 {
+				t.Fatalf("y at recovered site = %d, want 7", got)
+			}
+
+			// The runtime surface rides on the control port.
+			checkRuntimeSurface(t, c.controlAddrs[0])
+
+			// Merge the per-site traces into one causal timeline and verify
+			// the whole lifecycle — commit, crash, exclusion, type-1
+			// recovery — reconstructs from the exports alone.
+			merged := trace.Merge(c.streams(t)...)
+			if len(merged.Violations) != 0 {
+				t.Fatalf("causal merge found violations: %v", merged.Violations)
+			}
+			if fails := chaos.CheckTrace(merged, chaos.TraceSuite()); len(fails) != 0 {
+				t.Fatalf("trace invariants failed: %v", fails)
+			}
+			checkMergedTimeline(t, merged, model.strictOrder)
 		})
 	}
+}
 
+// e2eCluster tracks one lifecycle run's processes, addresses, and
+// per-incarnation export files.
+type e2eCluster struct {
+	bin, outDir  string
+	peerSpec     string
+	peerAddrs    []string
+	controlAddrs []string
+	procs        []*exec.Cmd
+	// exports collects every incarnation's JSONL path per site; gens counts
+	// incarnations (it feeds -epoch so relaunches never alias identifiers).
+	exports [][]string
+	gens    []int
+}
+
+func newE2ECluster(t *testing.T, bin, outDir string) *e2eCluster {
+	t.Helper()
+	const sites = 3
+	c := &e2eCluster{
+		bin: bin, outDir: outDir,
+		peerAddrs:    make([]string, sites),
+		controlAddrs: make([]string, sites),
+		procs:        make([]*exec.Cmd, sites),
+		exports:      make([][]string, sites),
+		gens:         make([]int, sites),
+	}
 	for i := 0; i < sites; i++ {
-		waitOperational(t, controlAddrs[i])
-	}
-
-	// A read-write transaction at site 1 replicates to every copy.
-	if code, body := post(t, controlAddrs[0], "/exec?item=x&value=41"); code != http.StatusOK {
-		t.Fatalf("exec at site 1: %d %s", code, body)
-	}
-	if got := readItem(t, controlAddrs[1], "x"); got != 41 {
-		t.Fatalf("x at site 2 = %d, want 41", got)
-	}
-
-	// The srload driving surface: an arbitrary read/write transaction via
-	// POST /txn, committed at site 2, visible at site 1.
-	if code, body := postJSON(t, controlAddrs[1], "/txn",
-		`{"reads":["x"],"writes":[{"item":"y","value":13}]}`); code != http.StatusOK {
-		t.Fatalf("txn at site 2: %d %s", code, body)
-	}
-	if got := readItem(t, controlAddrs[0], "y"); got != 13 {
-		t.Fatalf("y at site 1 = %d, want 13", got)
-	}
-
-	// Crash site 3. Writes at site 1 fail until the failure detector's
-	// type-2 control transaction excludes it, then proceed on survivors.
-	if code, body := post(t, controlAddrs[2], "/crash"); code != http.StatusOK {
-		t.Fatalf("crash site 3: %d %s", code, body)
-	}
-	deadline := time.Now().Add(20 * time.Second)
-	for {
-		code, body := post(t, controlAddrs[0], "/exec?item=x&value=100")
-		if code == http.StatusOK {
-			break
+		c.peerAddrs[i] = freeAddr(t)
+		c.controlAddrs[i] = freeAddr(t)
+		c.gens[i] = -1
+		if i > 0 {
+			c.peerSpec += ","
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("write never succeeded after crash: %d %s", code, body)
+		c.peerSpec += fmt.Sprintf("%d=%s", i+1, c.peerAddrs[i])
+	}
+	return c
+}
+
+// spawn launches site i's next incarnation. The statedir and addresses are
+// stable across incarnations; the export file and epoch are per-incarnation.
+func (c *e2eCluster) spawn(t *testing.T, i int, startDown bool) {
+	t.Helper()
+	c.gens[i]++
+	exportPath := filepath.Join(c.outDir, fmt.Sprintf("site%d.gen%d.jsonl", i+1, c.gens[i]))
+	c.exports[i] = append(c.exports[i], exportPath)
+	args := []string{
+		"-site", fmt.Sprint(i + 1),
+		"-peers", c.peerSpec,
+		"-items", "x,y",
+		"-control", c.controlAddrs[i],
+		"-export", exportPath,
+		"-statedir", filepath.Join(c.outDir, fmt.Sprintf("state%d", i+1)),
+		"-epoch", fmt.Sprint(c.gens[i]),
+	}
+	if startDown {
+		args = append(args, "-start-down")
+	}
+	cmd := exec.Command(c.bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start srnode %d: %v", i+1, err)
+	}
+	c.procs[i] = cmd
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+}
+
+// kill SIGKILLs site i and reaps it, freeing its addresses for a respawn.
+func (c *e2eCluster) kill(i int) {
+	c.procs[i].Process.Kill()
+	c.procs[i].Wait()
+}
+
+// waitReachable polls /status until the control server answers, without
+// requiring the site to be operational (a -start-down respawn is NOT).
+func (c *e2eCluster) waitReachable(t *testing.T, i int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + c.controlAddrs[i] + "/status")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return
 		}
-		time.Sleep(50 * time.Millisecond)
+		lastErr = err
+		time.Sleep(25 * time.Millisecond)
 	}
-	if code, body := post(t, controlAddrs[0], "/exec?item=y&value=7"); code != http.StatusOK {
-		t.Fatalf("write y on survivors: %d %s", code, body)
-	}
+	t.Fatalf("site %d control never came back: %v", i+1, lastErr)
+}
 
-	// Recover site 3: the type-1 control transaction claims it nominally
-	// up with a fresh session number, and /recover waits for the copiers.
-	code, body := post(t, controlAddrs[2], "/recover")
-	if code != http.StatusOK {
-		t.Fatalf("recover site 3: %d %s", code, body)
-	}
-	var report struct {
-		Session uint64 `json:"session"`
-	}
-	if err := json.Unmarshal(body, &report); err != nil {
-		t.Fatalf("recover report %s: %v", body, err)
-	}
-	if report.Session <= 1 {
-		t.Fatalf("recovered session = %d, want > 1", report.Session)
-	}
-
-	// The recovered site serves current data from its local copies.
-	if got := readItem(t, controlAddrs[2], "x"); got != 100 {
-		t.Fatalf("x at recovered site = %d, want 100", got)
-	}
-	if got := readItem(t, controlAddrs[2], "y"); got != 7 {
-		t.Fatalf("y at recovered site = %d, want 7", got)
-	}
-
-	// The runtime surface rides on the control port.
-	checkRuntimeSurface(t, controlAddrs[0])
-
-	// Merge the three per-site traces into one causal timeline and verify
-	// the whole lifecycle — commit, crash, exclusion, type-1 recovery —
-	// reconstructs from the exports alone.
-	streams := make([][]obs.Event, sites)
-	for i := 0; i < sites; i++ {
-		if code, body := post(t, controlAddrs[i], "/flush"); code != http.StatusOK {
+// streams flushes live processes and returns one event stream per site:
+// each site's incarnation exports concatenated, with a kill-cut marker
+// where a SIGKILL truncated the previous life (the same stitching the
+// chaos harness does). A killed incarnation's file may be empty — only the
+// combined stream must be non-empty.
+func (c *e2eCluster) streams(t *testing.T) [][]obs.Event {
+	t.Helper()
+	streams := make([][]obs.Event, len(c.exports))
+	for i, paths := range c.exports {
+		if code, body := post(t, c.controlAddrs[i], "/flush"); code != http.StatusOK {
 			t.Fatalf("flush site %d: %d %s", i+1, code, body)
 		}
-		evs, err := export.DecodeFile(exportPaths[i])
-		if err != nil {
-			t.Fatalf("decode site %d export: %v", i+1, err)
+		var evs []obs.Event
+		for g, path := range paths {
+			if g > 0 {
+				evs = append(evs, obs.Event{Type: obs.EvSiteCrash, Site: proto.SiteID(i + 1), Detail: obs.DetailSigkill})
+			}
+			got, err := export.DecodeFile(path)
+			if err != nil {
+				t.Fatalf("decode site %d gen %d export: %v", i+1, g, err)
+			}
+			evs = append(evs, got...)
 		}
 		if len(evs) == 0 {
 			t.Fatalf("site %d exported no events", i+1)
 		}
 		streams[i] = evs
 	}
-	merged := trace.Merge(streams...)
-	if len(merged.Violations) != 0 {
-		t.Fatalf("causal merge found violations: %v", merged.Violations)
-	}
-	if fails := chaos.CheckTrace(merged, chaos.TraceSuite()); len(fails) != 0 {
-		t.Fatalf("trace invariants failed: %v", fails)
-	}
-	checkMergedTimeline(t, merged)
+	return streams
 }
 
 // checkRuntimeSurface asserts /metrics carries the Go runtime gauges and
@@ -205,7 +341,14 @@ func checkRuntimeSurface(t *testing.T, ctrl string) {
 
 // checkMergedTimeline asserts the causal order of the lifecycle and that
 // every 2PC RPC is attributable to a transaction the trace saw begin.
-func checkMergedTimeline(t *testing.T, merged trace.Merged) {
+//
+// With strictOrder the full commit < crash < exclusion < recovery-done
+// chain is required; without it (the sigkill model) only crash <
+// recovery-done is asserted. The sigkill crash event is a synthetic
+// kill-cut marker ordered exactly only within site 3's own stream — and
+// when the killed incarnation never flushed, that stream starts AT the
+// marker, so nothing anchors it after the pre-kill commits.
+func checkMergedTimeline(t *testing.T, merged trace.Merged, strictOrder bool) {
 	t.Helper()
 	begun := map[proto.TxnID]proto.TxnClass{}
 	for _, e := range merged.Events {
@@ -260,9 +403,13 @@ func checkMergedTimeline(t *testing.T, merged trace.Merged) {
 		t.Fatalf("lifecycle events missing: commit=%d crash=%d exclusion=%d recovery.done=%d",
 			commitAt, crashAt, exclAt, recDoneAt)
 	}
-	if !(commitAt < crashAt && crashAt < exclAt && exclAt < recDoneAt) {
-		t.Fatalf("merged lifecycle out of order: commit=%d crash=%d exclusion=%d recovery.done=%d",
-			commitAt, crashAt, exclAt, recDoneAt)
+	if strictOrder {
+		if !(commitAt < crashAt && crashAt < exclAt && exclAt < recDoneAt) {
+			t.Fatalf("merged lifecycle out of order: commit=%d crash=%d exclusion=%d recovery.done=%d",
+				commitAt, crashAt, exclAt, recDoneAt)
+		}
+	} else if crashAt >= recDoneAt {
+		t.Fatalf("merged lifecycle out of order: crash=%d recovery.done=%d", crashAt, recDoneAt)
 	}
 }
 

@@ -14,6 +14,7 @@
 //	GET  /status          {"site":1,"up":true,"operational":true,"session":2}
 //	POST /exec?item=x&value=7   run a read-write txn writing value to item
 //	GET  /read?item=x     read item through a user transaction
+//	GET  /ns              this site's committed nominal-session vector
 //	POST /crash           fail-stop this site (volatile state lost)
 //	POST /recover         run the paper's recovery; returns the report
 //	POST /flush           flush the -export JSONL sink to disk
@@ -29,6 +30,18 @@
 // in-memory, so /crash models the fail-stop crash in-process (peers see
 // ErrSiteDown on every call) while the "stable" storage and WAL survive for
 // /recover — see internal/node.
+//
+// Two flags extend the crash model to real process death. With -statedir
+// the session counter and 2PC log are spilled to disk (see state.go), so a
+// SIGKILLed process can be relaunched over the same directory without
+// violating the §3.1 uniqueness of session numbers or forgetting commit
+// decisions. The relaunch must pass -start-down: a restarted site is a DOWN
+// site — it serves ErrSiteDown to peers until POST /recover runs the
+// paper's recovery procedure, exactly like an in-process crash.
+//
+// SRNODE_BUG=reuse-session enables a deliberately broken variant (the
+// recovery claim reuses the current session number instead of advancing it)
+// used by the chaos harness to prove the trace oracle catches violations.
 package main
 
 import (
@@ -57,16 +70,20 @@ import (
 
 func main() {
 	var (
-		site     = flag.Int("site", 1, "this site's ID (1-based)")
-		peers    = flag.String("peers", "", "comma-separated site=host:port map for every site, e.g. '1=127.0.0.1:7101,2=127.0.0.1:7102'")
-		items    = flag.String("items", "x,y", "comma-separated logical items, fully replicated across all sites")
-		control  = flag.String("control", "127.0.0.1:0", "HTTP control listen address")
-		identify = flag.String("identify", "markall", "out-of-date identification: markall|faillock|missinglist")
-		batch    = flag.Bool("batch", false, "deferred write-set batching: buffer writes locally and flush one batch per participant at commit")
-		lock     = flag.String("lock", "timeout", "deadlock policy: timeout|wound (wound-wait resolves cross-site deadlocks without waiting out the lock timeout)")
-		exportTo = flag.String("export", "", "write this site's event stream (JSONL) here; merge per-site files with 'srtrace -merge'")
+		site      = flag.Int("site", 1, "this site's ID (1-based)")
+		peers     = flag.String("peers", "", "comma-separated site=host:port map for every site, e.g. '1=127.0.0.1:7101,2=127.0.0.1:7102'")
+		items     = flag.String("items", "x,y", "comma-separated logical items, fully replicated across all sites")
+		control   = flag.String("control", "127.0.0.1:0", "HTTP control listen address")
+		identify  = flag.String("identify", "markall", "out-of-date identification: markall|faillock|missinglist")
+		batch     = flag.Bool("batch", false, "deferred write-set batching: buffer writes locally and flush one batch per participant at commit")
+		lock      = flag.String("lock", "timeout", "deadlock policy: timeout|wound (wound-wait resolves cross-site deadlocks without waiting out the lock timeout)")
+		exportTo  = flag.String("export", "", "write this site's event stream (JSONL) here; merge per-site files with 'srtrace -merge'")
+		statedir  = flag.String("statedir", "", "persist the stable slice (session counter, 2PC log) here so a SIGKILLed process restarts correctly")
+		startDown = flag.Bool("start-down", false, "assemble in the crashed state: serve ErrSiteDown to peers until POST /recover (a restarted-after-SIGKILL process is a down site, not a fresh one)")
+		epoch     = flag.Uint64("epoch", 0, "incarnation epoch; pass a distinct value per relaunch of the same site so a respawned process never re-allocates its dead incarnation's span or transaction IDs")
 	)
 	flag.Parse()
+	obs.SeedSpanIDs(*epoch)
 
 	addrs, err := parsePeers(*peers)
 	if err != nil {
@@ -125,7 +142,7 @@ func main() {
 	}
 	hub := obs.NewHub(obs.Options{Sinks: sinks})
 
-	n, err := node.New(node.Config{
+	cfg := node.Config{
 		Site:       id,
 		Sites:      len(addrs),
 		Addrs:      addrs,
@@ -134,7 +151,28 @@ func main() {
 		Identify:   ident,
 		LockPolicy: policy,
 		Obs:        hub,
-	})
+		StartDown:  *startDown,
+		Epoch:      *epoch,
+		// SRNODE_BUG selects a deliberately broken protocol variant so the
+		// chaos harness can prove its oracle catches real violations.
+		ReuseSessionBug: os.Getenv("SRNODE_BUG") == "reuse-session",
+	}
+	if *statedir != "" {
+		st, err := loadState(*statedir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "srnode:", err)
+			os.Exit(1)
+		}
+		cfg.SessionCounter = st.Session
+		cfg.WALRecords = st.Records
+		cfg.SessionSink, cfg.WALSink, err = st.sinks()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "srnode:", err)
+			os.Exit(1)
+		}
+	}
+
+	n, err := node.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "srnode:", err)
 		os.Exit(1)
@@ -321,6 +359,27 @@ func controlMux(id proto.SiteID, n *node.Node, hub *obs.Hub, exporter *export.JS
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"flushed": true, "events": exporter.Count()})
+	})
+
+	// GET /ns reports this site's committed copy of every nominal-session
+	// item: {"site":1,"ns":{"1":2,"2":0,...}}. The chaos harness reads it to
+	// find type-2 excluded sites (a peer whose committed NS[j] is NoSession
+	// considers site j down) and repair them before checking convergence,
+	// mirroring what the in-process simulator reads directly off the stores.
+	mux.HandleFunc("GET /ns", func(w http.ResponseWriter, r *http.Request) {
+		ns := map[string]proto.Session{}
+		for _, item := range n.Store.Items() {
+			j, ok := proto.IsNSItem(item)
+			if !ok {
+				continue
+			}
+			v, _, err := n.Store.Committed(item)
+			if err != nil {
+				continue
+			}
+			ns[strconv.Itoa(int(j))] = proto.Session(v)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"site": id, "ns": ns})
 	})
 
 	mux.HandleFunc("POST /crash", func(w http.ResponseWriter, r *http.Request) {

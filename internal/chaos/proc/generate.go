@@ -1,0 +1,208 @@
+package proc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"siterecovery/internal/chaos"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/workload"
+)
+
+// GenConfig shapes process-schedule generation.
+type GenConfig struct {
+	// Seed drives every random choice; the same seed and config always
+	// generate the same schedule, byte for byte.
+	Seed int64
+	// Steps is the plan length. Defaults to 30.
+	Steps int
+	// Sites and Items size the cluster. Defaults 3 sites, 8 items. The
+	// process cluster is always fully replicated (srnode -items semantics),
+	// so the schedule's Degree is pinned to Sites.
+	Sites int
+	Items int
+	// Identify names the identification strategy. Defaults to markall.
+	Identify string
+}
+
+func (g GenConfig) withDefaults() GenConfig {
+	if g.Steps == 0 {
+		g.Steps = 30
+	}
+	if g.Sites == 0 {
+		g.Sites = 3
+	}
+	if g.Items == 0 {
+		g.Items = 8
+	}
+	if g.Identify == "" {
+		g.Identify = "markall"
+	}
+	return g
+}
+
+// slowLevels are the link delays a StepSlow picks from, in milliseconds;
+// 0 ends the slowdown. Kept below the transport call timeout so slowed
+// links degrade rather than sever.
+var slowLevels = []int64{0, 20, 60, 120}
+
+// Generate draws a process-chaos plan from rand.Rand(seed), in the same
+// Schedule vocabulary the netsim generator uses plus the two proc-only
+// kinds: kill (SIGKILL, distinct from the polite fail-stop crash) and slow
+// (per-site link delay). Generation tracks a model of the cluster so plans
+// are mostly well-formed — it never takes the last serving site down and
+// only heals or resumes what it broke — while the runner still skips
+// ill-formed steps deterministically (shrinking creates them).
+func Generate(cfg GenConfig) chaos.Schedule {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	items := make([]proto.Item, cfg.Items)
+	for i := range items {
+		items[i] = workload.ItemName(i)
+	}
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Items:        items,
+		Seed:         cfg.Seed,
+		OpsPerTxn:    3,
+		ReadFraction: 0.4,
+		Dist:         workload.Uniform,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("proc generator: %v", err)) // only fires on empty Items
+	}
+
+	up := make(map[proto.SiteID]bool, cfg.Sites)
+	var sites []proto.SiteID
+	for i := 1; i <= cfg.Sites; i++ {
+		id := proto.SiteID(i)
+		sites = append(sites, id)
+		up[id] = true
+	}
+	slowed := make(map[proto.SiteID]bool)
+	stalled := make(map[proto.SiteID]bool)
+	partitioned := false
+
+	upSites := func() []proto.SiteID {
+		var out []proto.SiteID
+		for _, s := range sites {
+			if up[s] {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	downSites := func() []proto.SiteID {
+		var out []proto.SiteID
+		for _, s := range sites {
+			if !up[s] {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+
+	sched := chaos.Schedule{
+		Version:  chaos.ScheduleVersion,
+		Seed:     cfg.Seed,
+		Sites:    cfg.Sites,
+		Items:    cfg.Items,
+		Degree:   cfg.Sites,
+		Identify: cfg.Identify,
+	}
+	for len(sched.Steps) < cfg.Steps {
+		switch roll := rng.Float64(); {
+		case roll < 0.08: // polite crash (POST /crash)
+			ups := upSites()
+			if len(ups) < 2 {
+				continue
+			}
+			victim := ups[rng.Intn(len(ups))]
+			up[victim] = false
+			sched.Steps = append(sched.Steps, chaos.Step{Kind: chaos.StepCrash, Site: victim})
+		case roll < 0.16: // SIGKILL
+			ups := upSites()
+			if len(ups) < 2 {
+				continue
+			}
+			victim := ups[rng.Intn(len(ups))]
+			up[victim] = false
+			sched.Steps = append(sched.Steps, chaos.Step{Kind: chaos.StepKill, Site: victim})
+		case roll < 0.32: // recover (favored so runs end mostly up)
+			downs := downSites()
+			if len(downs) == 0 {
+				continue
+			}
+			site := downs[rng.Intn(len(downs))]
+			up[site] = true
+			sched.Steps = append(sched.Steps, chaos.Step{Kind: chaos.StepRecover, Site: site})
+		case roll < 0.38: // partition into two random nonempty groups
+			if partitioned || len(sites) < 2 {
+				continue
+			}
+			cut := 1 + rng.Intn(len(sites)-1)
+			perm := rng.Perm(len(sites))
+			groups := [][]proto.SiteID{{}, {}}
+			for i, p := range perm {
+				g := 0
+				if i >= cut {
+					g = 1
+				}
+				groups[g] = append(groups[g], sites[p])
+			}
+			partitioned = true
+			sched.Steps = append(sched.Steps, chaos.Step{Kind: chaos.StepPartition, Groups: groups})
+		case roll < 0.44: // heal
+			if !partitioned {
+				continue
+			}
+			partitioned = false
+			sched.Steps = append(sched.Steps, chaos.Step{Kind: chaos.StepHeal})
+		case roll < 0.52: // slow a site's links (or restore them)
+			site := sites[rng.Intn(len(sites))]
+			level := slowLevels[rng.Intn(len(slowLevels))]
+			if (level > 0) == slowed[site] {
+				continue // no-op transition
+			}
+			slowed[site] = level > 0
+			sched.Steps = append(sched.Steps, chaos.Step{Kind: chaos.StepSlow, Site: site, DelayMS: level})
+		case roll < 0.56: // wedge a site's links mid-stream
+			site := sites[rng.Intn(len(sites))]
+			if stalled[site] {
+				continue
+			}
+			stalled[site] = true
+			sched.Steps = append(sched.Steps, chaos.Step{Kind: chaos.StepStall, Site: site})
+		case roll < 0.60: // release a wedge
+			var wedged []proto.SiteID
+			for _, s := range sites {
+				if stalled[s] {
+					wedged = append(wedged, s)
+				}
+			}
+			if len(wedged) == 0 {
+				continue
+			}
+			site := wedged[rng.Intn(len(wedged))]
+			stalled[site] = false
+			sched.Steps = append(sched.Steps, chaos.Step{Kind: chaos.StepResume, Site: site})
+		default: // concurrent user transaction at a random up site
+			ups := upSites()
+			if len(ups) == 0 {
+				continue
+			}
+			spec := gen.Next()
+			step := chaos.Step{
+				Kind:   chaos.StepTxn,
+				Site:   ups[rng.Intn(len(ups))],
+				Reads:  spec.Reads,
+				Writes: spec.Writes,
+			}
+			for range spec.Writes {
+				step.Values = append(step.Values, gen.Value())
+			}
+			sched.Steps = append(sched.Steps, step)
+		}
+	}
+	return sched
+}

@@ -33,22 +33,36 @@ const (
 	// or, with Loss 0, ends).
 	StepLoss StepKind = "loss"
 	// StepStall wedges Site's copier path (data recovery stops making
-	// progress while the site stays operational).
+	// progress while the site stays operational). The process-level runner
+	// maps this to wedging Site's network links mid-stream instead (bytes
+	// stop flowing but connections stay open), the closest real-socket
+	// analogue.
 	StepStall StepKind = "stall"
-	// StepResume unwedges Site's copier path.
+	// StepResume unwedges Site's copier path (or, process-level, its links).
 	StepResume StepKind = "resume"
+
+	// StepKill SIGKILLs Site's process: unlike StepCrash, nothing at the
+	// site gets to react — buffered trace exports are truncated and all
+	// volatile state is lost. Only the process-level runner applies it; the
+	// netsim runner skips it (no process to kill).
+	StepKill StepKind = "kill"
+	// StepSlow adds DelayMS of per-chunk forwarding delay on every network
+	// link touching Site (a slow link rather than a dead one). DelayMS 0
+	// restores full speed. Process-level runner only.
+	StepSlow StepKind = "slow"
 )
 
 // Step is one serializable fault-plan action. Only the fields relevant to
 // the Kind are set.
 type Step struct {
-	Kind   StepKind         `json:"kind"`
-	Site   proto.SiteID     `json:"site,omitempty"`
-	Groups [][]proto.SiteID `json:"groups,omitempty"`
-	Loss   float64          `json:"loss,omitempty"`
-	Reads  []proto.Item     `json:"reads,omitempty"`
-	Writes []proto.Item     `json:"writes,omitempty"`
-	Values []proto.Value    `json:"values,omitempty"`
+	Kind    StepKind         `json:"kind"`
+	Site    proto.SiteID     `json:"site,omitempty"`
+	Groups  [][]proto.SiteID `json:"groups,omitempty"`
+	Loss    float64          `json:"loss,omitempty"`
+	DelayMS int64            `json:"delay_ms,omitempty"`
+	Reads   []proto.Item     `json:"reads,omitempty"`
+	Writes  []proto.Item     `json:"writes,omitempty"`
+	Values  []proto.Value    `json:"values,omitempty"`
 }
 
 // String renders a step compactly for logs and shrink traces.
@@ -56,12 +70,14 @@ func (s Step) String() string {
 	switch s.Kind {
 	case StepTxn:
 		return fmt.Sprintf("txn@%v r%v w%v", s.Site, s.Reads, s.Writes)
-	case StepCrash, StepRecover, StepStall, StepResume:
+	case StepCrash, StepRecover, StepStall, StepResume, StepKill:
 		return fmt.Sprintf("%s %v", s.Kind, s.Site)
 	case StepPartition:
 		return fmt.Sprintf("partition %v", s.Groups)
 	case StepLoss:
 		return fmt.Sprintf("loss %.2f", s.Loss)
+	case StepSlow:
+		return fmt.Sprintf("slow %v %dms", s.Site, s.DelayMS)
 	default:
 		return string(s.Kind)
 	}

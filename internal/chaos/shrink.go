@@ -5,6 +5,11 @@ import (
 	"fmt"
 )
 
+// RunFn executes one candidate schedule and reports the invariant failures
+// it produced. Shrink uses the in-process netsim runner; the process-level
+// harness (internal/chaos/proc) and tests inject their own via ShrinkWith.
+type RunFn func(ctx context.Context, sched Schedule) ([]Failure, error)
+
 // Shrink minimizes a failing schedule with ddmin (Zeller's delta
 // debugging) over its steps: it repeatedly re-runs subsets of the step
 // sequence and keeps any subset on which the same named invariant still
@@ -16,15 +21,30 @@ import (
 // failure.Invariant; log is optional progress output (one line per
 // reduction).
 func Shrink(ctx context.Context, sched Schedule, opts Options, failure Failure, log func(string)) (Schedule, error) {
+	run := func(ctx context.Context, s Schedule) ([]Failure, error) {
+		res, err := Run(ctx, s, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Failures, nil
+	}
+	return ShrinkWith(ctx, sched, failure, run, log)
+}
+
+// ShrinkWith is Shrink with an injectable runner: the same ddmin loop,
+// judging each candidate by whether run reports a failure of
+// failure.Invariant. The runner must be deterministic for a given step
+// sequence or the minimization can thrash.
+func ShrinkWith(ctx context.Context, sched Schedule, failure Failure, run RunFn, log func(string)) (Schedule, error) {
 	if log == nil {
 		log = func(string) {}
 	}
 	fails := func(steps []Step) (bool, error) {
-		res, err := Run(ctx, sched.WithSteps(steps), opts)
+		failures, err := run(ctx, sched.WithSteps(steps))
 		if err != nil {
 			return false, err
 		}
-		for _, f := range res.Failures {
+		for _, f := range failures {
 			if f.Invariant == failure.Invariant {
 				return true, nil
 			}

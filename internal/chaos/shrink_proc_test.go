@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+
+	"siterecovery/internal/proto"
+)
+
+// TestShrinkWithFakeProcRunner drives ddmin with an injected deterministic
+// runner over a process-vocabulary schedule (kill/restart, slow links,
+// stalls): the "violation" fires iff the candidate still contains two
+// kill+recover cycles of site 3 in order — the repeated-session shape the
+// real harness minimizes to. The 12-step noisy schedule must shrink to
+// exactly that 4-step core without ever touching a real process.
+func TestShrinkWithFakeProcRunner(t *testing.T) {
+	core := []Step{
+		{Kind: StepKill, Site: 3},
+		{Kind: StepRecover, Site: 3},
+		{Kind: StepKill, Site: 3},
+		{Kind: StepRecover, Site: 3},
+	}
+	noisy := []Step{
+		{Kind: StepTxn, Site: 1, Writes: []proto.Item{"i0"}, Values: []proto.Value{1}},
+		{Kind: StepSlow, Site: 2, DelayMS: 5},
+		core[0],
+		{Kind: StepStall, Site: 1},
+		core[1],
+		{Kind: StepTxn, Site: 2, Reads: []proto.Item{"i0"}},
+		{Kind: StepResume, Site: 1},
+		core[2],
+		{Kind: StepPartition, Groups: [][]proto.SiteID{{1, 3}, {2}}},
+		{Kind: StepHeal},
+		core[3],
+		{Kind: StepTxn, Site: 1, Writes: []proto.Item{"i1"}, Values: []proto.Value{2}},
+	}
+	sched := Schedule{Version: ScheduleVersion, Seed: 42, Sites: 3, Items: 4, Degree: 3, Identify: "markall", Steps: noisy}
+
+	hasCore := func(steps []Step) bool {
+		i := 0
+		for _, s := range steps {
+			if i < len(core) && s.Kind == core[i].Kind && s.Site == core[i].Site {
+				i++
+			}
+		}
+		return i == len(core)
+	}
+	runs := 0
+	run := func(_ context.Context, cand Schedule) ([]Failure, error) {
+		runs++
+		if hasCore(cand.Steps) {
+			return []Failure{{Invariant: "trace-session-monotone", Detail: "site3 repeated session"}}, nil
+		}
+		return nil, nil
+	}
+
+	min, err := ShrinkWith(context.Background(), sched, Failure{Invariant: "trace-session-monotone"}, run, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Steps) != len(core) {
+		t.Fatalf("shrunk to %d steps, want %d: %v", len(min.Steps), len(core), min.Steps)
+	}
+	for i, s := range min.Steps {
+		if s.Kind != core[i].Kind || s.Site != core[i].Site {
+			t.Fatalf("shrunk step %d = %v, want %v", i, s, core[i])
+		}
+	}
+	if len(min.Steps) > len(noisy)/2 {
+		t.Fatalf("reproducer has %d steps, more than half the original %d", len(min.Steps), len(noisy))
+	}
+	// The header survives shrinking so the reproducer is self-contained.
+	if min.Seed != sched.Seed || min.Sites != sched.Sites || min.Identify != sched.Identify {
+		t.Fatalf("shrunk header = %+v, want the original header", min)
+	}
+	if runs < 2 {
+		t.Fatalf("runner invoked %d times; ddmin should probe multiple candidates", runs)
+	}
+}
+
+// TestShrinkWithRequiresReproduction: a failure that does not reproduce on
+// the full schedule is an error, not an empty reproducer.
+func TestShrinkWithRequiresReproduction(t *testing.T) {
+	sched := Schedule{Version: ScheduleVersion, Seed: 1, Sites: 3, Items: 2, Degree: 3, Identify: "markall",
+		Steps: []Step{{Kind: StepKill, Site: 1}}}
+	run := func(context.Context, Schedule) ([]Failure, error) { return nil, nil }
+	if _, err := ShrinkWith(context.Background(), sched, Failure{Invariant: "proc-convergence"}, run, nil); err == nil {
+		t.Fatal("ShrinkWith succeeded on a non-reproducing failure")
+	}
+}

@@ -59,6 +59,11 @@ func TraceCausalAcyclic() TraceInvariant {
 // an RPC with a start and no finish means a handler or caller vanished
 // without reporting an outcome (events emitted before a crash are still
 // exported, so only genuinely lost outcomes trip this).
+//
+// Exception: a SIGKILLed process takes its unflushed export suffix with it.
+// When a kill-cut marker (EvSiteCrash with DetailSigkill) passes, span sides
+// still open AT THAT SITE are dropped — the finish was lost with the
+// process, not withheld by it.
 func TraceSpanComplete() TraceInvariant {
 	return TraceInvariant{Name: "trace-span-complete", Check: func(m trace.Merged) error {
 		type key struct {
@@ -67,6 +72,14 @@ func TraceSpanComplete() TraceInvariant {
 		}
 		open := map[key]obs.Event{}
 		for _, e := range m.Events {
+			if e.Type == obs.EvSiteCrash && e.Detail == obs.DetailSigkill {
+				for k, o := range open {
+					if o.Site == e.Site {
+						delete(open, k)
+					}
+				}
+				continue
+			}
 			side, _, _, ok := obs.SpanSide(e)
 			if !ok {
 				continue
@@ -92,10 +105,20 @@ func TraceSpanComplete() TraceInvariant {
 // TraceSpanPaired requires every server-side span to have a matching
 // client side: a request cannot be served without someone having sent it
 // (the client records its start before writing the frame).
+//
+// Exception: a span ID encodes its allocating site (obs.SpanOrigin). When
+// that site was SIGKILLed (a kill-cut marker appears in its stream), the
+// client-side record may have died unflushed in the killed process's
+// buffer even though the request escaped onto the wire — an orphan server
+// span from a killed origin is forgiven.
 func TraceSpanPaired() TraceInvariant {
 	return TraceInvariant{Name: "trace-span-paired", Check: func(m trace.Merged) error {
 		clients := map[uint64]bool{}
+		killed := map[proto.SiteID]bool{}
 		for _, e := range m.Events {
+			if e.Type == obs.EvSiteCrash && e.Detail == obs.DetailSigkill {
+				killed[e.Site] = true
+			}
 			if side, _, _, ok := obs.SpanSide(e); ok && side == obs.SideClient {
 				clients[e.Span] = true
 			}
@@ -103,6 +126,9 @@ func TraceSpanPaired() TraceInvariant {
 		for _, e := range m.Events {
 			side, _, _, ok := obs.SpanSide(e)
 			if ok && side == obs.SideServer && !clients[e.Span] {
+				if killed[obs.SpanOrigin(e.Span)] {
+					continue
+				}
 				return fmt.Errorf("span %x was served at site%d but no client side recorded sending it", e.Span, e.Site)
 			}
 		}
@@ -133,10 +159,18 @@ func TraceRPCAttributed() TraceInvariant {
 // TraceLamportMonotone requires each site's span stamps to be
 // non-decreasing in its own emission order: the high-water commit seq is a
 // maximum, so a site observing it go backwards means a clock bug.
+//
+// A kill-cut marker resets the site's high-water mark: a SIGKILLed process
+// restarts with a fresh clock, and the prepare-time MaxSeq handshake (not
+// the dead process's memory) is what pulls it forward again.
 func TraceLamportMonotone() TraceInvariant {
 	return TraceInvariant{Name: "trace-lamport-monotone", Check: func(m trace.Merged) error {
 		high := map[proto.SiteID]uint64{}
 		for _, e := range m.Events {
+			if e.Type == obs.EvSiteCrash && e.Detail == obs.DetailSigkill {
+				delete(high, e.Site)
+				continue
+			}
 			if e.Lamport == 0 {
 				continue
 			}
@@ -188,38 +222,62 @@ func TraceSessionMonotone() TraceInvariant {
 }
 
 // TraceCrashExcluded requires the crash/recovery lifecycle to hold per
-// site: a recovery completion must follow a recovery start, and between a
-// site's crash and its next recovery completion the site commits no USER
-// transactions and SERVES no RPC successfully — a fail-stopped site answers
-// nothing (its transport may still record failed server spans, since
-// answering ErrSiteDown is how the in-process crash model refuses service).
-// Two recovery-mandated exceptions: the site's own control transactions (the
-// type-1 claim commits before the site is operational — that IS recovery),
-// and served decision queries (the paper requires a restarted coordinator to
-// answer from its stable log so cooperative termination can unblock
-// participants).
+// site, with two windows of different strictness:
+//
+//   - DEAD (crash → next recovery.start): a fail-stopped site serves no
+//     RPC successfully — its transport may still record failed server
+//     spans, since answering ErrSiteDown is how the in-process crash model
+//     refuses service.
+//   - DOWN (crash → the site's next type-1 claim commit, recovery.done as
+//     backstop): the site commits no USER transactions. It may serve RPCs:
+//     §3.4 recovery runs through the live process — the claim's own 2PC,
+//     presumed-abort processing of transactions orphaned by the crash, and
+//     decision queries (the paper requires a restarted coordinator to
+//     answer from its stable log so cooperative termination can unblock
+//     participants) all legitimately complete before recovery finishes.
+//     Once the claim installs the new session the site is nominally up and
+//     participates in user transactions while copiers still refresh, so
+//     user commits are flagged only up to the claim, not recovery.done.
+//
+// One crash-model exception: a server span ADMITTED before the crash (its
+// server-side start precedes the site's crash event) may still finish
+// successfully after it. The software crash is not atomic with respect to
+// requests already past the liveness check — the handler races the crash and
+// its reply may legitimately escape. Spans first seen starting while the
+// site is dead get no such grace.
 func TraceCrashExcluded() TraceInvariant {
 	return TraceInvariant{Name: "trace-crash-excluded", Check: func(m trace.Merged) error {
+		dead := map[proto.SiteID]bool{}
 		down := map[proto.SiteID]bool{}
 		started := map[proto.SiteID]bool{}
+		admitted := map[uint64]bool{}
 		for _, e := range m.Events {
 			switch e.Type {
 			case obs.EvSiteCrash:
+				dead[e.Site] = true
 				down[e.Site] = true
 			case obs.EvRecoveryStart:
 				started[e.Site] = true
+				dead[e.Site] = false
+			case obs.EvControl1:
+				down[e.Site] = false
 			case obs.EvRecoveryDone:
 				if !started[e.Site] {
 					return fmt.Errorf("site%d completed recovery without a recovery start", e.Site)
 				}
+				dead[e.Site] = false
 				down[e.Site] = false
 			case obs.EvTxnCommit:
 				if down[e.Site] && e.Class == proto.ClassUser {
 					return fmt.Errorf("site%d committed user txn%d while crashed", e.Site, e.Txn)
 				}
+			case obs.EvSpanStart:
+				if side, _, _, ok := obs.SpanSide(e); ok && side == obs.SideServer {
+					admitted[e.Span] = !dead[e.Site]
+				}
 			case obs.EvSpanFinish:
 				side, kind, reason, _ := obs.SpanSide(e)
-				if down[e.Site] && side == obs.SideServer && reason == "" && kind != "decision" {
+				if dead[e.Site] && side == obs.SideServer && reason == "" && kind != "decision" && !admitted[e.Span] {
 					return fmt.Errorf("site%d successfully served a %s RPC (span %x) while crashed", e.Site, kind, e.Span)
 				}
 			}

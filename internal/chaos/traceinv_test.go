@@ -182,6 +182,51 @@ func TestTraceCrashExcludedAllowsRefusalsAndDecisions(t *testing.T) {
 	}
 }
 
+func TestTraceCrashExcludedAllowsServingDuringRecovery(t *testing.T) {
+	// §3.4 recovery runs through the live process: once recovery has
+	// started, the site legitimately serves RPCs — presumed-abort
+	// processing of transactions orphaned by the crash arrives before the
+	// claim commits (a peer aborting a transaction whose write the dead
+	// incarnation left in doubt).
+	m := trace.Merged{Events: []obs.Event{
+		{Type: obs.EvSiteCrash, Site: 2, At: tat(1)},
+		{Type: obs.EvRecoveryStart, Site: 2, At: tat(2)},
+		{Type: obs.EvSpanStart, Site: 2, Txn: 9, Span: 5, Detail: "server:abort", At: tat(3)},
+		{Type: obs.EvSpanFinish, Site: 2, Txn: 9, Span: 5, Detail: "server:abort", At: tat(4)},
+		{Type: obs.EvSpanStart, Site: 2, Txn: 10, Span: 6, Detail: "server:write", At: tat(5)},
+		{Type: obs.EvSpanFinish, Site: 2, Txn: 10, Span: 6, Detail: "server:write", At: tat(6)},
+		{Type: obs.EvControl1, Site: 2, Actual: 2, At: tat(7)},
+		{Type: obs.EvRecoveryDone, Site: 2, Actual: 2, At: tat(8)},
+	}}
+	if d, ok := failuresFor(m)["trace-crash-excluded"]; ok {
+		t.Fatalf("serving during recovery was flagged: %v", d)
+	}
+}
+
+func TestTraceCrashExcludedUserCommitWindowEndsAtClaim(t *testing.T) {
+	// A user commit between the type-1 claim and recovery.done is the
+	// paper's normal mode — the site is nominally up while copiers still
+	// refresh. Before the claim commits it is still a violation.
+	during := trace.Merged{Events: []obs.Event{
+		{Type: obs.EvSiteCrash, Site: 2, At: tat(1)},
+		{Type: obs.EvRecoveryStart, Site: 2, At: tat(2)},
+		{Type: obs.EvTxnCommit, Site: 2, Txn: 9, Class: proto.ClassUser, At: tat(3)},
+	}}
+	if d, ok := failuresFor(during)["trace-crash-excluded"]; !ok || !strings.Contains(d, "committed user txn") {
+		t.Fatalf("pre-claim user commit passed: %v", d)
+	}
+	after := trace.Merged{Events: []obs.Event{
+		{Type: obs.EvSiteCrash, Site: 2, At: tat(1)},
+		{Type: obs.EvRecoveryStart, Site: 2, At: tat(2)},
+		{Type: obs.EvControl1, Site: 2, Actual: 2, At: tat(3)},
+		{Type: obs.EvTxnCommit, Site: 2, Txn: 9, Class: proto.ClassUser, At: tat(4)},
+		{Type: obs.EvRecoveryDone, Site: 2, Actual: 2, At: tat(5)},
+	}}
+	if d, ok := failuresFor(after)["trace-crash-excluded"]; ok {
+		t.Fatalf("post-claim user commit was flagged: %v", d)
+	}
+}
+
 func TestTraceCrashExcludedFlagsDoneWithoutStart(t *testing.T) {
 	m := trace.Merged{Events: []obs.Event{
 		{Type: obs.EvRecoveryDone, Site: 2, Actual: 2, At: tat(1)},
@@ -189,5 +234,80 @@ func TestTraceCrashExcludedFlagsDoneWithoutStart(t *testing.T) {
 	fails := failuresFor(m)
 	if d, ok := fails["trace-crash-excluded"]; !ok || !strings.Contains(d, "without a recovery start") {
 		t.Fatalf("recovery done without start passed: %v", fails)
+	}
+}
+
+// TestTraceKillCutForgivesLostSpanFinish: a span side left open when its
+// site's export was cut by SIGKILL is lost data, not a protocol violation —
+// but only in the presence of the kill-cut marker.
+func TestTraceKillCutForgivesLostSpanFinish(t *testing.T) {
+	const sp = 0x2000000000011 // allocated at site 2
+	open := []obs.Event{
+		{Type: obs.EvSpanStart, Site: 2, Peer: 1, Txn: 7, Span: sp, Detail: "client:write", At: tat(1)},
+	}
+	withMarker := append(append([]obs.Event(nil), open...),
+		obs.Event{Type: obs.EvSiteCrash, Site: 2, Detail: obs.DetailSigkill, At: tat(2)})
+
+	if fails := failuresFor(trace.Merge(open)); fails["trace-span-complete"] == "" {
+		t.Fatalf("open span without a kill marker passed: %v", fails)
+	}
+	if fails := failuresFor(trace.Merge(withMarker)); fails["trace-span-complete"] != "" {
+		t.Fatalf("kill-cut open span flagged: %v", fails)
+	}
+
+	// The forgiveness is per-site: an open span at a SURVIVOR is still a
+	// violation even when some other site was killed.
+	survivor := []obs.Event{
+		{Type: obs.EvSpanStart, Site: 1, Peer: 2, Txn: 7, Span: 0x1000000000012, Detail: "client:write", At: tat(1)},
+		{Type: obs.EvSiteCrash, Site: 2, Detail: obs.DetailSigkill, At: tat(2)},
+	}
+	if fails := failuresFor(trace.Merge(survivor)); fails["trace-span-complete"] == "" {
+		t.Fatalf("survivor's open span forgiven by another site's kill: %v", fails)
+	}
+}
+
+// TestTraceKillCutForgivesOrphanServerSpan: a server span whose client side
+// died unflushed inside a SIGKILLed origin process is forgiven; the same
+// orphan without a kill marker for the origin site is not.
+func TestTraceKillCutForgivesOrphanServerSpan(t *testing.T) {
+	const sp = 0x2000000000013 // origin: site 2
+	orphan := []obs.Event{
+		{Type: obs.EvSpanStart, Site: 1, Peer: 2, Txn: 7, Span: sp, Detail: "server:write", At: tat(1)},
+		{Type: obs.EvSpanFinish, Site: 1, Peer: 2, Txn: 7, Span: sp, Detail: "server:write", At: tat(2)},
+	}
+	if fails := failuresFor(trace.Merge(orphan)); fails["trace-span-paired"] == "" {
+		t.Fatalf("orphan server span passed without kill marker: %v", fails)
+	}
+	killed := []obs.Event{{Type: obs.EvSiteCrash, Site: 2, Detail: obs.DetailSigkill, At: tat(3)}}
+	if fails := failuresFor(trace.Merge(orphan, killed)); fails["trace-span-paired"] != "" {
+		t.Fatalf("orphan server span from killed origin flagged: %v", fails)
+	}
+	// A plain (in-process) crash does not forgive: /crash flushes exports,
+	// so the client side should have been recorded.
+	crashed := []obs.Event{{Type: obs.EvSiteCrash, Site: 2, At: tat(3)}}
+	if fails := failuresFor(trace.Merge(orphan, crashed)); fails["trace-span-paired"] == "" {
+		t.Fatalf("orphan server span forgiven by a non-kill crash: %v", fails)
+	}
+}
+
+// TestTraceKillCutResetsLamport: a SIGKILLed process restarts with a fresh
+// clock, so its post-restart stamps may regress across the marker — and
+// only across the marker.
+func TestTraceKillCutResetsLamport(t *testing.T) {
+	const sp1, sp2 = 0x2000000000014, 0x2000000000015
+	mk := func(detail string) []obs.Event {
+		return []obs.Event{
+			{Type: obs.EvSpanStart, Site: 2, Txn: 7, Span: sp1, Lamport: 9, Detail: "client:probe", At: tat(1)},
+			{Type: obs.EvSpanFinish, Site: 2, Txn: 7, Span: sp1, Lamport: 9, Detail: "client:probe", At: tat(2)},
+			{Type: obs.EvSiteCrash, Site: 2, Detail: detail, At: tat(3)},
+			{Type: obs.EvSpanStart, Site: 2, Txn: 8, Span: sp2, Lamport: 2, Detail: "client:probe", At: tat(4)},
+			{Type: obs.EvSpanFinish, Site: 2, Txn: 8, Span: sp2, Lamport: 2, Detail: "client:probe", At: tat(5)},
+		}
+	}
+	if fails := failuresFor(trace.Merge(mk(obs.DetailSigkill))); fails["trace-lamport-monotone"] != "" {
+		t.Fatalf("post-kill clock restart flagged: %v", fails)
+	}
+	if fails := failuresFor(trace.Merge(mk(""))); fails["trace-lamport-monotone"] == "" {
+		t.Fatalf("clock regression without a kill marker passed: %v", fails)
 	}
 }

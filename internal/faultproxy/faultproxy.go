@@ -1,0 +1,495 @@
+// Package faultproxy is a per-directed-link TCP fault injector for the
+// srnode cluster. Each link (from, to) gets its own local listener that
+// forwards to the destination site's real transport address; pointing site
+// `from`'s peer map at that listener routes every frame it sends to `to`
+// through the proxy. Faults are applied per link, on command: drop
+// (partition — new connections refused, live ones killed), delay (slow
+// link), stall (bytes stop flowing mid-stream while the connection stays
+// open — a hung write), and reset (kill live connections without changing
+// the configured fault).
+//
+// The point of proxying at the socket layer is that faults hit the REAL
+// tcpnet framing: a stalled link leaves a half-delivered length-prefixed
+// frame in the destination's read buffer, exactly the failure mode the
+// transport's at-most-once accounting must survive. An HTTP control
+// surface (Handler) exposes the same operations to external drivers.
+package faultproxy
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"siterecovery/internal/proto"
+)
+
+// Fault is the misbehavior configured on one directed link. The zero value
+// forwards faithfully.
+type Fault struct {
+	// Drop refuses new connections and kills live ones: the link is dead,
+	// as in a network partition.
+	Drop bool
+	// Delay sleeps this long before forwarding each chunk, in both
+	// directions: a slow link.
+	Delay time.Duration
+	// Stall stops forwarding request-direction bytes (from -> to) once
+	// StallAfter bytes have been forwarded, leaving the connection open: a
+	// hung write. Bytes already in flight stay delivered; the rest wait
+	// until the stall clears.
+	Stall bool
+	// StallReply stalls the reply direction (to -> from) instead: the
+	// request is delivered and served, but the answer never comes back.
+	StallReply bool
+	// StallAfter is the number of bytes a stalled direction forwards
+	// before wedging — >0 leaves a torn frame in the peer's buffer.
+	StallAfter int64
+}
+
+// LinkState is one link's externally visible state.
+type LinkState struct {
+	From  proto.SiteID `json:"from"`
+	To    proto.SiteID `json:"to"`
+	Addr  string       `json:"addr"`
+	Fault faultWire    `json:"fault"`
+	Conns int          `json:"conns"`
+}
+
+// faultWire is the JSON form of Fault (Delay in milliseconds).
+type faultWire struct {
+	Drop       bool  `json:"drop,omitempty"`
+	DelayMS    int64 `json:"delay_ms,omitempty"`
+	Stall      bool  `json:"stall,omitempty"`
+	StallReply bool  `json:"stall_reply,omitempty"`
+	StallAfter int64 `json:"stall_after,omitempty"`
+}
+
+func (f Fault) wire() faultWire {
+	return faultWire{Drop: f.Drop, DelayMS: f.Delay.Milliseconds(), Stall: f.Stall, StallReply: f.StallReply, StallAfter: f.StallAfter}
+}
+
+func (w faultWire) fault() Fault {
+	return Fault{Drop: w.Drop, Delay: time.Duration(w.DelayMS) * time.Millisecond, Stall: w.Stall, StallReply: w.StallReply, StallAfter: w.StallAfter}
+}
+
+// Proxy owns a set of directed links.
+type Proxy struct {
+	mu     sync.Mutex
+	links  map[linkKey]*link
+	closed bool
+}
+
+type linkKey struct{ from, to proto.SiteID }
+
+// link is one directed (from, to) forwarding listener.
+type link struct {
+	key    linkKey
+	target string
+	ln     net.Listener
+
+	mu      sync.Mutex
+	fault   Fault
+	changed chan struct{} // closed and replaced on every fault change
+	pairs   map[*pair]struct{}
+	closed  bool
+}
+
+// pair is one proxied connection: the accepted client conn and the dial to
+// the real destination, closed as a unit.
+type pair struct {
+	src, dst net.Conn
+	done     chan struct{}
+	once     sync.Once
+}
+
+func (p *pair) close() {
+	p.once.Do(func() {
+		close(p.done)
+		p.src.Close()
+		p.dst.Close()
+	})
+}
+
+// New returns an empty proxy; add links with AddLink.
+func New() *Proxy {
+	return &Proxy{links: map[linkKey]*link{}}
+}
+
+// AddLink creates the directed link from -> to, forwarding to target (the
+// destination site's real transport address), and returns the local
+// address site `from` should dial instead of target.
+func (p *Proxy) AddLink(from, to proto.SiteID, target string) (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("faultproxy listen: %w", err)
+	}
+	l := &link{
+		key:     linkKey{from, to},
+		target:  target,
+		ln:      ln,
+		changed: make(chan struct{}),
+		pairs:   map[*pair]struct{}{},
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("faultproxy closed")
+	}
+	if _, dup := p.links[l.key]; dup {
+		p.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("faultproxy: duplicate link %d->%d", from, to)
+	}
+	p.links[l.key] = l
+	p.mu.Unlock()
+	go l.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the listen address of link from -> to ("" if absent).
+func (p *Proxy) Addr(from, to proto.SiteID) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if l := p.links[linkKey{from, to}]; l != nil {
+		return l.ln.Addr().String()
+	}
+	return ""
+}
+
+// Update applies mutate to every link's fault under that link's lock and
+// wakes any stalled pumps so they re-read the configuration. A fault whose
+// Drop becomes set also kills the link's live connections.
+func (p *Proxy) Update(mutate func(from, to proto.SiteID, f *Fault)) {
+	for _, l := range p.snapshot() {
+		l.mu.Lock()
+		mutate(l.key.from, l.key.to, &l.fault)
+		drop := l.fault.Drop
+		close(l.changed)
+		l.changed = make(chan struct{})
+		var kill []*pair
+		if drop {
+			for pr := range l.pairs {
+				kill = append(kill, pr)
+			}
+		}
+		l.mu.Unlock()
+		for _, pr := range kill {
+			pr.close()
+		}
+	}
+}
+
+// SetFault replaces the fault on link from -> to.
+func (p *Proxy) SetFault(from, to proto.SiteID, f Fault) error {
+	p.mu.Lock()
+	l := p.links[linkKey{from, to}]
+	p.mu.Unlock()
+	if l == nil {
+		return fmt.Errorf("faultproxy: no link %d->%d", from, to)
+	}
+	p.Update(func(lf, lt proto.SiteID, cur *Fault) {
+		if lf == from && lt == to {
+			*cur = f
+		}
+	})
+	return nil
+}
+
+// Reset kills the live connections on link from -> to without changing its
+// configured fault: a connection reset mid-conversation.
+func (p *Proxy) Reset(from, to proto.SiteID) error {
+	p.mu.Lock()
+	l := p.links[linkKey{from, to}]
+	p.mu.Unlock()
+	if l == nil {
+		return fmt.Errorf("faultproxy: no link %d->%d", from, to)
+	}
+	l.mu.Lock()
+	var kill []*pair
+	for pr := range l.pairs {
+		kill = append(kill, pr)
+	}
+	l.mu.Unlock()
+	for _, pr := range kill {
+		pr.close()
+	}
+	return nil
+}
+
+// Partition drops every link crossing the given groups. A site listed in
+// no group is treated as its own singleton group (isolated). Links inside
+// one group keep their current fault.
+func (p *Proxy) Partition(groups [][]proto.SiteID) {
+	groupOf := map[proto.SiteID]int{}
+	for gi, g := range groups {
+		for _, s := range g {
+			groupOf[s] = gi + 1
+		}
+	}
+	sameGroup := func(a, b proto.SiteID) bool {
+		ga, oka := groupOf[a]
+		gb, okb := groupOf[b]
+		return oka && okb && ga == gb
+	}
+	p.Update(func(from, to proto.SiteID, f *Fault) {
+		if !sameGroup(from, to) {
+			f.Drop = true
+		}
+	})
+}
+
+// Heal clears Drop on every link (other faults stay).
+func (p *Proxy) Heal() {
+	p.Update(func(_, _ proto.SiteID, f *Fault) { f.Drop = false })
+}
+
+// ClearAll restores every link to faithful forwarding.
+func (p *Proxy) ClearAll() {
+	p.Update(func(_, _ proto.SiteID, f *Fault) { *f = Fault{} })
+}
+
+// Links reports every link's state, ordered by (from, to).
+func (p *Proxy) Links() []LinkState {
+	var out []LinkState
+	for _, l := range p.snapshot() {
+		l.mu.Lock()
+		out = append(out, LinkState{
+			From: l.key.from, To: l.key.to,
+			Addr: l.ln.Addr().String(), Fault: l.fault.wire(), Conns: len(l.pairs),
+		})
+		l.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Close shuts down every listener and kills every live connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	links := make([]*link, 0, len(p.links))
+	for _, l := range p.links {
+		links = append(links, l)
+	}
+	p.mu.Unlock()
+	for _, l := range links {
+		l.mu.Lock()
+		l.closed = true
+		close(l.changed)
+		l.changed = make(chan struct{})
+		var kill []*pair
+		for pr := range l.pairs {
+			kill = append(kill, pr)
+		}
+		l.mu.Unlock()
+		l.ln.Close()
+		for _, pr := range kill {
+			pr.close()
+		}
+	}
+	return nil
+}
+
+func (p *Proxy) snapshot() []*link {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*link, 0, len(p.links))
+	for _, l := range p.links {
+		out = append(out, l)
+	}
+	return out
+}
+
+func (l *link) acceptLoop() {
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		l.mu.Lock()
+		drop, closed := l.fault.Drop, l.closed
+		l.mu.Unlock()
+		if drop || closed {
+			conn.Close()
+			continue
+		}
+		go l.serve(conn)
+	}
+}
+
+func (l *link) serve(src net.Conn) {
+	dst, err := net.DialTimeout("tcp", l.target, 2*time.Second)
+	if err != nil {
+		src.Close()
+		return
+	}
+	pr := &pair{src: src, dst: dst, done: make(chan struct{})}
+	l.mu.Lock()
+	if l.closed || l.fault.Drop {
+		l.mu.Unlock()
+		pr.close()
+		return
+	}
+	l.pairs[pr] = struct{}{}
+	l.mu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); l.pump(pr, src, dst, false) }()
+	go func() { defer wg.Done(); l.pump(pr, dst, src, true) }()
+	wg.Wait()
+	pr.close()
+	l.mu.Lock()
+	delete(l.pairs, pr)
+	l.mu.Unlock()
+}
+
+// pump copies src -> dst honoring the link fault. reply marks the
+// to -> from direction. Stalls are byte-accurate: with StallAfter = n, the
+// nth byte is the last forwarded before the direction wedges, even when a
+// single Read returned more — that is what tears a frame mid-write.
+func (l *link) pump(pr *pair, src, dst net.Conn, reply bool) {
+	buf := make([]byte, 32*1024)
+	var forwarded int64
+	for {
+		n, err := src.Read(buf)
+		for off := 0; off < n; {
+			allowed, delay, ok := l.admit(pr, reply, forwarded, n-off)
+			if !ok {
+				return
+			}
+			if delay > 0 {
+				select {
+				case <-time.After(delay):
+				case <-pr.done:
+					return
+				}
+			}
+			if allowed == 0 {
+				continue // woke from a stall; re-evaluate
+			}
+			if _, werr := dst.Write(buf[off : off+allowed]); werr != nil {
+				return
+			}
+			off += allowed
+			forwarded += int64(allowed)
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// admit decides how many of want bytes may be forwarded now on this
+// direction. It blocks while the direction is stalled past its StallAfter
+// budget, waking on any fault change; ok=false means the pair died.
+func (l *link) admit(pr *pair, reply bool, forwarded int64, want int) (allowed int, delay time.Duration, ok bool) {
+	for {
+		l.mu.Lock()
+		f := l.fault
+		ch := l.changed
+		l.mu.Unlock()
+		stalled := (reply && f.StallReply) || (!reply && f.Stall)
+		if !stalled {
+			return want, f.Delay, true
+		}
+		if budget := f.StallAfter - forwarded; budget > 0 {
+			if int64(want) > budget {
+				want = int(budget)
+			}
+			return want, f.Delay, true
+		}
+		select {
+		case <-ch: // fault changed; re-evaluate
+		case <-pr.done:
+			return 0, 0, false
+		}
+	}
+}
+
+// Handler exposes the proxy over HTTP:
+//
+//	GET  /links                      -> JSON []LinkState
+//	POST /fault?from=F&to=T          -> body is a JSON faultWire, replaces the link fault
+//	POST /reset?from=F&to=T          -> kill the link's live connections
+//	POST /partition                  -> body {"groups":[[1,3],[2]]}
+//	POST /heal                       -> clear Drop everywhere
+//	POST /clear                      -> clear all faults everywhere
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /links", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p.Links())
+	})
+	mux.HandleFunc("POST /fault", func(w http.ResponseWriter, r *http.Request) {
+		from, to, err := linkParams(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var fw faultWire
+		if err := json.NewDecoder(r.Body).Decode(&fw); err != nil {
+			http.Error(w, "bad fault body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := p.SetFault(from, to, fw.fault()); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /reset", func(w http.ResponseWriter, r *http.Request) {
+		from, to, err := linkParams(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := p.Reset(from, to); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /partition", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Groups [][]proto.SiteID `json:"groups"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, "bad partition body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		p.Partition(body.Groups)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /heal", func(w http.ResponseWriter, r *http.Request) {
+		p.Heal()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /clear", func(w http.ResponseWriter, r *http.Request) {
+		p.ClearAll()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func linkParams(r *http.Request) (from, to proto.SiteID, err error) {
+	f, err := strconv.Atoi(r.URL.Query().Get("from"))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad from: %w", err)
+	}
+	t, err := strconv.Atoi(r.URL.Query().Get("to"))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad to: %w", err)
+	}
+	return proto.SiteID(f), proto.SiteID(t), nil
+}

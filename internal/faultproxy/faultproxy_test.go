@@ -1,0 +1,272 @@
+package faultproxy
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"siterecovery/internal/proto"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dialLink(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// roundTrip writes msg and expects it echoed back within the deadline.
+func roundTrip(t *testing.T, c net.Conn, msg string) error {
+	t.Helper()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Write([]byte(msg)); err != nil {
+		return err
+	}
+	buf := make([]byte, len(msg))
+	_, err := io.ReadFull(c, buf)
+	return err
+}
+
+func TestForwardAndDrop(t *testing.T) {
+	target := echoServer(t)
+	p := New()
+	defer p.Close()
+	addr, err := p.AddLink(1, 2, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := dialLink(t, addr)
+	if err := roundTrip(t, c, "hello through the proxy"); err != nil {
+		t.Fatalf("clean link round trip: %v", err)
+	}
+
+	// Drop kills the live connection and refuses new ones.
+	if err := p.SetFault(1, 2, Fault{Drop: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := roundTrip(t, c, "x"); err == nil {
+		t.Fatal("round trip succeeded on a dropped link")
+	}
+	c2 := dialLink(t, addr)
+	if err := roundTrip(t, c2, "y"); err == nil {
+		t.Fatal("new connection served on a dropped link")
+	}
+
+	// Heal restores service for fresh connections.
+	p.Heal()
+	c3 := dialLink(t, addr)
+	if err := roundTrip(t, c3, "after heal"); err != nil {
+		t.Fatalf("round trip after heal: %v", err)
+	}
+}
+
+func TestDelaySlowsForwarding(t *testing.T) {
+	target := echoServer(t)
+	p := New()
+	defer p.Close()
+	addr, err := p.AddLink(1, 2, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetFault(1, 2, Fault{Delay: 50 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	c := dialLink(t, addr)
+	start := time.Now()
+	if err := roundTrip(t, c, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	// Two pumps (request + reply), 50ms each.
+	if d := time.Since(start); d < 90*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= ~100ms through a 50ms/chunk link", d)
+	}
+}
+
+// TestStallMidStream checks byte-accurate stalling: with StallAfter=3 only
+// a prefix arrives, the connection stays open, and clearing the stall
+// releases the held suffix on the same connection.
+func TestStallMidStream(t *testing.T) {
+	target := echoServer(t)
+	p := New()
+	defer p.Close()
+	addr, err := p.AddLink(1, 2, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetFault(1, 2, Fault{Stall: true, StallAfter: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	c := dialLink(t, addr)
+	if _, err := c.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly 3 bytes make it through, then the link wedges.
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	pre := make([]byte, 3)
+	if _, err := io.ReadFull(c, pre); err != nil || string(pre) != "abc" {
+		t.Fatalf("stalled prefix = %q, %v; want \"abc\"", pre, err)
+	}
+	c.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if n, err := c.Read(make([]byte, 8)); err == nil {
+		t.Fatalf("read %d bytes past the stall point", n)
+	}
+
+	// Clearing the stall releases the held suffix on the SAME connection.
+	if err := p.SetFault(1, 2, Fault{}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	post := make([]byte, 3)
+	if _, err := io.ReadFull(c, post); err != nil || string(post) != "def" {
+		t.Fatalf("post-stall suffix = %q, %v; want \"def\"", post, err)
+	}
+}
+
+func TestResetKillsConnsButKeepsFault(t *testing.T) {
+	target := echoServer(t)
+	p := New()
+	defer p.Close()
+	addr, err := p.AddLink(1, 2, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetFault(1, 2, Fault{Stall: true}); err != nil {
+		t.Fatal(err)
+	}
+	c := dialLink(t, addr)
+	if _, err := c.Write([]byte("held")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Reset(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// The old connection dies (its pump was blocked in the stall).
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read succeeded on a reset connection")
+	}
+	// The fault survives the reset: a new connection still stalls.
+	c2 := dialLink(t, addr)
+	if _, err := c2.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c2.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if _, err := c2.Read(make([]byte, 1)); err == nil {
+		t.Fatal("stall did not survive the reset")
+	}
+}
+
+func TestPartitionGroups(t *testing.T) {
+	target := echoServer(t)
+	p := New()
+	defer p.Close()
+	for _, pair := range [][2]int{{1, 2}, {2, 1}, {1, 3}, {3, 1}, {2, 3}, {3, 2}} {
+		if _, err := p.AddLink(proto.SiteID(pair[0]), proto.SiteID(pair[1]), target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Partition([][]proto.SiteID{{1, 3}, {2}})
+	drops := map[[2]int]bool{}
+	for _, ls := range p.Links() {
+		drops[[2]int{int(ls.From), int(ls.To)}] = ls.Fault.Drop
+	}
+	want := map[[2]int]bool{
+		{1, 2}: true, {2, 1}: true, {2, 3}: true, {3, 2}: true,
+		{1, 3}: false, {3, 1}: false,
+	}
+	for k, w := range want {
+		if drops[k] != w {
+			t.Fatalf("link %v drop = %v, want %v (all: %v)", k, drops[k], w, drops)
+		}
+	}
+	p.Heal()
+	for _, ls := range p.Links() {
+		if ls.Fault.Drop {
+			t.Fatalf("link %d->%d still dropped after heal", ls.From, ls.To)
+		}
+	}
+}
+
+func TestHTTPControlSurface(t *testing.T) {
+	target := echoServer(t)
+	p := New()
+	defer p.Close()
+	addr, err := p.AddLink(1, 2, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	post := func(path, body string, wantCode int) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("POST %s = %d, want %d", path, resp.StatusCode, wantCode)
+		}
+	}
+
+	post("/fault?from=1&to=2", `{"drop":true}`, http.StatusNoContent)
+	c := dialLink(t, addr)
+	if err := roundTrip(t, c, "x"); err == nil {
+		t.Fatal("link served after HTTP drop")
+	}
+	post("/heal", ``, http.StatusNoContent)
+	c2 := dialLink(t, addr)
+	if err := roundTrip(t, c2, "after http heal"); err != nil {
+		t.Fatal(err)
+	}
+
+	post("/fault?from=9&to=9", `{}`, http.StatusNotFound)
+	post("/fault?from=1&to=2", `not json`, http.StatusBadRequest)
+	post("/partition", `{"groups":[[1],[2]]}`, http.StatusNoContent)
+	post("/clear", ``, http.StatusNoContent)
+	post("/reset?from=1&to=2", ``, http.StatusNoContent)
+
+	resp, err := http.Get(srv.URL + "/links")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var links []LinkState
+	if err := json.NewDecoder(resp.Body).Decode(&links); err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 1 || links[0].From != 1 || links[0].To != 2 || links[0].Fault.Drop {
+		t.Fatalf("links = %+v", links)
+	}
+}

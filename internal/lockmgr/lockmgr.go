@@ -28,6 +28,7 @@ package lockmgr
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/maphash"
 	"sort"
@@ -38,6 +39,16 @@ import (
 	"siterecovery/internal/clock"
 	"siterecovery/internal/proto"
 )
+
+// ErrReleased fails a queued lock request whose transaction was released
+// (committed or aborted) while the request was still waiting: the outcome
+// reached this site through another path, so granting the lock now would
+// hand it to a transaction that will never release it. Every removal of a
+// queued request must resolve its ready channel — a request dropped from
+// the queue silently strands a waiter whose timeout or cancellation races
+// the removal: cancelWait finds the request gone, concludes it was resolved
+// concurrently, and blocks forever on a signal nobody will send.
+var ErrReleased = errors.New("transaction released while waiting")
 
 // Mode is a lock mode.
 type Mode int
@@ -341,6 +352,10 @@ func (m *Manager) ReleaseAll(txn proto.TxnID) {
 			delete(ls.holders, txn)
 			if req := ts.waiting[key]; req != nil {
 				s.removeQueued(key, req)
+				delete(ts.waiting, key)
+				// Resolve the request: its Acquire may be parked in the
+				// wait select or already racing us in cancelWait.
+				grants = append(grants, grant{req: req, err: ErrReleased})
 			}
 			grants = append(grants, s.promoteLocked(key, ls)...)
 			if len(ls.holders) == 0 && len(ls.queue) == 0 {
@@ -525,12 +540,20 @@ func grantLocked(ls *lockState, ts *txnState, key string, req *request) {
 	delete(ts.waiting, key)
 }
 
-type grant struct{ req *request }
+// grant resolves one queued request: err nil hands it the lock, non-nil
+// fails it. A request is signalled exactly once, always after it has been
+// removed from the queue under the shard mutex.
+type grant struct {
+	req *request
+	err error
+}
 
-// deliver signals grants outside any shard mutex.
+// deliver signals grants outside any shard mutex. The ready channels are
+// buffered, so delivery never blocks even when the waiter has already moved
+// on to cancelWait.
 func deliver(grants []grant) {
 	for _, g := range grants {
-		g.req.ready <- nil
+		g.req.ready <- g.err
 	}
 }
 
@@ -542,8 +565,11 @@ func (s *shard) promoteLocked(key string, ls *lockState) []grant {
 		req := ls.queue[0]
 		ts := s.txns[req.txn]
 		if ts == nil {
-			// Owner vanished (released/crashed); drop the stale request.
+			// Owner vanished (released/crashed). Fail the stale request
+			// rather than dropping it silently: its waiter may be mid-
+			// cancel and counting on a resolution signal.
 			ls.queue = ls.queue[1:]
+			grants = append(grants, grant{req: req, err: ErrReleased})
 			continue
 		}
 		if !compatibleWithHolders(ls, req) {

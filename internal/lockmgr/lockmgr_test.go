@@ -346,6 +346,63 @@ func TestCrashResetFailsWaiters(t *testing.T) {
 	}
 }
 
+func TestReleaseAllFailsOwnQueuedRequest(t *testing.T) {
+	// ReleaseAll of a transaction whose lock request is still queued must
+	// resolve that request with ErrReleased, not drop it silently: a
+	// silently-removed waiter whose timeout races the removal concludes in
+	// cancelWait that the request was resolved concurrently and blocks
+	// forever on a signal nobody sends (the leak: a server RPC handler
+	// parked for the life of the process). Observed when a coordinator's
+	// abort broadcast (→ ReleaseAll at the participant) races the
+	// participant handler's own call-timeout cancellation.
+	m := newMgr(t, Config{Timeout: time.Hour})
+	mustAcquire(t, m, 1, "x", Exclusive)
+
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), 2, "x", Exclusive) }()
+	time.Sleep(10 * time.Millisecond) // let the waiter queue
+
+	m.ReleaseAll(2)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrReleased) {
+			t.Fatalf("err = %v, want ErrReleased", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ReleaseAll left its own queued request waiting")
+	}
+	if len(m.Held(2)) != 0 {
+		t.Fatal("released transaction must hold nothing")
+	}
+	mustAcquire(t, m, 1, "x", Exclusive) // still re-entrant, queue clean
+}
+
+func TestReleaseAllThenCancelDoesNotHang(t *testing.T) {
+	// The cancellation ordering of the same race: the waiter's context is
+	// cancelled after ReleaseAll removed its request. cancelWait finds the
+	// request gone from the queue and must receive the ErrReleased
+	// resolution instead of hanging.
+	m := newMgr(t, Config{Timeout: time.Hour})
+	mustAcquire(t, m, 1, "x", Exclusive)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(ctx, 2, "x", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+
+	m.ReleaseAll(2)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("released waiter acquired the lock")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung after ReleaseAll+cancel")
+	}
+}
+
 func TestStats(t *testing.T) {
 	m := newMgr(t, Config{Timeout: 20 * time.Millisecond})
 	mustAcquire(t, m, 1, "x", Exclusive)

@@ -7,13 +7,17 @@
 // so a cluster of srnode processes exercises the paper's protocol over
 // localhost TCP instead of the in-process simulator.
 //
-// Storage and the WAL are in-memory, so a real process kill would lose the
-// "stable" storage the recovery protocol depends on. Crash therefore models
-// the paper's fail-stop site failure in-process: the data manager drops its
-// volatile state (locks, in-flight transactions, session number) and the
-// transport handler answers everything with proto.ErrSiteDown — exactly
-// what peers would see from a refused connection — while stable storage and
-// the log survive for Recover to use.
+// Storage is in-memory, so Crash models the paper's fail-stop site failure
+// in-process: the data manager drops its volatile state (locks, in-flight
+// transactions, session number) and the transport handler answers
+// everything with proto.ErrSiteDown — exactly what peers would see from a
+// refused connection — while stable storage and the log survive for Recover
+// to use. For REAL process death (SIGKILL), the genuinely-stable slice the
+// paper requires — the session counter (§3.1) and the 2PC log (§3.4) — can
+// be spilled through SessionSink/WALSink and restored on the next start via
+// SessionCounter/WALRecords + StartDown; data pages stay volatile and are
+// rebuilt from live peers by the copiers, which is exactly the out-of-date
+// copies story the recovery procedure exists to handle.
 package node
 
 import (
@@ -77,6 +81,41 @@ type Config struct {
 	CallTimeout time.Duration
 	// Obs receives protocol events and metrics; nil is a no-op sink.
 	Obs *obs.Hub
+
+	// StartDown assembles the node in the crashed state: the transport
+	// serves (answering ErrSiteDown) but no workers run and no session is
+	// installed until Recover. A process restarted after a real SIGKILL
+	// starts this way — its peers excluded it while it was dead, so serving
+	// from fresh in-memory state before running the §3.4 recovery
+	// procedure would hand out stale data.
+	StartDown bool
+	// SessionCounter, when above InitialSession, restores the site's
+	// stable session counter (§3.1 keeps it on stable storage). cmd/srnode
+	// reloads it from its state dir so a restarted process never reuses a
+	// session number.
+	SessionCounter proto.Session
+	// SessionSink receives every advanced session counter value (see
+	// storage.Store.SetSessionSink); cmd/srnode persists it.
+	SessionSink func(proto.Session)
+	// WALRecords preloads 2PC records recovered from an external stable
+	// log, so a restarted coordinator answers decision queries from its
+	// durable history instead of presuming abort on everything.
+	WALRecords []wal.Record
+	// WALSink receives every appended WAL batch (see wal.Log.SetSink);
+	// cmd/srnode spills it to disk.
+	WALSink func([]wal.Record)
+	// Epoch is this process's incarnation number (0 for the first life).
+	// It seeds the transaction-ID counter (txn.Sequencer.SeedTxnIDs) so a
+	// respawned process never re-allocates an ID its dead incarnation may
+	// have left prepared — in doubt — at a peer. cmd/srnode wires it from
+	// -epoch, which the chaos harness bumps on every respawn.
+	Epoch uint64
+	// ReuseSessionBug is a chaos-testing hook (SRNODE_BUG=reuse-session):
+	// type-1 claims reuse the current session counter instead of advancing
+	// it, deliberately violating §3.1 so the trace suite's detection and
+	// the schedule shrinker can be exercised end to end. Never set it
+	// outside fault-injection tests.
+	ReuseSessionBug bool
 }
 
 func (c Config) validate() error {
@@ -143,6 +182,7 @@ func New(cfg Config) (*Node, error) {
 	// the same high-water mark, so multi-process trace merges order spans by
 	// observed commit history.
 	seq := txn.NewStridedSequencer(cfg.Site, cfg.Sites)
+	seq.SeedTxnIDs(cfg.Epoch)
 
 	n.Transport = tcpnet.New(tcpnet.Config{
 		Self:        cfg.Site,
@@ -166,12 +206,24 @@ func New(cfg Config) (*Node, error) {
 		}
 	}
 	n.Store.SetSessionCounter(InitialSession)
+	if cfg.SessionCounter > InitialSession {
+		n.Store.SetSessionCounter(cfg.SessionCounter)
+	}
+	if cfg.SessionSink != nil {
+		n.Store.SetSessionSink(cfg.SessionSink)
+	}
 
 	n.Locks = lockmgr.New(lockmgr.Config{
 		Timeout: cfg.LockTimeout,
 		Policy:  cfg.LockPolicy,
 	})
 	n.Log = wal.New()
+	if len(cfg.WALRecords) > 0 {
+		n.Log.Preload(cfg.WALRecords)
+	}
+	if cfg.WALSink != nil {
+		n.Log.SetSink(cfg.WALSink)
+	}
 
 	tracking := dm.TrackNone
 	switch cfg.Identify {
@@ -220,13 +272,14 @@ func New(cfg Config) (*Node, error) {
 	})
 
 	n.Session = session.New(session.Config{
-		Site:     cfg.Site,
-		TM:       n.TM,
-		Local:    n.DM,
-		Net:      n.Transport,
-		Catalog:  cat,
-		Obs:      cfg.Obs,
-		Debounce: cfg.DetectorDebounce,
+		Site:               cfg.Site,
+		TM:                 n.TM,
+		Local:              n.DM,
+		Net:                n.Transport,
+		Catalog:            cat,
+		Obs:                cfg.Obs,
+		Debounce:           cfg.DetectorDebounce,
+		UnsafeReuseSession: cfg.ReuseSessionBug,
 	})
 	n.Recovery = recovery.New(recovery.Config{
 		Site:          cfg.Site,
@@ -251,6 +304,16 @@ func New(cfg Config) (*Node, error) {
 	})
 
 	n.Transport.SetHandler(n.handle)
+
+	// A restarted process assembles crashed-side-up: peers already excluded
+	// it, so it must run the recovery procedure (not serve fresh in-memory
+	// state) before going operational. The crash event marks the down state
+	// in this process's own trace.
+	if cfg.StartDown {
+		n.up = false
+		n.DM.Crash()
+		cfg.Obs.SiteCrash(cfg.Site)
+	}
 	return n, nil
 }
 
@@ -287,7 +350,11 @@ func (n *Node) Start() error {
 		return err
 	}
 	n.started = true
-	n.startWorkers()
+	// A StartDown node serves the transport (answering ErrSiteDown) but
+	// launches no workers until Recover flips it up.
+	if n.up {
+		n.startWorkers()
+	}
 	return nil
 }
 

@@ -92,6 +92,13 @@ const (
 	EvSpanFinish
 )
 
+// DetailSigkill on an EvSiteCrash marks a kill cut: a synthetic marker the
+// process-level chaos harness appends where a SIGKILLed process's export
+// stream was truncated. Trace invariants treat state open at that site as
+// lost-with-the-process rather than as a protocol violation, and a restarted
+// process's Lamport clock may legitimately restart after it.
+const DetailSigkill = "sigkill"
+
 // EventTypes returns every defined event type in declaration order. Exports
 // and analysis tools iterate it so a newly added type cannot be silently
 // missing from their mappings (the round-trip tests walk it too).

@@ -11,6 +11,7 @@ package export
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -102,28 +103,41 @@ func (j *JSONL) Close() error {
 }
 
 // Decode reads a JSONL event stream back into memory. It tolerates blank
-// lines and stops with an error naming the offending line otherwise.
+// lines and stops with an error naming the offending line otherwise — with
+// one deliberate exception: a final line that is NOT newline-terminated and
+// does not parse is silently dropped. A SIGKILLed process truncates its
+// buffered export mid-record; that torn tail is expected data loss at the
+// cut point, not stream corruption (a malformed line in the middle of the
+// stream, or a terminated malformed line, still errors).
 func Decode(r io.Reader) ([]obs.Event, error) {
 	var out []obs.Event
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	br := bufio.NewReaderSize(r, 64*1024)
 	line := 0
-	for sc.Scan() {
-		line++
-		b := sc.Bytes()
-		if len(b) == 0 {
-			continue
+	for {
+		b, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("line %d: %w", line+1, err)
 		}
-		var e obs.Event
-		if err := json.Unmarshal(b, &e); err != nil {
-			return nil, fmt.Errorf("line %d: %w", line, err)
+		atEOF := err == io.EOF
+		terminated := len(b) > 0 && b[len(b)-1] == '\n'
+		if len(b) > 0 {
+			line++
 		}
-		out = append(out, e)
+		b = bytes.TrimRight(b, "\r\n")
+		if len(b) > 0 {
+			var e obs.Event
+			if uerr := json.Unmarshal(b, &e); uerr != nil {
+				if atEOF && !terminated {
+					return out, nil // torn tail from a killed writer
+				}
+				return nil, fmt.Errorf("line %d: %w", line, uerr)
+			}
+			out = append(out, e)
+		}
+		if atEOF {
+			return out, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("line %d: %w", line, err)
-	}
-	return out, nil
 }
 
 // DecodeFile reads an exported trace from path ("-" means stdin).

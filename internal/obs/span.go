@@ -58,6 +58,20 @@ func SpanOrigin(span uint64) proto.SiteID {
 	return proto.SiteID(span >> spanIDSiteShift)
 }
 
+// spanIDEpochShift positions a process-incarnation epoch below the site tag,
+// leaving 32 bits of counter per incarnation.
+const spanIDEpochShift = 32
+
+// SeedSpanIDs starts the span counter at epoch<<32. The counter is
+// process-local, so two incarnations of the same logical site (a SIGKILLed
+// srnode relaunched over its statedir) would otherwise re-allocate the same
+// span IDs and alias unrelated RPCs in a merged trace. Each incarnation
+// passes a distinct epoch (srnode's -epoch flag) at startup, before any
+// spans are allocated.
+func SeedSpanIDs(epoch uint64) {
+	spanIDCounter.Store(epoch << spanIDEpochShift)
+}
+
 // spanCtxKey keys SpanContext values in a context.Context.
 type spanCtxKey struct{}
 

@@ -60,6 +60,11 @@ type Config struct {
 	Debounce time.Duration
 	// QueueDepth bounds the failure-detector queue. Defaults to 64.
 	QueueDepth int
+	// UnsafeReuseSession is a chaos-testing hook: type-1 claims reuse the
+	// current session counter instead of durably advancing it, violating
+	// §3.1's uniqueness guarantee on purpose so the trace invariant suite
+	// has a real bug to catch. Never set outside fault-injection tests.
+	UnsafeReuseSession bool
 }
 
 func (c Config) withDefaults() Config {
@@ -383,8 +388,15 @@ func (m *Manager) claimUpOnce(ctx context.Context) (proto.Session, claim, error)
 		}
 
 		// Choose the session number for the next operational session from
-		// the stable counter (unique in this site's history, §3.1).
-		sn := m.cfg.Local.Store().NextSession()
+		// the stable counter (unique in this site's history, §3.1). The
+		// UnsafeReuseSession chaos hook deliberately breaks that uniqueness
+		// by reading the counter without advancing it.
+		var sn proto.Session
+		if m.cfg.UnsafeReuseSession {
+			sn = m.cfg.Local.Store().CurrentSessionCounter()
+		} else {
+			sn = m.cfg.Local.Store().NextSession()
+		}
 
 		// Write it to our own copy of NS[self] and to every nominally-up
 		// site's copy, fanned out across the targets. The crashed site is

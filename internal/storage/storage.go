@@ -45,8 +45,9 @@ type Store struct {
 
 	mu sync.Mutex
 	// stable state
-	copies  map[proto.Item]stableCopy
-	session proto.Session // highest session number ever used by this site
+	copies      map[proto.Item]stableCopy
+	session     proto.Session // highest session number ever used by this site
+	sessionSink func(proto.Session)
 	// volatile state
 	unreadable map[proto.Item]bool
 	pending    map[proto.TxnID]map[proto.Item]proto.Value
@@ -271,7 +272,21 @@ func (s *Store) NextSession() proto.Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.session++
+	if s.sessionSink != nil {
+		s.sessionSink(s.session)
+	}
 	return s.session
+}
+
+// SetSessionSink installs a callback invoked with every advanced counter
+// value before NextSession returns: the §3.1 "counter on stable storage"
+// hook. cmd/srnode persists it to disk so a SIGKILLed, restarted process
+// cannot reuse a session number. The sink runs under the store lock, so
+// observers see counter values in order.
+func (s *Store) SetSessionSink(sink func(proto.Session)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessionSink = sink
 }
 
 // CurrentSessionCounter reports the highest session number used so far.

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"siterecovery/internal/obs"
+	"siterecovery/internal/obs/export"
+)
+
+// These cover the degenerate export shapes the process-level chaos harness
+// produces: a SIGKILLed site may leave an empty export (nothing was ever
+// flushed), a single surviving export, or a JSONL file whose final line was
+// torn mid-record by the kill.
+
+func TestMergeNoStreams(t *testing.T) {
+	m := Merge()
+	if len(m.Events) != 0 || len(m.Violations) != 0 || m.Streams != 0 {
+		t.Fatalf("empty merge = %+v", m)
+	}
+}
+
+func TestMergeEmptyAndSingleStreams(t *testing.T) {
+	// An empty export merges as a zero-length stream, not an error.
+	m := Merge(nil, []obs.Event{})
+	if len(m.Events) != 0 || len(m.Violations) != 0 || m.Streams != 2 {
+		t.Fatalf("merge of two empty streams = %+v", m)
+	}
+
+	// A single-site export merges to itself in order, even alongside empty
+	// peers.
+	solo := []obs.Event{
+		{Type: obs.EvTxnBegin, Site: 1, Txn: 7, At: at(1)},
+		{Type: obs.EvTxnCommit, Site: 1, Txn: 7, At: at(2)},
+	}
+	m = Merge(nil, solo, nil)
+	if len(m.Violations) != 0 || m.Streams != 3 {
+		t.Fatalf("single-site merge = %+v", m)
+	}
+	if len(m.Events) != 2 || m.Events[0].Type != obs.EvTxnBegin || m.Events[1].Type != obs.EvTxnCommit {
+		t.Fatalf("single-site merge order = %+v", m.Events)
+	}
+}
+
+// TestMergeTruncatedTailExport round-trips a kill-torn export: the decoder
+// drops the unterminated final record, and the surviving prefix merges
+// cleanly against a peer stream.
+func TestMergeTruncatedTailExport(t *testing.T) {
+	full := `{"seq":1,"at_ns":1000000,"type":"txn.begin","site":2,"txn":9}` + "\n" +
+		`{"seq":2,"at_ns":2000000,"type":"txn.commit","site":2,"txn":9}` + "\n" +
+		`{"seq":3,"at_ns":3000000,"type":"txn.begin","site":2,"tx`
+	got, err := export.Decode(strings.NewReader(full))
+	if err != nil {
+		t.Fatalf("decode of kill-truncated export: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d events from truncated export, want the 2 intact ones: %+v", len(got), got)
+	}
+
+	peer := []obs.Event{{Type: obs.EvTxnBegin, Site: 1, Txn: 11, At: at(5)}}
+	m := Merge(got, peer)
+	if len(m.Violations) != 0 || len(m.Events) != 3 {
+		t.Fatalf("merge with truncated stream = %+v", m)
+	}
+
+	// The same torn line in the MIDDLE of a stream is corruption, not a
+	// kill artifact, and must still error.
+	corrupt := `{"seq":1,"type":"txn.begin","site":2` + "\n" +
+		`{"seq":2,"at_ns":2000000,"type":"txn.commit","site":2,"txn":9}` + "\n"
+	if _, err := export.Decode(strings.NewReader(corrupt)); err == nil {
+		t.Fatal("mid-stream corruption decoded without error")
+	}
+	// A terminated-but-malformed final line is corruption too: the torn-tail
+	// tolerance applies only to an unterminated suffix.
+	badFinal := `{"seq":1,"at_ns":1000000,"type":"txn.begin","site":2,"txn":9}` + "\n" +
+		`{"seq":2,"type":"txn.com` + "\n"
+	if _, err := export.Decode(strings.NewReader(badFinal)); err == nil {
+		t.Fatal("terminated malformed final line decoded without error")
+	}
+}

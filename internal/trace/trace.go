@@ -11,7 +11,10 @@
 //   - Across sites, span parentage gives the causal edges: the client side
 //     of an RPC starts before its server side starts (the request frame
 //     carried the span there), and the server side finishes before the
-//     client side finishes (the response frame came back).
+//     client side finishes (the response frame came back) — the latter only
+//     when the client finish is successful, since a client that timed out
+//     gave up without observing the server, whose stalled request may be
+//     delivered and served long after.
 //
 // Among causally unordered events, the tie-break is (effective Lamport
 // commit seq, timestamp, site): span events are stamped with their site's
@@ -153,7 +156,16 @@ func Merge(streams ...[]obs.Event) Merged {
 			addEdge(p.client.start, p.server.start) // request frame delivered
 		}
 		if p.server.finish >= 0 && p.client.finish >= 0 {
-			addEdge(p.server.finish, p.client.finish) // response frame returned
+			// The response edge holds only when the client actually received
+			// the response: a client finish carrying a failure reason
+			// (timeout, site-down) means the caller gave up on its own, while
+			// the stalled request could still be delivered and served
+			// arbitrarily late — ordering that server finish before the
+			// client's local timeout would be false causality (and, under
+			// byte-stream faults, produces real cycles).
+			if _, _, reason, ok := obs.SpanSide(nodes[p.client.finish].ev); ok && reason == "" {
+				addEdge(p.server.finish, p.client.finish) // response frame returned
+			}
 		}
 	}
 

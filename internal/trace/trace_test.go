@@ -131,6 +131,42 @@ func TestMergeFlagsCycle(t *testing.T) {
 	}
 }
 
+// TestMergeTimedOutClientSkipsResponseEdge: a client finish that carries a
+// failure reason received no response frame — the caller gave up on its own
+// while the stalled request could still be delivered and served much later.
+// Ordering the late server finish before that local timeout is false
+// causality; with a second RPC flowing the other way it fabricates a cycle
+// out of a perfectly realizable execution.
+func TestMergeTimedOutClientSkipsResponseEdge(t *testing.T) {
+	const spProbe, spBack = 0x3000000000004, 0x1000000000009
+	s3 := []obs.Event{
+		// Probe to site 1 stalls in flight; client gives up at 15ms...
+		span(obs.EvSpanStart, 3, 7, spProbe, 0, obs.SideClient, 1, 10),
+		{Type: obs.EvSpanFinish, Site: 3, Txn: 7, Span: spProbe,
+			Lamport: 1, Detail: "client:probe!site-down", At: at(15)},
+		// ...then serves an unrelated RPC from site 1.
+		span(obs.EvSpanStart, 3, 8, spBack, 0, obs.SideServer, 2, 20),
+		span(obs.EvSpanFinish, 3, 8, spBack, 0, obs.SideServer, 2, 21),
+	}
+	s1 := []obs.Event{
+		// Site 1 sends its own RPC first, then the stalled probe finally
+		// arrives and is served — after the client already timed out.
+		span(obs.EvSpanStart, 1, 8, spBack, 0, obs.SideClient, 2, 19),
+		span(obs.EvSpanFinish, 1, 8, spBack, 0, obs.SideClient, 2, 22),
+		{Type: obs.EvSpanStart, Site: 1, Txn: 7, Span: spProbe,
+			Lamport: 2, Detail: "server:probe", At: at(30)},
+		{Type: obs.EvSpanFinish, Site: 1, Txn: 7, Span: spProbe,
+			Lamport: 2, Detail: "server:probe", At: at(31)},
+	}
+	m := Merge(s1, s3)
+	if len(m.Violations) != 0 {
+		t.Fatalf("timed-out client + late delivery flagged: %v", m.Violations)
+	}
+	if len(m.Events) != len(s1)+len(s3) {
+		t.Fatalf("merged %d of %d events", len(m.Events), len(s1)+len(s3))
+	}
+}
+
 // TestMergeDeterministic: identical inputs produce identical output.
 func TestMergeDeterministic(t *testing.T) {
 	mk := func() [][]obs.Event {

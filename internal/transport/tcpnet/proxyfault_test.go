@@ -1,0 +1,153 @@
+package tcpnet
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"siterecovery/internal/faultproxy"
+	"siterecovery/internal/proto"
+)
+
+// proxiedPair starts two transports with site 1's view of site 2 routed
+// through a faultproxy link, the way cmd/srchaos wires a cluster. The
+// returned counter tracks how many requests site 2's handler actually ran —
+// the at-most-once ledger the fault tests audit.
+func proxiedPair(t *testing.T) (client *Transport, proxy *faultproxy.Proxy, served *atomic.Int64) {
+	t.Helper()
+	listeners := make(map[proto.SiteID]net.Listener, 2)
+	real := make(map[proto.SiteID]string, 2)
+	for i := 1; i <= 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[proto.SiteID(i)] = ln
+		real[proto.SiteID(i)] = ln.Addr().String()
+	}
+
+	proxy = faultproxy.New()
+	t.Cleanup(func() { proxy.Close() })
+	linkAddr, err := proxy.AddLink(1, 2, real[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	served = new(atomic.Int64)
+	mk := func(id proto.SiteID, addrs map[proto.SiteID]string) *Transport {
+		tr := New(Config{
+			Self:          id,
+			Addrs:         addrs,
+			Listener:      listeners[id],
+			DialRetries:   1,
+			DialRetryWait: 10 * time.Millisecond,
+			CallTimeout:   500 * time.Millisecond,
+		})
+		tr.SetHandler(func(ctx context.Context, from proto.SiteID, msg proto.Message) (proto.Message, error) {
+			served.Add(1)
+			return proto.ProbeResp{Operational: true, Session: proto.Session(id)}, nil
+		})
+		if err := tr.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		return tr
+	}
+	client = mk(1, map[proto.SiteID]string{1: real[1], 2: linkAddr})
+	mk(2, real)
+	return client, proxy, served
+}
+
+// TestStalledMidFrameRequestIsAtMostOnce wedges the link 10 bytes into the
+// request frame: the server holds a torn frame it must never dispatch, the
+// caller's deadline fires as ErrSiteDown, and the transport does not resend
+// the request — after a proxy reset and heal, a fresh call is the FIRST
+// request the server ever serves.
+func TestStalledMidFrameRequestIsAtMostOnce(t *testing.T) {
+	client, proxy, served := proxiedPair(t)
+	ctx := context.Background()
+
+	if err := proxy.SetFault(1, 2, faultproxy.Fault{Stall: true, StallAfter: 10}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := client.Call(ctx, 1, 2, proto.ProbeReq{})
+	if !errors.Is(err, proto.ErrSiteDown) {
+		t.Fatalf("call through stalled link: err = %v, want ErrSiteDown", err)
+	}
+	if d := time.Since(start); d < 400*time.Millisecond {
+		t.Fatalf("call failed after %v, want the ~500ms call deadline (not an instant error)", d)
+	}
+	if n := served.Load(); n != 0 {
+		t.Fatalf("server dispatched %d requests from a torn frame, want 0", n)
+	}
+
+	// Reset the wedged connection FIRST (discarding the torn frame with
+	// it), then clear the stall; a fresh call must succeed without the
+	// transport replaying the lost request.
+	if err := proxy.Reset(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.SetFault(1, 2, faultproxy.Fault{}); err != nil {
+		t.Fatal(err)
+	}
+	callUntilSuccess(t, client, ctx)
+	if n := served.Load(); n != 1 {
+		t.Fatalf("server served %d requests, want exactly 1 (at-most-once across the reset)", n)
+	}
+}
+
+// callUntilSuccess retries Call until one round trip completes: a call
+// issued right after a proxy reset may conclusively fail on the not yet
+// retired shared connection (the frame was written into a dead socket, so
+// the transport correctly refuses to resend it), and the application-level
+// retry — here, like in the transaction manager — is what dials afresh.
+// Conclusively failed frames land in a closed proxy pair and are never
+// delivered, so retrying does not inflate the server's dispatch count.
+func callUntilSuccess(t *testing.T, client *Transport, ctx context.Context) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := client.Call(ctx, 1, 2, proto.ProbeReq{})
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("call never succeeded after proxy reset: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestStalledReplyIsNotResent delivers the request but wedges the reply:
+// the handler runs exactly once, the caller still sees ErrSiteDown at its
+// deadline, and recovery does not re-execute the first request.
+func TestStalledReplyIsNotResent(t *testing.T) {
+	client, proxy, served := proxiedPair(t)
+	ctx := context.Background()
+
+	if err := proxy.SetFault(1, 2, faultproxy.Fault{StallReply: true}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client.Call(ctx, 1, 2, proto.ProbeReq{})
+	if !errors.Is(err, proto.ErrSiteDown) {
+		t.Fatalf("call with stalled reply: err = %v, want ErrSiteDown", err)
+	}
+	if n := served.Load(); n != 1 {
+		t.Fatalf("server served %d requests, want exactly 1 (request was delivered)", n)
+	}
+
+	if err := proxy.Reset(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.SetFault(1, 2, faultproxy.Fault{}); err != nil {
+		t.Fatal(err)
+	}
+	callUntilSuccess(t, client, ctx)
+	if n := served.Load(); n != 2 {
+		t.Fatalf("server served %d requests total, want 2: the timed-out call must not be resent", n)
+	}
+}

@@ -418,6 +418,37 @@ func TestSequencer(t *testing.T) {
 	}
 }
 
+// TestSequencerEpochs pins the anti-aliasing contract SeedTxnIDs exists
+// for: a respawned process (same site, next incarnation epoch) must never
+// re-allocate a transaction ID its dead incarnation handed out, or a
+// peer still holding the dead transaction's prepare in doubt would merge
+// the new transaction's writes into it. Epoch 0 must not disturb the
+// first life's IDs.
+func TestSequencerEpochs(t *testing.T) {
+	gen0 := NewStridedSequencer(1, 3)
+	plain := NewStridedSequencer(1, 3)
+	gen0.SeedTxnIDs(0)
+	if a, b := gen0.NextTxn(), plain.NextTxn(); a != b {
+		t.Fatalf("epoch 0 changed the first txn ID: %v != %v", a, b)
+	}
+
+	used := map[proto.TxnID]bool{}
+	for range 1000 {
+		used[gen0.NextTxn()] = true
+	}
+	gen1 := NewStridedSequencer(1, 3)
+	gen1.SeedTxnIDs(1)
+	for range 1000 {
+		id := gen1.NextTxn()
+		if used[id] {
+			t.Fatalf("incarnation 1 re-allocated incarnation 0's txn ID %v", id)
+		}
+		if uint64(id)%3 != 0 {
+			t.Fatalf("txn ID %v left site 1's residue class", id)
+		}
+	}
+}
+
 func TestStridedSequencerObserveLamport(t *testing.T) {
 	// Sites 1 and 3 of a 3-site cluster draw commit sequence numbers from
 	// disjoint residue classes, so without observation their counters carry

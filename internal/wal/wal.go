@@ -70,6 +70,10 @@ type Log struct {
 	// syncs models the force-to-disk cost: one per Append, one per
 	// AppendGroup regardless of how many records the group carries.
 	syncs uint64
+	// sink, when set, receives every appended batch before the append
+	// returns — the hook cmd/srnode uses to spill records to a real on-disk
+	// log so a SIGKILLed process can answer decision queries after restart.
+	sink func([]Record)
 }
 
 // New returns an empty log.
@@ -80,11 +84,35 @@ func New() *Log {
 	}
 }
 
+// SetSink installs a callback receiving every subsequently appended batch,
+// synchronously and in append order (the callback runs inside the log
+// force, so a record reported appended has already reached the sink).
+// Preloaded records are not replayed into it.
+func (l *Log) SetSink(sink func([]Record)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sink = sink
+}
+
+// Preload replays records recovered from an external stable log (see
+// SetSink) into the indexes, without charging syncs or re-notifying the
+// sink. It must run before the log is in service.
+func (l *Log) Preload(recs []Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, rec := range recs {
+		l.appendLocked(rec)
+	}
+}
+
 // Append durably adds a record, costing one stable-storage sync.
 func (l *Log) Append(rec Record) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.appendLocked(rec)
+	if l.sink != nil {
+		l.sink([]Record{rec})
+	}
 	l.syncs++
 }
 
@@ -100,6 +128,9 @@ func (l *Log) AppendGroup(recs []Record) {
 	defer l.mu.Unlock()
 	for _, rec := range recs {
 		l.appendLocked(rec)
+	}
+	if l.sink != nil {
+		l.sink(recs)
 	}
 	l.syncs++
 }
