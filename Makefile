@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench trace trace-cluster cover chaos proc-chaos fuzz e2e load perf-check
+.PHONY: all build test race lint bench trace trace-cluster cover chaos proc-chaos fuzz e2e load perf-check disk-engine
 
 all: lint build test
 
@@ -31,6 +31,7 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) run ./cmd/srbench -transport -json bench/out/BENCH_PR4.json
 	$(GO) run ./cmd/srbench -batch -json bench/out/BENCH_PR5.json
+	$(GO) run ./cmd/srbench -store -json bench/out/BENCH_PR9.json
 
 # Mirrors the perf-trend CI job: the deterministic srload profile
 # (concurrency 1, fixed seed) against netsim and a 3-process TCP cluster,
@@ -83,6 +84,15 @@ trace-cluster:
 		bench/out/cluster-trace/crash-http/site1.gen0.jsonl \
 		bench/out/cluster-trace/crash-http/site2.gen0.jsonl \
 		bench/out/cluster-trace/crash-http/site3.gen0.jsonl
+
+# Mirrors the disk-engine CI job: the shared engine conformance battery
+# against both storage engines, the disk SIGKILL e2e leg (local WAL redo
+# restores committed pages before the type-1 claim), and a seeded srchaos
+# run with every srnode on -store=disk.
+disk-engine:
+	$(GO) test -race -count=1 ./internal/storage/... ./internal/wal/
+	$(GO) test -race -count=1 -run 'TestE2EThreeSiteCluster/sigkill-disk' ./cmd/srnode/
+	$(GO) run ./cmd/srchaos -seed 1 -steps 30 -store disk -outdir bench/out/disk-chaos
 
 # Mirrors the proc-chaos CI job: schedule determinism, the scripted
 # process-cluster scenarios, the injected-bug shrink oracle, and one

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"siterecovery/internal/core"
+	"siterecovery/internal/proto"
+	"siterecovery/internal/storage"
+	"siterecovery/internal/storage/disk"
+	"siterecovery/internal/txn"
+	"siterecovery/internal/wal"
+)
+
+// The storage dimension prices the engine seam. The first table runs the
+// transport bench's fully replicated workload twice on the in-process
+// simulator with instantaneous links — every site on the in-memory
+// force-at-commit engine, then on the disk engine (heap pages behind a
+// buffer pool, physical redo records appended WAL-before-data) — so the
+// commit-latency delta is exactly the per-install engine cost, not link
+// delay. The second table measures the number the mem engine cannot have
+// at all: how fast a dropped ("SIGKILLed") disk engine's ARIES-lite redo
+// pass rebuilds committed tuples from the WAL at the next open, before the
+// site would run its type-1 claim.
+
+// storeResult is one engine's commit-latency distribution.
+type storeResult struct {
+	Store  string  `json:"store"`
+	Txns   int     `json:"txns"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  int64   `json:"p50_us"`
+	P95US  int64   `json:"p95_us"`
+	MaxUS  int64   `json:"max_us"`
+}
+
+// redoResult is the redo-recovery leg: one engine loaded with dirty pages,
+// dropped without a flush, reopened against the surviving WAL.
+type redoResult struct {
+	Items        int     `json:"items"`
+	RedoWrites   int     `json:"redo_writes"`
+	Pages        int     `json:"pages"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	PagesPerSec  float64 `json:"pages_per_sec"`
+	WritesPerSec float64 `json:"writes_per_sec"`
+}
+
+// storeReport is the BENCH_PR9.json shape.
+type storeReport struct {
+	Sites        int           `json:"sites"`
+	ItemsPerTxn  int           `json:"items_per_txn"`
+	PoolPages    int           `json:"pool_pages"`
+	Results      []storeResult `json:"results"`
+	DiskOverhead float64       `json:"disk_overhead_vs_mem"`
+	Redo         redoResult    `json:"redo_recovery"`
+}
+
+const (
+	// storePoolPages keeps the commit-latency leg honest (evictions and
+	// reloads happen) while the redo leg below picks its own pool size.
+	storePoolPages = 8
+	redoItems      = 2000
+	redoRounds     = 4
+	// redoPoolPages holds every heap page in memory so nothing is flushed
+	// before the simulated SIGKILL: the reopen then rebuilds every tuple
+	// from redo records, which is the worst case the metric should price.
+	redoPoolPages = 256
+)
+
+// benchStoreMode measures commit latency with every site on one engine.
+// A nil factory is the mem default.
+func benchStoreMode(txns int, name string, factory storage.Factory) (storeResult, error) {
+	cl, err := core.NewCluster(
+		core.WithSites(benchSites),
+		core.WithPlacement(benchPlacement()),
+		core.WithStorage(factory),
+		core.WithSeed(1),
+	)
+	if err != nil {
+		return storeResult{}, err
+	}
+	cl.Start()
+	defer cl.Stop()
+
+	ctx := context.Background()
+	lats := make([]time.Duration, 0, txns)
+	for i := 0; i < benchWarmup+txns; i++ {
+		start := time.Now()
+		if err := cl.Exec(ctx, 1, benchBody); err != nil {
+			return storeResult{}, fmt.Errorf("%s txn %d: %w", name, i, err)
+		}
+		if i >= benchWarmup {
+			lats = append(lats, time.Since(start))
+		}
+	}
+	s := summarizeLatencies(name, lats)
+	return storeResult{
+		Store: name, Txns: s.Txns,
+		MeanUS: s.MeanUS, P50US: s.P50US, P95US: s.P95US, MaxUS: s.MaxUS,
+	}, nil
+}
+
+// benchRedo loads a standalone disk engine with redoRounds of installs that
+// never reach the heap file, drops it the way SIGKILL would, and times the
+// redo pass the next Open runs over the surviving WAL.
+func benchRedo() (redoResult, error) {
+	dir, err := os.MkdirTemp("", "srbench-redo-")
+	if err != nil {
+		return redoResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	items := make([]proto.Item, redoItems)
+	for i := range items {
+		items[i] = proto.Item(fmt.Sprintf("r%04d", i))
+	}
+	log := wal.New()
+	deps := storage.Deps{Site: 1, Items: items, InitialWriter: txn.InitialTxn, Log: log}
+	e, err := disk.Open(dir, redoPoolPages, deps)
+	if err != nil {
+		return redoResult{}, err
+	}
+	id := proto.TxnID(1000)
+	for round := 0; round < redoRounds; round++ {
+		for i, item := range items {
+			if err := e.BufferWrite(id, item, proto.Value(round*redoItems+i)); err != nil {
+				return redoResult{}, err
+			}
+		}
+		e.InstallPending(id, proto.Version{Counter: uint64(round + 1), Writer: id})
+		id++
+	}
+	// No Flush, no Close: the engine is dropped like a SIGKILLed process,
+	// so every committed tuple exists only as WAL redo records.
+
+	start := time.Now()
+	re, err := disk.Open(dir, redoPoolPages, deps)
+	if err != nil {
+		return redoResult{}, err
+	}
+	elapsed := time.Since(start)
+	defer re.Close()
+
+	st := re.Stats()
+	res := redoResult{
+		Items:      redoItems,
+		RedoWrites: st.RedoApplied + st.RedoSkipped,
+		Pages:      st.Pages,
+		ElapsedMS:  float64(elapsed.Nanoseconds()) / 1e6,
+	}
+	if elapsed > 0 {
+		res.PagesPerSec = float64(st.Pages) / elapsed.Seconds()
+		res.WritesPerSec = float64(st.RedoApplied+st.RedoSkipped) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// runStoreBench runs both engines plus the redo leg and writes the report.
+func runStoreBench(txns int, jsonPath string) error {
+	report := storeReport{
+		Sites:       benchSites,
+		ItemsPerTxn: 2,
+		PoolPages:   storePoolPages,
+	}
+
+	mem, err := benchStoreMode(txns, "mem", nil)
+	if err != nil {
+		return err
+	}
+	base, err := os.MkdirTemp("", "srbench-store-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(base)
+	dsk, err := benchStoreMode(txns, "disk", func(d storage.Deps) (storage.Engine, error) {
+		return disk.Open(filepath.Join(base, fmt.Sprintf("site%d", d.Site)), storePoolPages, d)
+	})
+	if err != nil {
+		return err
+	}
+	report.Results = []storeResult{mem, dsk}
+	if mem.MeanUS > 0 {
+		report.DiskOverhead = dsk.MeanUS / mem.MeanUS
+	}
+	redo, err := benchRedo()
+	if err != nil {
+		return err
+	}
+	report.Redo = redo
+
+	fmt.Printf("### storage: commit latency, %d sites, %d fully replicated items/txn, instantaneous links, %d-page pool\n",
+		report.Sites, report.ItemsPerTxn, storePoolPages)
+	fmt.Printf("%-6s %6s %10s %10s %10s %10s\n", "store", "txns", "mean_us", "p50_us", "p95_us", "max_us")
+	for _, r := range report.Results {
+		fmt.Printf("%-6s %6d %10.0f %10d %10d %10d\n", r.Store, r.Txns, r.MeanUS, r.P50US, r.P95US, r.MaxUS)
+	}
+	fmt.Printf("disk commit-latency overhead vs mem (mean): %.2fx\n", report.DiskOverhead)
+	fmt.Printf("### storage: WAL redo recovery, %d items x %d rounds, nothing flushed\n",
+		redoItems, redoRounds)
+	fmt.Printf("rebuilt %d pages (%d redo writes) in %.1fms: %.0f pages/s, %.0f writes/s\n",
+		redo.Pages, redo.RedoWrites, redo.ElapsedMS, redo.PagesPerSec, redo.WritesPerSec)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return fmt.Errorf("write %s: %w", jsonPath, err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(report)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("write %s: %w", jsonPath, err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -40,7 +40,8 @@ func main() {
 		steps    = flag.Int("steps", 30, "schedule length")
 		sites    = flag.Int("sites", 3, "cluster size (srnode processes)")
 		items    = flag.Int("items", 8, "replicated items")
-		identify = flag.String("identify", "markall", "identification strategy: markall|faillock|missinglist")
+		identify = flag.String("identify", "markall", "identification strategy: markall|versiondiff|faillock|missinglist")
+		store    = flag.String("store", "mem", "srnode storage engine: mem|disk (disk survives SIGKILL via heap pages + WAL redo)")
 		schedule = flag.String("schedule", "", "replay this schedule JSON instead of generating one")
 		outdir   = flag.String("outdir", "chaos-out", "artifact directory")
 		bin      = flag.String("bin", "", "srnode binary (empty: build it into -outdir)")
@@ -50,7 +51,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*seed, *steps, *sites, *items, *identify, *schedule, *outdir, *bin, *shrink, *dry, *verbose); err != nil {
+	if err := run(*seed, *steps, *sites, *items, *identify, *store, *schedule, *outdir, *bin, *shrink, *dry, *verbose); err != nil {
 		if err == errViolations {
 			os.Exit(1)
 		}
@@ -63,7 +64,7 @@ func main() {
 // interesting outcome) from harness errors (exit 2).
 var errViolations = fmt.Errorf("invariant violations")
 
-func run(seed int64, steps, sites, items int, identify, schedulePath, outdir, bin string, shrink, dry, verbose bool) error {
+func run(seed int64, steps, sites, items int, identify, store, schedulePath, outdir, bin string, shrink, dry, verbose bool) error {
 	var sched chaos.Schedule
 	var err error
 	if schedulePath != "" {
@@ -95,7 +96,7 @@ func run(seed int64, steps, sites, items int, identify, schedulePath, outdir, bi
 		}
 	}
 
-	opts := proc.Options{Bin: bin, Dir: outdir}
+	opts := proc.Options{Bin: bin, Dir: outdir, Store: store}
 	if verbose {
 		opts.Stderr = os.Stderr
 		opts.Log = func(msg string) { fmt.Fprintln(os.Stderr, "srchaos:", msg) }

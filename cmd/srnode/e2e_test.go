@@ -35,6 +35,12 @@ import (
 //     -statedir with -start-down and the next -epoch. Only the disk-spilled
 //     stable slice survives; data pages come back through the copiers, and
 //     the incarnations' exports are stitched with a kill-cut marker.
+//   - sigkill-disk: same kill, but the cluster runs -store=disk with
+//     -identify versiondiff. The relaunched victim rebuilds committed pages
+//     from its local WAL redo BEFORE the type-1 claim (asserted through a
+//     /storage peek while the site is still down), and the copiers then
+//     transfer only the one item that changed while it was dead — current
+//     items cost zero peer page fetches.
 func TestE2EThreeSiteCluster(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping process-spawning e2e test in -short mode")
@@ -51,12 +57,25 @@ func TestE2EThreeSiteCluster(t *testing.T) {
 		// whose merge position is exact only within its own stream, so it
 		// gets the stream-order subset of the assertions.
 		strictOrder bool
-		down        func(t *testing.T, c *e2eCluster)
-		bringBack   func(t *testing.T, c *e2eCluster)
+		// args are extra srnode flags for every spawn in this model.
+		args []string
+		// writeYDown: write y=7 on the survivors while the victim is down.
+		// The disk model leaves y untouched so local redo alone must serve
+		// it back; wantY is the recovered site's expected y either way.
+		writeYDown bool
+		wantY      int64
+		down       func(t *testing.T, c *e2eCluster)
+		// preRecover runs after bringBack but before POST /recover.
+		preRecover func(t *testing.T, c *e2eCluster)
+		bringBack  func(t *testing.T, c *e2eCluster)
+		// checkReport inspects the /recover response body.
+		checkReport func(t *testing.T, body []byte)
 	}{
 		{
 			name:        "crash-http",
 			strictOrder: true,
+			writeYDown:  true,
+			wantY:       7,
 			down: func(t *testing.T, c *e2eCluster) {
 				if code, body := post(t, c.controlAddrs[victim], "/crash"); code != http.StatusOK {
 					t.Fatalf("crash site 3: %d %s", code, body)
@@ -67,6 +86,8 @@ func TestE2EThreeSiteCluster(t *testing.T) {
 		{
 			name:        "sigkill",
 			strictOrder: false,
+			writeYDown:  true,
+			wantY:       7,
 			down: func(t *testing.T, c *e2eCluster) {
 				c.kill(victim)
 			},
@@ -75,6 +96,54 @@ func TestE2EThreeSiteCluster(t *testing.T) {
 				// process is a DOWN site until /recover runs.
 				c.spawn(t, victim, true)
 				c.waitReachable(t, victim)
+			},
+		},
+		{
+			name:        "sigkill-disk",
+			strictOrder: false,
+			args:        []string{"-store", "disk", "-identify", "versiondiff", "-pool-pages", "8"},
+			writeYDown:  false,
+			wantY:       13,
+			down: func(t *testing.T, c *e2eCluster) {
+				c.kill(victim)
+			},
+			bringBack: func(t *testing.T, c *e2eCluster) {
+				c.spawn(t, victim, true)
+				c.waitReachable(t, victim)
+			},
+			preRecover: func(t *testing.T, c *e2eCluster) {
+				// The site is still DOWN — no claim has run, no peer has been
+				// asked for a page — yet its committed copy of y must already
+				// read 13 from the local redo pass, and the engine must report
+				// having replayed records at open.
+				st := getStorage(t, c.controlAddrs[victim], "y")
+				if st.Engine != "disk" {
+					t.Fatalf("engine = %q, want disk", st.Engine)
+				}
+				if st.Value != 13 {
+					t.Fatalf("pre-claim local committed y = %d, want 13 (WAL redo)", st.Value)
+				}
+				if st.Stats.RedoApplied == 0 {
+					t.Fatalf("respawned engine applied no redo records: %+v", st.Stats)
+				}
+			},
+			checkReport: func(t *testing.T, body []byte) {
+				var rep struct {
+					DataCopies   uint64 `json:"dataCopies"`
+					VersionSkips uint64 `json:"versionSkips"`
+				}
+				if err := json.Unmarshal(body, &rep); err != nil {
+					t.Fatalf("recover report %s: %v", body, err)
+				}
+				// Only x changed while the victim was dead: exactly one copier
+				// moved data, and every current item (y) was a version skip —
+				// zero peer page fetches for current items.
+				if rep.DataCopies != 1 {
+					t.Fatalf("dataCopies = %d, want 1 (only x changed while down): %s", rep.DataCopies, body)
+				}
+				if rep.VersionSkips < 1 {
+					t.Fatalf("versionSkips = %d, want >= 1 (y is current locally): %s", rep.VersionSkips, body)
+				}
 			},
 		},
 	}
@@ -95,6 +164,7 @@ func TestE2EThreeSiteCluster(t *testing.T) {
 			}
 
 			c := newE2ECluster(t, bin, outDir)
+			c.extraArgs = model.args
 			for i := range c.peerAddrs {
 				c.spawn(t, i, false)
 			}
@@ -135,14 +205,19 @@ func TestE2EThreeSiteCluster(t *testing.T) {
 				}
 				time.Sleep(50 * time.Millisecond)
 			}
-			if code, body := post(t, c.controlAddrs[0], "/exec?item=y&value=7"); code != http.StatusOK {
-				t.Fatalf("write y on survivors: %d %s", code, body)
+			if model.writeYDown {
+				if code, body := post(t, c.controlAddrs[0], "/exec?item=y&value=7"); code != http.StatusOK {
+					t.Fatalf("write y on survivors: %d %s", code, body)
+				}
 			}
 
 			// Recover site 3: the type-1 control transaction claims it
 			// nominally up with a fresh session number, and /recover waits
 			// for the copiers.
 			model.bringBack(t, c)
+			if model.preRecover != nil {
+				model.preRecover(t, c)
+			}
 			code, body := post(t, c.controlAddrs[victim], "/recover")
 			if code != http.StatusOK {
 				t.Fatalf("recover site 3: %d %s", code, body)
@@ -156,15 +231,18 @@ func TestE2EThreeSiteCluster(t *testing.T) {
 			if report.Session <= 1 {
 				t.Fatalf("recovered session = %d, want > 1", report.Session)
 			}
+			if model.checkReport != nil {
+				model.checkReport(t, body)
+			}
 
 			// The recovered site serves current data from its local copies —
 			// under sigkill those pages died with the process and came back
-			// through the copiers alone.
+			// through the copiers (mem) or local redo plus one copier (disk).
 			if got := readItem(t, c.controlAddrs[victim], "x"); got != 100 {
 				t.Fatalf("x at recovered site = %d, want 100", got)
 			}
-			if got := readItem(t, c.controlAddrs[victim], "y"); got != 7 {
-				t.Fatalf("y at recovered site = %d, want 7", got)
+			if got := readItem(t, c.controlAddrs[victim], "y"); got != model.wantY {
+				t.Fatalf("y at recovered site = %d, want %d", got, model.wantY)
 			}
 
 			// The runtime surface rides on the control port.
@@ -197,6 +275,8 @@ type e2eCluster struct {
 	// incarnations (it feeds -epoch so relaunches never alias identifiers).
 	exports [][]string
 	gens    []int
+	// extraArgs are appended to every spawn (e.g. -store disk).
+	extraArgs []string
 }
 
 func newE2ECluster(t *testing.T, bin, outDir string) *e2eCluster {
@@ -241,6 +321,7 @@ func (c *e2eCluster) spawn(t *testing.T, i int, startDown bool) {
 	if startDown {
 		args = append(args, "-start-down")
 	}
+	args = append(args, c.extraArgs...)
 	cmd := exec.Command(c.bin, args...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
@@ -503,4 +584,37 @@ func readItem(t *testing.T, ctrl, item string) int64 {
 		t.Fatalf("read %s: %v", item, err)
 	}
 	return out.Value
+}
+
+// storagePeek mirrors GET /storage?item=NAME: the engine kind, its disk
+// counters, and the committed local copy read without session or
+// unreadable gates.
+type storagePeek struct {
+	Engine         string `json:"engine"`
+	Value          int64  `json:"value"`
+	VersionCounter uint64 `json:"versionCounter"`
+	VersionWriter  uint64 `json:"versionWriter"`
+	Unreadable     bool   `json:"unreadable"`
+	Stats          struct {
+		RedoApplied uint64 `json:"RedoApplied"`
+		RedoSkipped uint64 `json:"RedoSkipped"`
+	} `json:"stats"`
+}
+
+func getStorage(t *testing.T, ctrl, item string) storagePeek {
+	t.Helper()
+	resp, err := http.Get("http://" + ctrl + "/storage?item=" + item)
+	if err != nil {
+		t.Fatalf("GET /storage?item=%s: %v", item, err)
+	}
+	defer resp.Body.Close()
+	buf, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("storage %s: %d %s", item, resp.StatusCode, buf)
+	}
+	var out storagePeek
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatalf("storage %s: %s: %v", item, buf, err)
+	}
+	return out
 }

@@ -26,10 +26,10 @@
 // span events the TCP transport records) as JSONL; merge the per-site files
 // with `srtrace -merge` into one causally ordered cluster timeline.
 //
-// Items named with -items are fully replicated across all sites. Storage is
-// in-memory, so /crash models the fail-stop crash in-process (peers see
-// ErrSiteDown on every call) while the "stable" storage and WAL survive for
-// /recover — see internal/node.
+// Items named with -items are fully replicated across all sites. With the
+// default -store=mem storage is in-memory, so /crash models the fail-stop
+// crash in-process (peers see ErrSiteDown on every call) while the "stable"
+// storage and WAL survive for /recover — see internal/node.
 //
 // Two flags extend the crash model to real process death. With -statedir
 // the session counter and 2PC log are spilled to disk (see state.go), so a
@@ -38,6 +38,17 @@
 // decisions. The relaunch must pass -start-down: a restarted site is a DOWN
 // site — it serves ErrSiteDown to peers until POST /recover runs the
 // paper's recovery procedure, exactly like an in-process crash.
+//
+// -store=disk (requires -statedir) swaps in the heap-page engine of
+// internal/storage/disk: committed copies live on slotted pages in
+// statedir/heap.dat behind a buffer pool (-pool-pages), every install is
+// redo-logged to wal.jsonl before the page dirties, and a relaunched
+// process replays the redo records at assembly — BEFORE the type-1 claim —
+// so committed reads come back from local stable storage and only pages
+// that actually changed while the process was dead need a peer (pair with
+// -identify versiondiff to skip the redundant transfers). GET /storage
+// reports the engine's redo/pool counters and serves ?item=NAME committed
+// peeks for the e2e harness.
 //
 // SRNODE_BUG=reuse-session enables a deliberately broken variant (the
 // recovery claim reuses the current session number instead of advancing it)
@@ -65,6 +76,7 @@ import (
 	"siterecovery/internal/proto"
 	"siterecovery/internal/recovery"
 	"siterecovery/internal/replication"
+	"siterecovery/internal/storage/disk"
 	"siterecovery/internal/txn"
 )
 
@@ -74,7 +86,9 @@ func main() {
 		peers     = flag.String("peers", "", "comma-separated site=host:port map for every site, e.g. '1=127.0.0.1:7101,2=127.0.0.1:7102'")
 		items     = flag.String("items", "x,y", "comma-separated logical items, fully replicated across all sites")
 		control   = flag.String("control", "127.0.0.1:0", "HTTP control listen address")
-		identify  = flag.String("identify", "markall", "out-of-date identification: markall|faillock|missinglist")
+		identify  = flag.String("identify", "markall", "out-of-date identification: markall|versiondiff|faillock|missinglist")
+		store     = flag.String("store", "mem", "storage engine: mem|disk (disk keeps committed pages in -statedir/heap.dat and redo-logs installs)")
+		poolPages = flag.Int("pool-pages", 0, "disk engine buffer-pool capacity in pages (0 = default)")
 		batch     = flag.Bool("batch", false, "deferred write-set batching: buffer writes locally and flush one batch per participant at commit")
 		lock      = flag.String("lock", "timeout", "deadlock policy: timeout|wound (wound-wait resolves cross-site deadlocks without waiting out the lock timeout)")
 		exportTo  = flag.String("export", "", "write this site's event stream (JSONL) here; merge per-site files with 'srtrace -merge'")
@@ -171,6 +185,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	switch *store {
+	case "mem":
+		// storage.MemFactory is the node default.
+	case "disk":
+		if *statedir == "" {
+			fmt.Fprintln(os.Stderr, "srnode: -store=disk requires -statedir (the heap file lives beside wal.jsonl)")
+			os.Exit(2)
+		}
+		cfg.Engine = disk.Factory(*statedir, *poolPages)
+	default:
+		fmt.Fprintf(os.Stderr, "srnode: unknown -store %q: want mem|disk\n", *store)
+		os.Exit(2)
+	}
 
 	n, err := node.New(cfg)
 	if err != nil {
@@ -218,6 +245,8 @@ func parseIdentify(s string) (recovery.Identify, error) {
 	switch s {
 	case "markall":
 		return recovery.IdentifyMarkAll, nil
+	case "versiondiff":
+		return recovery.IdentifyVersionDiff, nil
 	case "faillock":
 		return recovery.IdentifyFailLock, nil
 	case "missinglist":
@@ -382,6 +411,34 @@ func controlMux(id proto.SiteID, n *node.Node, hub *obs.Hub, exporter *export.JS
 		writeJSON(w, http.StatusOK, map[string]any{"site": id, "ns": ns})
 	})
 
+	// GET /storage reports the storage engine behind this site. For the
+	// disk engine it includes the redo/pool counters, and ?item=NAME peeks
+	// at the committed local copy WITHOUT a transaction (no session gate,
+	// no unreadable gate): the e2e harness uses it to prove a relaunched
+	// -store=disk process rebuilt committed state from local redo before
+	// the type-1 claim ever ran.
+	mux.HandleFunc("GET /storage", func(w http.ResponseWriter, r *http.Request) {
+		resp := map[string]any{"site": id, "engine": "mem"}
+		if d, ok := n.Store.(*disk.Engine); ok {
+			st := d.Stats()
+			resp["engine"] = "disk"
+			resp["stats"] = st
+		}
+		if item := proto.Item(r.URL.Query().Get("item")); item != "" {
+			v, ver, err := n.Store.Committed(item)
+			if err != nil {
+				writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+				return
+			}
+			resp["item"] = item
+			resp["value"] = v
+			resp["versionCounter"] = ver.Counter
+			resp["versionWriter"] = ver.Writer
+			resp["unreadable"] = n.Store.IsUnreadable(item)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
 	mux.HandleFunc("POST /crash", func(w http.ResponseWriter, r *http.Request) {
 		n.Crash()
 		writeJSON(w, http.StatusOK, map[string]any{"crashed": true})
@@ -390,6 +447,7 @@ func controlMux(id proto.SiteID, n *node.Node, hub *obs.Hub, exporter *export.JS
 	mux.HandleFunc("POST /recover", func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), 60*time.Second)
 		defer cancel()
+		before := n.Recovery.Stats()
 		report, err := n.Recover(ctx)
 		if err != nil {
 			writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error()})
@@ -399,10 +457,16 @@ func controlMux(id proto.SiteID, n *node.Node, hub *obs.Hub, exporter *export.JS
 			writeJSON(w, http.StatusConflict, map[string]any{"error": "wait current: " + err.Error()})
 			return
 		}
+		// Copier deltas for THIS recovery: dataCopies counts refreshes that
+		// actually moved bytes from a peer, versionSkips the ones the
+		// version compare proved already current locally.
+		after := n.Recovery.Stats()
 		writeJSON(w, http.StatusOK, map[string]any{
-			"session": report.Session,
-			"marked":  report.Marked,
-			"inDoubt": report.InDoubt,
+			"session":      report.Session,
+			"marked":       report.Marked,
+			"inDoubt":      report.InDoubt,
+			"dataCopies":   after.DataCopies - before.DataCopies,
+			"versionSkips": after.VersionSkips - before.VersionSkips,
 		})
 	})
 

@@ -54,6 +54,10 @@ type Options struct {
 	// Env appends to the child environment (e.g. "SRNODE_BUG=reuse-session"
 	// to run a deliberately broken variant the oracle must catch).
 	Env []string
+	// Store selects the srnode storage engine ("mem" or "disk"); empty
+	// leaves srnode's default (mem). With "disk" every SIGKILL also
+	// exercises the heap-file redo pass on relaunch.
+	Store string
 	// Log receives progress lines (nil is silent).
 	Log func(string)
 }
@@ -201,6 +205,9 @@ func (c *cluster) spawn(site proto.SiteID, startDown bool) error {
 	}
 	if startDown {
 		args = append(args, "-start-down")
+	}
+	if c.opts.Store != "" {
+		args = append(args, "-store", c.opts.Store)
 	}
 	cmd := exec.Command(c.opts.Bin, args...)
 	cmd.Env = append(os.Environ(), c.opts.Env...)

@@ -133,6 +133,10 @@ type Config struct {
 	// site. Defaults to the process-wide hub installed with obs.SetDefault
 	// (none by default); nil stays a zero-cost no-op sink.
 	Obs *obs.Hub
+	// Storage picks each site's storage engine; nil means
+	// storage.MemFactory, keeping simulated traces byte-identical. The
+	// factory runs once per site with that site's WAL in the Deps.
+	Storage storage.Factory
 }
 
 // Hooks expose two-phase-commit instants so tests can crash sites at the
@@ -191,7 +195,7 @@ const InitialSession proto.Session = 1
 type Site struct {
 	ID proto.SiteID
 
-	Store    *storage.Store
+	Store    storage.Engine
 	Locks    *lockmgr.Manager
 	Log      *wal.Log
 	Spool    *spooler.Store
@@ -292,8 +296,28 @@ func New(cfg Config) (*Cluster, error) {
 		for _, j := range ids {
 			items = append(items, proto.NSItem(j))
 		}
-		site.Store = storage.New(id, items, txn.InitialTxn)
+		// The log assembles before storage so a redo-logged engine can
+		// replay into itself the moment its factory runs.
+		site.Log = wal.New()
+		factory := cfg.Storage
+		if factory == nil {
+			factory = storage.MemFactory
+		}
+		site.Store, err = factory(storage.Deps{
+			Site:          id,
+			Items:         items,
+			InitialWriter: txn.InitialTxn,
+			Log:           site.Log,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("site %v storage engine: %w", id, err)
+		}
+		// Seed NS values only where the copy still carries its initial
+		// version; a reopened durable engine keeps its recovered vector.
 		for _, j := range ids {
+			if _, ver, err := site.Store.Committed(proto.NSItem(j)); err == nil && ver != (proto.Version{Writer: txn.InitialTxn}) {
+				continue
+			}
 			if err := site.Store.Seed(proto.NSItem(j), proto.Value(InitialSession)); err != nil {
 				return nil, err
 			}
@@ -305,7 +329,6 @@ func New(cfg Config) (*Cluster, error) {
 			Timeout: cfg.LockTimeout,
 			Policy:  cfg.LockPolicy,
 		})
-		site.Log = wal.New()
 		if cfg.Method == MethodSpooler {
 			site.Spool = spooler.New()
 		}

@@ -7,6 +7,7 @@ import (
 	"siterecovery/internal/proto"
 	"siterecovery/internal/recovery"
 	"siterecovery/internal/replication"
+	"siterecovery/internal/storage"
 )
 
 // Option mutates a Config during NewCluster. The functional-options
@@ -87,4 +88,11 @@ func WithSeed(seed int64) Option {
 // WithLatency sets the simulated per-message latency range.
 func WithLatency(min, max time.Duration) Option {
 	return func(c *Config) { c.MinLatency, c.MaxLatency = min, max }
+}
+
+// WithStorage selects the storage engine factory each site is built from
+// (for example disk.Factory for the heap-page engine). nil keeps the
+// default in-memory force-at-commit engine.
+func WithStorage(factory storage.Factory) Option {
+	return func(c *Config) { c.Storage = factory }
 }

@@ -76,7 +76,7 @@ type Callbacks struct {
 // Config assembles a DM.
 type Config struct {
 	Site     proto.SiteID
-	Store    *storage.Store
+	Store    storage.Engine
 	Locks    *lockmgr.Manager
 	Log      *wal.Log
 	Recorder *history.Recorder
@@ -504,9 +504,15 @@ func (m *Manager) finishCommit(txn proto.TxnID, commitSeq uint64) error {
 			}
 		}
 	}
+	// Refreshes carry authoritative snapshots read from an operational
+	// site under this transaction's locks; they install unconditionally.
+	// Version counters are per-writer commit sequences, not a global
+	// order, so a current NS value ("site up" from a fresh type-1 claim)
+	// can carry a numerically smaller version than the stale marker it
+	// must replace — a guarded install would resurrect the stale copy.
 	for item, rv := range refreshes {
 		m.observeSeq(rv.version.Counter)
-		if _, err := m.cfg.Store.InstallDirect(item, rv.value, rv.version); err != nil {
+		if err := m.cfg.Store.InstallRefresh(item, rv.value, rv.version); err != nil {
 			return err
 		}
 		if m.cfg.Recorder != nil {
@@ -786,7 +792,7 @@ func (m *Manager) AdoptInDoubt(d InDoubtTxn) {
 
 // Store exposes the underlying store to the site assembly (recovery marks,
 // snapshots, session counter).
-func (m *Manager) Store() *storage.Store { return m.cfg.Store }
+func (m *Manager) Store() storage.Engine { return m.cfg.Store }
 
 // Log exposes the stable log (coordinator-side decision logging).
 func (m *Manager) Log() *wal.Log { return m.cfg.Log }

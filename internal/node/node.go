@@ -7,17 +7,22 @@
 // so a cluster of srnode processes exercises the paper's protocol over
 // localhost TCP instead of the in-process simulator.
 //
-// Storage is in-memory, so Crash models the paper's fail-stop site failure
-// in-process: the data manager drops its volatile state (locks, in-flight
-// transactions, session number) and the transport handler answers
-// everything with proto.ErrSiteDown — exactly what peers would see from a
-// refused connection — while stable storage and the log survive for Recover
-// to use. For REAL process death (SIGKILL), the genuinely-stable slice the
-// paper requires — the session counter (§3.1) and the 2PC log (§3.4) — can
-// be spilled through SessionSink/WALSink and restored on the next start via
-// SessionCounter/WALRecords + StartDown; data pages stay volatile and are
-// rebuilt from live peers by the copiers, which is exactly the out-of-date
-// copies story the recovery procedure exists to handle.
+// Storage is pluggable (Config.Engine): the default in-memory engine makes
+// Crash model the paper's fail-stop site failure in-process — the data
+// manager drops its volatile state (locks, in-flight transactions, session
+// number) and the transport handler answers everything with
+// proto.ErrSiteDown, exactly what peers would see from a refused connection
+// — while stable storage and the log survive for Recover to use. For REAL
+// process death (SIGKILL), the genuinely-stable slice the paper requires —
+// the session counter (§3.1) and the 2PC log (§3.4) — can be spilled
+// through SessionSink/WALSink and restored on the next start via
+// SessionCounter/WALRecords + StartDown. With the in-memory engine, data
+// pages die with the process and are rebuilt from live peers by the
+// copiers — the out-of-date copies story the recovery procedure exists to
+// handle; with the disk engine (storage/disk), the redo pass rebuilds
+// committed pages from the preloaded WAL before the node even assembles,
+// so only pages that actually changed while the process was dead need a
+// peer.
 package node
 
 import (
@@ -81,6 +86,11 @@ type Config struct {
 	CallTimeout time.Duration
 	// Obs receives protocol events and metrics; nil is a no-op sink.
 	Obs *obs.Hub
+	// Engine picks the storage engine; nil means storage.MemFactory. The
+	// factory runs after the WAL is assembled and preloaded, so a
+	// redo-logged engine (storage/disk) replays WALRecords before the node
+	// serves anything.
+	Engine storage.Factory
 
 	// StartDown assembles the node in the crashed state: the transport
 	// serves (answering ErrSiteDown) but no workers run and no session is
@@ -137,7 +147,7 @@ type Node struct {
 	cat *replication.Catalog
 
 	Transport *tcpnet.Transport
-	Store     *storage.Store
+	Store     storage.Engine
 	Locks     *lockmgr.Manager
 	Log       *wal.Log
 	DM        *dm.Manager
@@ -194,13 +204,41 @@ func New(cfg Config) (*Node, error) {
 		Lamport:     seq.HighCommitSeq,
 	})
 
+	// The WAL assembles before storage so a redo-logged engine can replay
+	// the preloaded records the moment its factory runs.
+	n.Log = wal.New()
+	if len(cfg.WALRecords) > 0 {
+		n.Log.Preload(cfg.WALRecords)
+	}
+	if cfg.WALSink != nil {
+		n.Log.SetSink(cfg.WALSink)
+	}
+
 	var items []proto.Item
 	items = append(items, cat.ItemsAt(cfg.Site)...)
 	for _, j := range ids {
 		items = append(items, proto.NSItem(j))
 	}
-	n.Store = storage.New(cfg.Site, items, txn.InitialTxn)
+	factory := cfg.Engine
+	if factory == nil {
+		factory = storage.MemFactory
+	}
+	n.Store, err = factory(storage.Deps{
+		Site:          cfg.Site,
+		Items:         items,
+		InitialWriter: txn.InitialTxn,
+		Log:           n.Log,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("node: storage engine: %w", err)
+	}
+	// Seed NS values only where the copy still carries its initial version:
+	// a reopened durable engine keeps the NS vector it recovered, which a
+	// blanket re-seed would clobber.
 	for _, j := range ids {
+		if _, ver, err := n.Store.Committed(proto.NSItem(j)); err == nil && ver != (proto.Version{Writer: txn.InitialTxn}) {
+			continue
+		}
 		if err := n.Store.Seed(proto.NSItem(j), proto.Value(InitialSession)); err != nil {
 			return nil, err
 		}
@@ -217,13 +255,6 @@ func New(cfg Config) (*Node, error) {
 		Timeout: cfg.LockTimeout,
 		Policy:  cfg.LockPolicy,
 	})
-	n.Log = wal.New()
-	if len(cfg.WALRecords) > 0 {
-		n.Log.Preload(cfg.WALRecords)
-	}
-	if cfg.WALSink != nil {
-		n.Log.SetSink(cfg.WALSink)
-	}
 
 	tracking := dm.TrackNone
 	switch cfg.Identify {

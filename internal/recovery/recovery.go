@@ -160,6 +160,11 @@ type Manager struct {
 	mu      sync.Mutex
 	stats   Stats
 	pending map[proto.Item]bool
+	// inflight counts copyOne calls between entry and stats accounting.
+	// A copier clears the unreadable mark when its transaction commits,
+	// slightly before it bumps DataCopies/VersionSkips; WaitCurrent waits
+	// for inflight to drain so its return means the stats are settled.
+	inflight int
 	// stallGate is non-nil while the copier path is stalled; resuming
 	// closes it, waking any parked workers.
 	stallGate chan struct{}
@@ -499,11 +504,16 @@ func (m *Manager) Flush() {
 }
 
 // WaitCurrent blocks until no local copy is marked unreadable (fully
-// current), flushing the queue as needed, or until the context is done.
+// current) and no copier is mid-flight, flushing the queue as needed, or
+// until the context is done. Waiting out the in-flight copiers makes the
+// copier stats (DataCopies, VersionSkips) settled on return.
 func (m *Manager) WaitCurrent(ctx context.Context) error {
 	for {
 		items := m.cfg.Local.Store().UnreadableItems()
-		if len(items) == 0 {
+		m.mu.Lock()
+		busy := m.inflight
+		m.mu.Unlock()
+		if len(items) == 0 && busy == 0 {
 			return nil
 		}
 		m.Flush()
@@ -591,6 +601,14 @@ func (m *Manager) DrainNow(ctx context.Context) int {
 // a readable copy at an operational site, and installs its content under
 // the original writer's version.
 func (m *Manager) copyOne(ctx context.Context, item proto.Item) error {
+	m.mu.Lock()
+	m.inflight++
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.inflight--
+		m.mu.Unlock()
+	}()
 	var transferred, skipped bool
 	var copySource proto.SiteID
 	err := m.cfg.TM.RunClass(ctx, proto.ClassCopier, func(ctx context.Context, tx *txn.Tx) error {

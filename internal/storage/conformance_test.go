@@ -1,0 +1,27 @@
+package storage_test
+
+import (
+	"testing"
+
+	"siterecovery/internal/proto"
+	"siterecovery/internal/storage"
+	"siterecovery/internal/storage/enginetest"
+)
+
+// TestMemConformance runs the shared engine battery against the in-memory
+// engine (which is also the battery's oracle — the randomized subtest then
+// degenerates to a self-check, but the table-driven ones still bite).
+func TestMemConformance(t *testing.T) {
+	enginetest.Run(t, func(_ *testing.T, site proto.SiteID, items []proto.Item, initialWriter proto.TxnID) storage.Engine {
+		return storage.NewMem(site, items, initialWriter)
+	})
+}
+
+// TestDeprecatedAliases keeps the pre-Engine names compiling and working.
+func TestDeprecatedAliases(t *testing.T) {
+	var s *storage.Store = storage.New(1, []proto.Item{"x"}, 1)
+	var e storage.Engine = s
+	if !e.HasCopy("x") {
+		t.Fatal("alias-constructed store lost its copy")
+	}
+}

@@ -1,0 +1,263 @@
+package disk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"siterecovery/internal/proto"
+	"siterecovery/internal/storage"
+	"siterecovery/internal/storage/enginetest"
+	"siterecovery/internal/wal"
+)
+
+func openT(t *testing.T, dir string, poolPages int, log *wal.Log, items ...proto.Item) *Engine {
+	t.Helper()
+	e, err := Open(dir, poolPages, storage.Deps{
+		Site: 3, Items: items, InitialWriter: 1, Log: log,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { e.file.Close() })
+	return e
+}
+
+func TestDiskConformance(t *testing.T) {
+	enginetest.Run(t, func(t *testing.T, site proto.SiteID, items []proto.Item, initialWriter proto.TxnID) storage.Engine {
+		e, err := Open(t.TempDir(), 4, storage.Deps{
+			Site: site, Items: items, InitialWriter: initialWriter, Log: wal.New(),
+		})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		t.Cleanup(func() { e.file.Close() })
+		return e
+	})
+}
+
+func TestOpenRequiresLog(t *testing.T) {
+	if _, err := Open(t.TempDir(), 4, storage.Deps{Site: 1}); err == nil {
+		t.Fatal("Open without a WAL succeeded")
+	}
+}
+
+// TestFlushReopen round-trips committed state through the heap file alone:
+// a clean flush followed by a reopen against an empty WAL must serve the
+// same values with zero redo.
+func TestFlushReopen(t *testing.T) {
+	dir := t.TempDir()
+	log := wal.New()
+	e := openT(t, dir, 4, log, "x", "y")
+	ver := proto.Version{Counter: 7, Writer: 5}
+	if _, err := e.InstallDirect("x", 100, ver); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a FRESH empty log: everything must come off the heap file.
+	re := openT(t, dir, 4, wal.New(), "x", "y")
+	if v, gotVer, err := re.Committed("x"); err != nil || v != 100 || gotVer != ver {
+		t.Fatalf("reopened Committed(x) = %d %v %v", v, gotVer, err)
+	}
+	st := re.Stats()
+	if st.RedoApplied != 0 || st.CorruptPages != 0 {
+		t.Fatalf("clean reopen stats = %+v", st)
+	}
+}
+
+// TestRedoRecovery is the ARIES-lite story: installs that never reach the
+// heap file (no flush — the "process" dies) are rebuilt from the WAL's
+// physical redo records at the next open.
+func TestRedoRecovery(t *testing.T) {
+	dir := t.TempDir()
+	log := wal.New()
+	e := openT(t, dir, 4, log, "x", "y")
+	if err := e.BufferWrite(9, "x", 41); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.BufferWrite(9, "y", 42); err != nil {
+		t.Fatal(err)
+	}
+	ver := proto.Version{Counter: 3, Writer: 9}
+	e.InstallPending(9, ver)
+	// No Flush, no Close: the engine is simply dropped, like SIGKILL.
+
+	redos := log.ScanRedo()
+	if len(redos) != 1 || len(redos[0].Writes) != 2 {
+		t.Fatalf("ScanRedo = %+v, want one record with two writes", redos)
+	}
+
+	re := openT(t, dir, 4, log, "x", "y")
+	if v, gotVer, err := re.Committed("x"); err != nil || v != 41 || gotVer != ver {
+		t.Fatalf("redone Committed(x) = %d %v %v", v, gotVer, err)
+	}
+	if v, _, _ := re.Committed("y"); v != 42 {
+		t.Fatalf("redone Committed(y) = %d", v)
+	}
+	if st := re.Stats(); st.RedoApplied != 2 {
+		t.Fatalf("RedoApplied = %d, want 2", st.RedoApplied)
+	}
+
+	// A third open after a flush skips the now-stale records.
+	if err := re.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	again := openT(t, dir, 4, log, "x", "y")
+	if st := again.Stats(); st.RedoApplied != 0 || st.RedoSkipped != 2 {
+		t.Fatalf("post-flush stats = %+v, want 2 skipped", st)
+	}
+}
+
+// TestRedoNonMonotoneVersions replays installs whose versions are NOT
+// numerically increasing, the shape session claims produce: a type-2
+// exclusion writes "site down" with a high commit sequence, then the
+// excluded site's type-1 claim writes "site up" with its own (lower)
+// sequence, and 2PC installs both in commit order. Redo must reproduce
+// log order — last record wins — not pick the numerically larger version,
+// or a restarted site resurrects the stale "down" marker and its copiers
+// skip every live peer.
+func TestRedoNonMonotoneVersions(t *testing.T) {
+	dir := t.TempDir()
+	log := wal.New()
+	e := openT(t, dir, 4, log, "ns-2")
+	if err := e.BufferWrite(50, "ns-2", -1); err != nil { // exclusion: down
+		t.Fatal(err)
+	}
+	e.InstallPending(50, proto.Version{Counter: 9, Writer: 50})
+	if err := e.BufferWrite(7, "ns-2", 4); err != nil { // claim: up, session 4
+		t.Fatal(err)
+	}
+	e.InstallPending(7, proto.Version{Counter: 2, Writer: 7})
+
+	// Live state: the later, numerically smaller version won.
+	if v, ver, err := e.Committed("ns-2"); err != nil || v != 4 || ver != (proto.Version{Counter: 2, Writer: 7}) {
+		t.Fatalf("live Committed = %d %v %v", v, ver, err)
+	}
+
+	// SIGKILL: drop the engine, replay the same log.
+	re := openT(t, dir, 4, log, "ns-2")
+	if v, ver, err := re.Committed("ns-2"); err != nil || v != 4 || ver != (proto.Version{Counter: 2, Writer: 7}) {
+		t.Fatalf("redone Committed = %d %v %v", v, ver, err)
+	}
+}
+
+// TestEvictionSpansPages fills several pages through a one-frame pool so
+// every access churns the pool; values must survive the evict/flush/reload
+// cycle.
+func TestEvictionSpansPages(t *testing.T) {
+	var items []proto.Item
+	for i := 0; i < 300; i++ {
+		items = append(items, proto.Item(fmt.Sprintf("item-%03d", i)))
+	}
+	log := wal.New()
+	e := openT(t, t.TempDir(), 1, log, items...)
+	for i, item := range items {
+		if _, err := e.InstallDirect(item, proto.Value(i), proto.Version{Counter: 1, Writer: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, item := range items {
+		if v, _, err := e.Committed(item); err != nil || v != proto.Value(i) {
+			t.Fatalf("Committed(%s) = %d %v, want %d", item, v, err, i)
+		}
+	}
+	st := e.Stats()
+	if st.Pages < 2 {
+		t.Fatalf("expected multiple heap pages, got %d", st.Pages)
+	}
+	if st.Evictions == 0 || st.Flushes == 0 {
+		t.Fatalf("one-frame pool never evicted/flushed: %+v", st)
+	}
+}
+
+// TestTornPageDropped corrupts a flushed page on disk; open must detect the
+// checksum mismatch, drop the page, and rebuild its contents from redo.
+func TestTornPageDropped(t *testing.T) {
+	dir := t.TempDir()
+	log := wal.New()
+	e := openT(t, dir, 4, log, "x")
+	ver := proto.Version{Counter: 2, Writer: 6}
+	if _, err := e.InstallDirect("x", 55, ver); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, HeapFileName)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xde, 0xad}, PageSize-2); err != nil { // tear the tuple area
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re := openT(t, dir, 4, log, "x")
+	st := re.Stats()
+	if st.CorruptPages != 1 {
+		t.Fatalf("CorruptPages = %d, want 1", st.CorruptPages)
+	}
+	if v, gotVer, err := re.Committed("x"); err != nil || v != 55 || gotVer != ver {
+		t.Fatalf("torn page not rebuilt from redo: %d %v %v", v, gotVer, err)
+	}
+	if st.RedoApplied != 1 {
+		t.Fatalf("RedoApplied = %d, want 1", st.RedoApplied)
+	}
+}
+
+// TestWALBeforeData asserts the flush-ordering discipline is wired: every
+// installed page carries a pageLSN the log has already made durable, so a
+// full checkpoint never trips the pool's ordering check and every install
+// has a covering redo record before its page dirties.
+func TestWALBeforeData(t *testing.T) {
+	log := wal.New()
+	e := openT(t, t.TempDir(), 4, log, "x")
+	before := log.DurableLSN()
+	if _, err := e.InstallDirect("x", 1, proto.Version{Counter: 1, Writer: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if log.DurableLSN() != before+1 {
+		t.Fatalf("install did not force a redo record: LSN %d -> %d", before, log.DurableLSN())
+	}
+	for _, f := range e.pool.frames {
+		if f.dirty && f.pageLSN > log.DurableLSN() {
+			t.Fatalf("page %d has pageLSN %d beyond durable %d", f.id, f.pageLSN, log.DurableLSN())
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("checkpoint tripped the WAL-before-data check: %v", err)
+	}
+}
+
+// TestPageRoundTrip exercises the slotted-page codec directly.
+func TestPageRoundTrip(t *testing.T) {
+	data := make([]byte, PageSize)
+	pageInit(data)
+	ver := proto.Version{Counter: 9, Writer: 4}
+	slot, ok := pageInsert(data, "hello", -12, ver)
+	if !ok {
+		t.Fatal("insert into empty page failed")
+	}
+	item, v, gotVer := pageTuple(data, slot)
+	if item != "hello" || v != -12 || gotVer != ver {
+		t.Fatalf("tuple round trip = %q %d %v", item, v, gotVer)
+	}
+	pageUpdate(data, slot, 77, proto.Version{Counter: 10, Writer: 5})
+	if _, v, _ := pageTuple(data, slot); v != 77 {
+		t.Fatalf("update = %d", v)
+	}
+	pageSeal(data)
+	if !pageVerify(data) {
+		t.Fatal("sealed page fails verification")
+	}
+	data[100] ^= 0xff
+	if pageVerify(data) {
+		t.Fatal("corrupted page passes verification")
+	}
+}

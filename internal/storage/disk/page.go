@@ -1,0 +1,128 @@
+package disk
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"siterecovery/internal/proto"
+)
+
+// PageSize is the fixed size of a heap page, chosen to match a common
+// filesystem block.
+const PageSize = 4096
+
+// Page layout (all integers little-endian):
+//
+//	[0:4)   crc32 over bytes [4:PageSize), written at flush (pageSeal)
+//	[4:6)   numSlots
+//	[6:8)   freeHigh: lowest byte offset used by tuple data
+//	[8:..)  slot directory, numSlots × uint16 tuple offsets, growing up
+//	[..:PageSize) tuple data, growing down from PageSize
+//
+// Tuple: itemLen uint8 | item bytes | value int64 | version.Counter uint64 |
+// version.Writer uint64. The suffix after the item name is fixed-size, so
+// updates rewrite value and version in place and a tuple never moves.
+const (
+	pageHdrSize  = 8
+	slotSize     = 2
+	tupleFixed   = 24 // value + version counter + version writer
+	maxItemBytes = 255
+)
+
+func pageInit(data []byte) {
+	for i := range data {
+		data[i] = 0
+	}
+	binary.LittleEndian.PutUint16(data[6:8], PageSize)
+}
+
+func pageNumSlots(data []byte) int {
+	return int(binary.LittleEndian.Uint16(data[4:6]))
+}
+
+func pageFreeHigh(data []byte) int {
+	return int(binary.LittleEndian.Uint16(data[6:8]))
+}
+
+// pageFree reports the bytes available for one more slot entry plus tuple.
+func pageFree(data []byte) int {
+	return pageFreeHigh(data) - (pageHdrSize + slotSize*pageNumSlots(data))
+}
+
+func tupleSize(item proto.Item) int {
+	return 1 + len(item) + tupleFixed
+}
+
+// pageInsert appends a tuple and returns its slot index; ok is false when
+// the page lacks room.
+func pageInsert(data []byte, item proto.Item, value proto.Value, ver proto.Version) (int, bool) {
+	need := slotSize + tupleSize(item)
+	if pageFree(data) < need || len(item) > maxItemBytes {
+		return 0, false
+	}
+	n := pageNumSlots(data)
+	off := pageFreeHigh(data) - tupleSize(item)
+	data[off] = byte(len(item))
+	copy(data[off+1:], item)
+	putTupleSuffix(data[off+1+len(item):], value, ver)
+	binary.LittleEndian.PutUint16(data[pageHdrSize+slotSize*n:], uint16(off))
+	binary.LittleEndian.PutUint16(data[4:6], uint16(n+1))
+	binary.LittleEndian.PutUint16(data[6:8], uint16(off))
+	return n, true
+}
+
+// pageTuple decodes the tuple at slot.
+func pageTuple(data []byte, slot int) (proto.Item, proto.Value, proto.Version) {
+	off := int(binary.LittleEndian.Uint16(data[pageHdrSize+slotSize*slot:]))
+	n := int(data[off])
+	item := proto.Item(data[off+1 : off+1+n])
+	value, ver := tupleSuffix(data[off+1+n:])
+	return item, value, ver
+}
+
+// pageUpdate rewrites the value and version of the tuple at slot in place.
+func pageUpdate(data []byte, slot int, value proto.Value, ver proto.Version) {
+	off := int(binary.LittleEndian.Uint16(data[pageHdrSize+slotSize*slot:]))
+	n := int(data[off])
+	putTupleSuffix(data[off+1+n:], value, ver)
+}
+
+func putTupleSuffix(b []byte, value proto.Value, ver proto.Version) {
+	binary.LittleEndian.PutUint64(b[0:8], uint64(value))
+	binary.LittleEndian.PutUint64(b[8:16], ver.Counter)
+	binary.LittleEndian.PutUint64(b[16:24], uint64(ver.Writer))
+}
+
+func tupleSuffix(b []byte) (proto.Value, proto.Version) {
+	value := proto.Value(binary.LittleEndian.Uint64(b[0:8]))
+	ver := proto.Version{
+		Counter: binary.LittleEndian.Uint64(b[8:16]),
+		Writer:  proto.TxnID(binary.LittleEndian.Uint64(b[16:24])),
+	}
+	return value, ver
+}
+
+// pageSeal stamps the checksum before the page goes to disk.
+func pageSeal(data []byte) {
+	binary.LittleEndian.PutUint32(data[0:4], crc32.ChecksumIEEE(data[4:]))
+}
+
+// pageVerify reports whether a page read from disk is intact. An all-zero
+// page (a hole left by out-of-order flushes) counts as an intact empty
+// page; anything else must carry a matching checksum, so a torn write is
+// detected and the page's contents recovered from the redo log instead.
+func pageVerify(data []byte) bool {
+	if pageZero(data) {
+		return true
+	}
+	return binary.LittleEndian.Uint32(data[0:4]) == crc32.ChecksumIEEE(data[4:])
+}
+
+func pageZero(data []byte) bool {
+	for _, b := range data {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,374 @@
+// Package enginetest is the storage.Engine conformance suite: one shared
+// battery of table-driven and randomized (testing/quick) tests that every
+// engine must pass, so dm/node/core can swap engines without behavioral
+// drift. storage.Mem doubles as the semantic oracle for the randomized
+// battery — an engine conforms exactly when it is observationally
+// equivalent to the map-based model.
+package enginetest
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"siterecovery/internal/proto"
+	"siterecovery/internal/storage"
+)
+
+// Maker builds a fresh engine for one conformance subtest. Implementations
+// back it with whatever scaffolding they need (temp dirs, WALs); each call
+// must return an independent engine.
+type Maker func(t *testing.T, site proto.SiteID, items []proto.Item, initialWriter proto.TxnID) storage.Engine
+
+const initialTxn proto.TxnID = 1
+
+// Run executes the full conformance battery against mk's engines.
+func Run(t *testing.T, mk Maker) {
+	t.Run("InitialState", func(t *testing.T) { testInitialState(t, mk) })
+	t.Run("NoCopy", func(t *testing.T) { testNoCopy(t, mk) })
+	t.Run("PendingIsolation", func(t *testing.T) { testPendingIsolation(t, mk) })
+	t.Run("InstallDirectGuard", func(t *testing.T) { testInstallDirectGuard(t, mk) })
+	t.Run("InstallRefreshUnconditional", func(t *testing.T) { testInstallRefresh(t, mk) })
+	t.Run("Unreadable", func(t *testing.T) { testUnreadable(t, mk) })
+	t.Run("SessionMonotonic", func(t *testing.T) { testSessionMonotonic(t, mk) })
+	t.Run("CrashWipesVolatile", func(t *testing.T) { testCrashWipesVolatile(t, mk) })
+	t.Run("AddItemSeed", func(t *testing.T) { testAddItemSeed(t, mk) })
+	t.Run("QuickVsOracle", func(t *testing.T) { testQuickVsOracle(t, mk) })
+}
+
+func testInitialState(t *testing.T, mk Maker) {
+	e := mk(t, 3, []proto.Item{"y", "x", proto.NSItem(1)}, initialTxn)
+	if e.Site() != 3 {
+		t.Fatalf("Site() = %v, want 3", e.Site())
+	}
+	want := []proto.Item{proto.NSItem(1), "x", "y"}
+	if got := e.Items(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Items() = %v, want sorted %v", got, want)
+	}
+	if !e.HasCopy("x") || e.HasCopy("z") {
+		t.Fatalf("HasCopy wrong: x=%v z=%v", e.HasCopy("x"), e.HasCopy("z"))
+	}
+	v, ver, err := e.Committed("x")
+	if err != nil || v != 0 || ver != (proto.Version{Writer: initialTxn}) {
+		t.Fatalf("Committed(x) = %v %v %v, want 0 {0 %d} nil", v, ver, err, initialTxn)
+	}
+	if e.IsUnreadable("x") || len(e.UnreadableItems()) != 0 {
+		t.Fatal("fresh engine has unreadable marks")
+	}
+}
+
+func testNoCopy(t *testing.T, mk Maker) {
+	e := mk(t, 1, []proto.Item{"x"}, initialTxn)
+	if _, _, err := e.Committed("nope"); !errors.Is(err, storage.ErrNoCopy) {
+		t.Fatalf("Committed(missing) err = %v, want ErrNoCopy", err)
+	}
+	if err := e.BufferWrite(7, "nope", 1); !errors.Is(err, storage.ErrNoCopy) {
+		t.Fatalf("BufferWrite(missing) err = %v, want ErrNoCopy", err)
+	}
+	if _, err := e.InstallDirect("nope", 1, proto.Version{Counter: 1, Writer: 7}); !errors.Is(err, storage.ErrNoCopy) {
+		t.Fatalf("InstallDirect(missing) err = %v, want ErrNoCopy", err)
+	}
+	if err := e.Seed("nope", 1); !errors.Is(err, storage.ErrNoCopy) {
+		t.Fatalf("Seed(missing) err = %v, want ErrNoCopy", err)
+	}
+	e.MarkUnreadable("nope") // must be a no-op
+	if len(e.UnreadableItems()) != 0 {
+		t.Fatal("MarkUnreadable on missing copy left a mark")
+	}
+}
+
+func testPendingIsolation(t *testing.T, mk Maker) {
+	e := mk(t, 1, []proto.Item{"x", "y"}, initialTxn)
+	const txn proto.TxnID = 9
+	if err := e.BufferWrite(txn, "x", 41); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.BufferWrite(txn, "y", 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := e.Committed("x"); v != 0 {
+		t.Fatalf("pending write visible through Committed: %d", v)
+	}
+	if !e.HasPending(txn) || e.HasPending(txn+1) {
+		t.Fatal("HasPending wrong")
+	}
+	got := e.PendingWrites(txn)
+	if len(got) != 2 || got["x"] != 41 || got["y"] != 42 {
+		t.Fatalf("PendingWrites = %v", got)
+	}
+	got["x"] = 99 // must be a copy
+	if e.PendingWrites(txn)["x"] != 41 {
+		t.Fatal("PendingWrites returned the live map")
+	}
+
+	e.MarkUnreadable("x")
+	ver := proto.Version{Counter: 5, Writer: txn}
+	items := e.InstallPending(txn, ver)
+	if !reflect.DeepEqual(items, []proto.Item{"x", "y"}) {
+		t.Fatalf("InstallPending items = %v", items)
+	}
+	if e.HasPending(txn) {
+		t.Fatal("InstallPending left the buffer")
+	}
+	if e.IsUnreadable("x") {
+		t.Fatal("InstallPending left the unreadable mark")
+	}
+	if v, gotVer, _ := e.Committed("x"); v != 41 || gotVer != ver {
+		t.Fatalf("Committed(x) after install = %d %v", v, gotVer)
+	}
+
+	// Abort path: dropped writes never surface.
+	if err := e.BufferWrite(txn, "x", 77); err != nil {
+		t.Fatal(err)
+	}
+	e.DropPending(txn)
+	if e.HasPending(txn) {
+		t.Fatal("DropPending left the buffer")
+	}
+	if v, _, _ := e.Committed("x"); v != 41 {
+		t.Fatalf("dropped pending write surfaced: %d", v)
+	}
+}
+
+func testInstallDirectGuard(t *testing.T, mk Maker) {
+	e := mk(t, 1, []proto.Item{"x"}, initialTxn)
+	newer := proto.Version{Counter: 10, Writer: 5}
+	installed, err := e.InstallDirect("x", 100, newer)
+	if err != nil || !installed {
+		t.Fatalf("InstallDirect newer = %v %v", installed, err)
+	}
+	// Same version again: skipped, mark still cleared.
+	e.MarkUnreadable("x")
+	installed, err = e.InstallDirect("x", 200, newer)
+	if err != nil || installed {
+		t.Fatalf("InstallDirect equal version = %v %v, want skip", installed, err)
+	}
+	if e.IsUnreadable("x") {
+		t.Fatal("skipped InstallDirect kept the unreadable mark")
+	}
+	if v, _, _ := e.Committed("x"); v != 100 {
+		t.Fatalf("equal-version install overwrote: %d", v)
+	}
+	// Older version: skipped.
+	if installed, _ = e.InstallDirect("x", 300, proto.Version{Counter: 9, Writer: 5}); installed {
+		t.Fatal("older version installed")
+	}
+	// Newer counter wins.
+	if installed, _ = e.InstallDirect("x", 400, proto.Version{Counter: 11, Writer: 2}); !installed {
+		t.Fatal("newer version skipped")
+	}
+	if v, _, _ := e.Committed("x"); v != 400 {
+		t.Fatalf("Committed = %d, want 400", v)
+	}
+}
+
+// testInstallRefresh pins the authoritative-snapshot semantics: a refresh
+// replaces the local copy even when its version is numerically older —
+// the shape a type-1 claim's "site up" takes when it overwrites an
+// exclusion's higher-sequence "site down" — and clears the mark.
+func testInstallRefresh(t *testing.T, mk Maker) {
+	e := mk(t, 1, []proto.Item{"x"}, initialTxn)
+	if _, err := e.InstallDirect("x", 100, proto.Version{Counter: 10, Writer: 5}); err != nil {
+		t.Fatal(err)
+	}
+	e.MarkUnreadable("x")
+	older := proto.Version{Counter: 2, Writer: 7}
+	if err := e.InstallRefresh("x", 42, older); err != nil {
+		t.Fatalf("InstallRefresh = %v", err)
+	}
+	if v, ver, err := e.Committed("x"); err != nil || v != 42 || ver != older {
+		t.Fatalf("refreshed Committed = %d %v %v, want 42 %v", v, ver, err, older)
+	}
+	if e.IsUnreadable("x") {
+		t.Fatal("InstallRefresh kept the unreadable mark")
+	}
+	if err := e.InstallRefresh("nope", 1, older); !errors.Is(err, storage.ErrNoCopy) {
+		t.Fatalf("InstallRefresh(missing) err = %v, want ErrNoCopy", err)
+	}
+}
+
+func testUnreadable(t *testing.T, mk Maker) {
+	e := mk(t, 1, []proto.Item{"x", "y", proto.NSItem(1), proto.NSItem(2)}, initialTxn)
+	e.MarkUnreadable("y")
+	if !e.IsUnreadable("y") || e.IsUnreadable("x") {
+		t.Fatal("MarkUnreadable wrong")
+	}
+	n := e.MarkAllUnreadable()
+	if n != 2 {
+		t.Fatalf("MarkAllUnreadable = %d, want 2 (NS items exempt)", n)
+	}
+	if e.IsUnreadable(proto.NSItem(1)) {
+		t.Fatal("MarkAllUnreadable marked an NS item")
+	}
+	if got := e.UnreadableItems(); !reflect.DeepEqual(got, []proto.Item{"x", "y"}) {
+		t.Fatalf("UnreadableItems = %v", got)
+	}
+	e.ClearUnreadable("x")
+	if e.IsUnreadable("x") || !e.IsUnreadable("y") {
+		t.Fatal("ClearUnreadable wrong")
+	}
+}
+
+func testSessionMonotonic(t *testing.T, mk Maker) {
+	e := mk(t, 1, []proto.Item{"x"}, initialTxn)
+	var seen []proto.Session
+	e.SetSessionSink(func(s proto.Session) { seen = append(seen, s) })
+	e.SetSessionCounter(4)
+	if got := e.CurrentSessionCounter(); got != 4 {
+		t.Fatalf("CurrentSessionCounter = %d", got)
+	}
+	if got := e.NextSession(); got != 5 {
+		t.Fatalf("NextSession = %d, want 5", got)
+	}
+	if got := e.NextSession(); got != 6 {
+		t.Fatalf("NextSession = %d, want 6", got)
+	}
+	if !reflect.DeepEqual(seen, []proto.Session{5, 6}) {
+		t.Fatalf("session sink saw %v, want [5 6]", seen)
+	}
+	if got := e.CurrentSessionCounter(); got != 6 {
+		t.Fatalf("CurrentSessionCounter = %d, want 6", got)
+	}
+}
+
+func testCrashWipesVolatile(t *testing.T, mk Maker) {
+	e := mk(t, 1, []proto.Item{"x", "y"}, initialTxn)
+	ver := proto.Version{Counter: 3, Writer: 8}
+	if _, err := e.InstallDirect("x", 50, ver); err != nil {
+		t.Fatal(err)
+	}
+	e.SetSessionCounter(7)
+	e.MarkUnreadable("y")
+	if err := e.BufferWrite(9, "y", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	e.Crash()
+
+	if e.IsUnreadable("y") || len(e.UnreadableItems()) != 0 {
+		t.Fatal("Crash kept unreadable marks")
+	}
+	if e.HasPending(9) {
+		t.Fatal("Crash kept pending writes")
+	}
+	if v, gotVer, err := e.Committed("x"); err != nil || v != 50 || gotVer != ver {
+		t.Fatalf("Crash lost stable copy: %d %v %v", v, gotVer, err)
+	}
+	if got := e.CurrentSessionCounter(); got != 7 {
+		t.Fatalf("Crash lost session counter: %d", got)
+	}
+}
+
+func testAddItemSeed(t *testing.T, mk Maker) {
+	e := mk(t, 1, []proto.Item{"x"}, initialTxn)
+	e.AddItem("z", initialTxn)
+	e.AddItem("z", 99) // idempotent: keeps the first layout
+	if v, ver, err := e.Committed("z"); err != nil || v != 0 || ver != (proto.Version{Writer: initialTxn}) {
+		t.Fatalf("added item = %d %v %v", v, ver, err)
+	}
+	if err := e.Seed("z", 123); err != nil {
+		t.Fatal(err)
+	}
+	if v, ver, _ := e.Committed("z"); v != 123 || ver != (proto.Version{Writer: initialTxn}) {
+		t.Fatalf("Seed changed version or missed value: %d %v", v, ver)
+	}
+	snap := e.Snapshot()
+	if len(snap) != 2 || snap[0].Item != "x" || snap[1].Item != "z" || snap[1].Value != 123 {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+}
+
+// opSpec is one randomized engine operation; it implements quick.Generator
+// so testing/quick can synthesize whole op streams.
+type opSpec struct {
+	Kind    uint8
+	Item    uint8
+	Txn     uint8
+	Value   proto.Value
+	Counter uint16
+}
+
+// Generate implements quick.Generator.
+func (opSpec) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(opSpec{
+		Kind:    uint8(r.Intn(10)),
+		Item:    uint8(r.Intn(5)),
+		Txn:     uint8(2 + r.Intn(3)),
+		Value:   proto.Value(r.Intn(1000)),
+		Counter: uint16(r.Intn(8)),
+	})
+}
+
+// testQuickVsOracle drives the engine and a storage.Mem oracle through the
+// same randomized op stream and requires identical observable state.
+func testQuickVsOracle(t *testing.T, mk Maker) {
+	items := []proto.Item{"a", "b", "c", "d", proto.NSItem(1)}
+	property := func(ops []opSpec) bool {
+		e := mk(t, 2, items, initialTxn)
+		oracle := storage.NewMem(2, items, initialTxn)
+		for _, op := range ops {
+			item := items[int(op.Item)%len(items)]
+			txn := proto.TxnID(op.Txn)
+			ver := proto.Version{Counter: uint64(op.Counter), Writer: txn}
+			switch op.Kind {
+			case 0, 1:
+				_ = e.BufferWrite(txn, item, op.Value)
+				_ = oracle.BufferWrite(txn, item, op.Value)
+			case 2:
+				e.InstallPending(txn, ver)
+				oracle.InstallPending(txn, ver)
+			case 3:
+				e.DropPending(txn)
+				oracle.DropPending(txn)
+			case 4:
+				gotI, gotErr := e.InstallDirect(item, op.Value, ver)
+				wantI, wantErr := oracle.InstallDirect(item, op.Value, ver)
+				if gotI != wantI || (gotErr == nil) != (wantErr == nil) {
+					t.Logf("InstallDirect(%s) diverged: %v/%v vs %v/%v", item, gotI, gotErr, wantI, wantErr)
+					return false
+				}
+			case 5:
+				e.MarkUnreadable(item)
+				oracle.MarkUnreadable(item)
+			case 6:
+				e.ClearUnreadable(item)
+				oracle.ClearUnreadable(item)
+			case 7:
+				if e.MarkAllUnreadable() != oracle.MarkAllUnreadable() {
+					t.Log("MarkAllUnreadable count diverged")
+					return false
+				}
+			case 8:
+				e.Crash()
+				oracle.Crash()
+			case 9:
+				if e.NextSession() != oracle.NextSession() {
+					t.Log("NextSession diverged")
+					return false
+				}
+			}
+		}
+		if !reflect.DeepEqual(e.Snapshot(), oracle.Snapshot()) {
+			t.Logf("Snapshot diverged:\n engine %+v\n oracle %+v", e.Snapshot(), oracle.Snapshot())
+			return false
+		}
+		if !reflect.DeepEqual(e.UnreadableItems(), oracle.UnreadableItems()) {
+			t.Log("UnreadableItems diverged")
+			return false
+		}
+		if e.CurrentSessionCounter() != oracle.CurrentSessionCounter() {
+			t.Log("session counter diverged")
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 25,
+		Rand:     rand.New(rand.NewSource(1986)), // deterministic battery
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatalf("engine diverged from Mem oracle: %v", err)
+	}
+}

@@ -1,6 +1,6 @@
 // Package storage is the per-site store of physical data copies.
 //
-// A Store models one site's disk-plus-memory state with an explicit split
+// An Engine models one site's disk-plus-memory state with an explicit split
 // between what survives a crash and what does not:
 //
 //   - stable (survives Crash): the committed value and version of every
@@ -8,11 +8,15 @@
 //   - volatile (lost on Crash): unreadable marks, and pending (uncommitted)
 //     writes buffered for in-flight transactions.
 //
-// Commits are modeled as force-at-commit: Install synchronously moves a
-// value into stable state. Page-level crash recovery (ARIES and friends) is
-// therefore unnecessary and out of scope; the write-ahead log in
-// internal/wal exists to remember two-phase-commit outcomes, not to redo
-// data.
+// Two engines implement the interface. Mem (this package) keeps copies in a
+// map and models force-at-commit durability: InstallPending synchronously
+// moves a value into stable state, so page-level crash recovery is
+// unnecessary and internal/wal only remembers two-phase-commit outcomes.
+// The disk engine (storage/disk) keeps copies on slotted heap pages behind a
+// buffer pool and is redo-logged: installs append physical redo records to
+// the write-ahead log before touching pages (WAL-before-data), and a restart
+// replays the log to rebuild committed state that never reached the heap
+// file.
 package storage
 
 import (
@@ -21,6 +25,7 @@ import (
 	"sync"
 
 	"siterecovery/internal/proto"
+	"siterecovery/internal/wal"
 )
 
 // ErrNoCopy reports an operation on an item this site holds no copy of.
@@ -34,13 +39,110 @@ type Copy struct {
 	Unreadable bool
 }
 
+// Engine is the pluggable storage seam: the per-site store of physical
+// copies that internal/dm, internal/node, and internal/core operate
+// against. Every implementation must preserve the stable/volatile split
+// documented on each method — storage/enginetest is the conformance suite
+// that checks it.
+type Engine interface {
+	// Site returns the owning site.
+	Site() proto.SiteID
+	// AddItem adds a local copy initialized to value 0 under initialWriter's
+	// version. Adding an existing item is a no-op.
+	AddItem(item proto.Item, initialWriter proto.TxnID)
+	// HasCopy reports whether the site stores a copy of item.
+	HasCopy(item proto.Item) bool
+	// Items lists the local copies in sorted order.
+	Items() []proto.Item
+	// Committed returns the committed value and version of the local copy,
+	// or an error wrapping ErrNoCopy. It does not consult the unreadable
+	// mark; callers gate on IsUnreadable.
+	Committed(item proto.Item) (proto.Value, proto.Version, error)
+	// IsUnreadable reports whether the copy is marked as possibly stale.
+	IsUnreadable(item proto.Item) bool
+	// MarkUnreadable marks the copy as possibly stale. Marking an item with
+	// no local copy is a no-op.
+	MarkUnreadable(item proto.Item)
+	// MarkAllUnreadable marks every local copy except NS items and returns
+	// how many it marked.
+	MarkAllUnreadable() int
+	// ClearUnreadable removes the stale mark from a copy.
+	ClearUnreadable(item proto.Item)
+	// UnreadableItems lists the currently marked copies in sorted order.
+	UnreadableItems() []proto.Item
+	// BufferWrite records value as the pending write of txn on item.
+	BufferWrite(txn proto.TxnID, item proto.Item, value proto.Value) error
+	// PendingWrites returns a copy of txn's buffered writes.
+	PendingWrites(txn proto.TxnID) map[proto.Item]proto.Value
+	// HasPending reports whether txn has buffered writes here.
+	HasPending(txn proto.TxnID) bool
+	// DropPending discards txn's buffered writes (abort path).
+	DropPending(txn proto.TxnID)
+	// InstallPending commits txn's buffered writes under version, clearing
+	// unreadable marks on the written copies, and returns the installed
+	// items in sorted order.
+	InstallPending(txn proto.TxnID, version proto.Version) []proto.Item
+	// InstallDirect commits a single value under an explicit version,
+	// bypassing the pending buffer; the install is skipped (but the
+	// unreadable mark still cleared) unless version is newer than the local
+	// copy's. It reports whether the value was written.
+	InstallDirect(item proto.Item, value proto.Value, version proto.Version) (bool, error)
+	// InstallRefresh commits an authoritative snapshot read from an
+	// operational site, replacing the local copy unconditionally and
+	// clearing its unreadable mark. Copier and session-claim refreshes
+	// need this: version counters carry per-writer commit sequences and
+	// are not monotone across writers, so a current value can legitimately
+	// carry a numerically smaller version than the stale copy it replaces
+	// (e.g. a type-1 claim's "site up" overwriting an exclusion's "site
+	// down"). Callers serialize via the copier's exclusive local lock.
+	InstallRefresh(item proto.Item, value proto.Value, version proto.Version) error
+	// Seed overwrites the value of a copy in place, keeping its current
+	// version (cluster assembly only).
+	Seed(item proto.Item, value proto.Value) error
+	// NextSession durably advances and returns the site's session counter.
+	NextSession() proto.Session
+	// SetSessionSink installs a callback invoked with every advanced
+	// counter value before NextSession returns, in order.
+	SetSessionSink(sink func(proto.Session))
+	// CurrentSessionCounter reports the highest session number used so far.
+	CurrentSessionCounter() proto.Session
+	// SetSessionCounter overrides the stable counter.
+	SetSessionCounter(v proto.Session)
+	// Crash wipes all volatile state (unreadable marks, pending writes);
+	// stable copies and the session counter survive.
+	Crash()
+	// Snapshot returns the state of every local copy, sorted by item.
+	Snapshot() []Copy
+}
+
+// Deps is what cluster assembly hands an engine factory: the identity and
+// initial layout of the site, plus the site's stable log for engines that
+// write physical redo records (Mem ignores it).
+type Deps struct {
+	Site          proto.SiteID
+	Items         []proto.Item
+	InitialWriter proto.TxnID
+	Log           *wal.Log
+}
+
+// Factory builds the storage engine for one site. node.Config.Engine and
+// core.WithStorage accept one; nil means MemFactory.
+type Factory func(Deps) (Engine, error)
+
+// MemFactory is the default engine factory: the in-memory force-at-commit
+// store.
+func MemFactory(d Deps) (Engine, error) {
+	return NewMem(d.Site, d.Items, d.InitialWriter), nil
+}
+
 type stableCopy struct {
 	value   proto.Value
 	version proto.Version
 }
 
-// Store holds one site's physical copies. Create with New.
-type Store struct {
+// Mem holds one site's physical copies in memory with force-at-commit
+// durability. Create with NewMem.
+type Mem struct {
 	site proto.SiteID
 
 	mu sync.Mutex
@@ -53,11 +155,16 @@ type Store struct {
 	pending    map[proto.TxnID]map[proto.Item]proto.Value
 }
 
-// New returns a store for site holding the given items, each initialized to
-// value 0 written by initialWriter (the synthetic initial transaction of the
-// serializability theory).
-func New(site proto.SiteID, items []proto.Item, initialWriter proto.TxnID) *Store {
-	s := &Store{
+// Store is the original name of the in-memory engine.
+//
+// Deprecated: use Mem. The alias keeps pre-Engine callers compiling.
+type Store = Mem
+
+// NewMem returns an in-memory engine for site holding the given items, each
+// initialized to value 0 written by initialWriter (the synthetic initial
+// transaction of the serializability theory).
+func NewMem(site proto.SiteID, items []proto.Item, initialWriter proto.TxnID) *Mem {
+	s := &Mem{
 		site:       site,
 		copies:     make(map[proto.Item]stableCopy, len(items)),
 		unreadable: make(map[proto.Item]bool),
@@ -69,11 +176,18 @@ func New(site proto.SiteID, items []proto.Item, initialWriter proto.TxnID) *Stor
 	return s
 }
 
+// New is the original constructor name for the in-memory engine.
+//
+// Deprecated: use NewMem, or assemble through a Factory.
+func New(site proto.SiteID, items []proto.Item, initialWriter proto.TxnID) *Mem {
+	return NewMem(site, items, initialWriter)
+}
+
 // Site returns the owning site.
-func (s *Store) Site() proto.SiteID { return s.site }
+func (s *Mem) Site() proto.SiteID { return s.site }
 
 // AddItem adds a local copy (used to lay out NS items and by tests).
-func (s *Store) AddItem(item proto.Item, initialWriter proto.TxnID) {
+func (s *Mem) AddItem(item proto.Item, initialWriter proto.TxnID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.copies[item]; !ok {
@@ -82,7 +196,7 @@ func (s *Store) AddItem(item proto.Item, initialWriter proto.TxnID) {
 }
 
 // HasCopy reports whether the site stores a copy of item.
-func (s *Store) HasCopy(item proto.Item) bool {
+func (s *Mem) HasCopy(item proto.Item) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, ok := s.copies[item]
@@ -90,7 +204,7 @@ func (s *Store) HasCopy(item proto.Item) bool {
 }
 
 // Items lists the local copies in sorted order.
-func (s *Store) Items() []proto.Item {
+func (s *Mem) Items() []proto.Item {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	items := make([]proto.Item, 0, len(s.copies))
@@ -103,7 +217,7 @@ func (s *Store) Items() []proto.Item {
 
 // Committed returns the committed value and version of the local copy.
 // It does not consult the unreadable mark; callers gate on IsUnreadable.
-func (s *Store) Committed(item proto.Item) (proto.Value, proto.Version, error) {
+func (s *Mem) Committed(item proto.Item) (proto.Value, proto.Version, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, ok := s.copies[item]
@@ -114,7 +228,7 @@ func (s *Store) Committed(item proto.Item) (proto.Value, proto.Version, error) {
 }
 
 // IsUnreadable reports whether the copy is marked as possibly stale.
-func (s *Store) IsUnreadable(item proto.Item) bool {
+func (s *Mem) IsUnreadable(item proto.Item) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.unreadable[item]
@@ -122,7 +236,7 @@ func (s *Store) IsUnreadable(item proto.Item) bool {
 
 // MarkUnreadable marks the copy as possibly stale. Marking an item with no
 // local copy is a no-op.
-func (s *Store) MarkUnreadable(item proto.Item) {
+func (s *Mem) MarkUnreadable(item proto.Item) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.copies[item]; ok {
@@ -133,7 +247,7 @@ func (s *Store) MarkUnreadable(item proto.Item) {
 // MarkAllUnreadable marks every local copy, the conservative step 2 of the
 // recovery procedure. NS items are exempt: their copies are refreshed by the
 // type-1 control transaction itself.
-func (s *Store) MarkAllUnreadable() int {
+func (s *Mem) MarkAllUnreadable() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
@@ -148,14 +262,14 @@ func (s *Store) MarkAllUnreadable() int {
 }
 
 // ClearUnreadable removes the stale mark from a copy.
-func (s *Store) ClearUnreadable(item proto.Item) {
+func (s *Mem) ClearUnreadable(item proto.Item) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.unreadable, item)
 }
 
 // UnreadableItems lists the currently marked copies in sorted order.
-func (s *Store) UnreadableItems() []proto.Item {
+func (s *Mem) UnreadableItems() []proto.Item {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	items := make([]proto.Item, 0, len(s.unreadable))
@@ -168,7 +282,7 @@ func (s *Store) UnreadableItems() []proto.Item {
 
 // BufferWrite records value as the pending write of txn on item. The value
 // becomes visible only when Install moves it to stable state.
-func (s *Store) BufferWrite(txn proto.TxnID, item proto.Item, value proto.Value) error {
+func (s *Mem) BufferWrite(txn proto.TxnID, item proto.Item, value proto.Value) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.copies[item]; !ok {
@@ -184,7 +298,7 @@ func (s *Store) BufferWrite(txn proto.TxnID, item proto.Item, value proto.Value)
 }
 
 // PendingWrites returns a copy of txn's buffered writes.
-func (s *Store) PendingWrites(txn proto.TxnID) map[proto.Item]proto.Value {
+func (s *Mem) PendingWrites(txn proto.TxnID) map[proto.Item]proto.Value {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := s.pending[txn]
@@ -196,7 +310,7 @@ func (s *Store) PendingWrites(txn proto.TxnID) map[proto.Item]proto.Value {
 }
 
 // HasPending reports whether txn has buffered writes here.
-func (s *Store) HasPending(txn proto.TxnID) bool {
+func (s *Mem) HasPending(txn proto.TxnID) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, ok := s.pending[txn]
@@ -204,7 +318,7 @@ func (s *Store) HasPending(txn proto.TxnID) bool {
 }
 
 // DropPending discards txn's buffered writes (abort path).
-func (s *Store) DropPending(txn proto.TxnID) {
+func (s *Mem) DropPending(txn proto.TxnID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.pending, txn)
@@ -213,7 +327,7 @@ func (s *Store) DropPending(txn proto.TxnID) {
 // InstallPending commits txn's buffered writes under the given version,
 // clearing unreadable marks on the written copies, and discards the buffer.
 // It returns the installed items.
-func (s *Store) InstallPending(txn proto.TxnID, version proto.Version) []proto.Item {
+func (s *Mem) InstallPending(txn proto.TxnID, version proto.Version) []proto.Item {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := s.pending[txn]
@@ -235,7 +349,7 @@ func (s *Store) InstallPending(txn proto.TxnID, version proto.Version) []proto.I
 // to replay missed updates. If the local copy already carries the same or a
 // newer version the install is skipped and the unreadable mark still
 // cleared; it returns whether the value was written.
-func (s *Store) InstallDirect(item proto.Item, value proto.Value, version proto.Version) (bool, error) {
+func (s *Mem) InstallDirect(item proto.Item, value proto.Value, version proto.Version) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, ok := s.copies[item]
@@ -250,11 +364,25 @@ func (s *Store) InstallDirect(item proto.Item, value proto.Value, version proto.
 	return installed, nil
 }
 
+// InstallRefresh replaces the local copy with an authoritative snapshot
+// from an operational site, regardless of how the versions compare, and
+// clears the unreadable mark.
+func (s *Mem) InstallRefresh(item proto.Item, value proto.Value, version proto.Version) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.copies[item]; !ok {
+		return fmt.Errorf("%v %q: %w", s.site, item, ErrNoCopy)
+	}
+	s.copies[item] = stableCopy{value: value, version: version}
+	delete(s.unreadable, item)
+	return nil
+}
+
 // Seed overwrites the value of a copy in place, keeping its initial
 // version. Cluster assembly uses it to lay down initial values (for
 // example, the nominal session numbers of an already-running system)
 // attributed to the synthetic initial transaction.
-func (s *Store) Seed(item proto.Item, value proto.Value) error {
+func (s *Mem) Seed(item proto.Item, value proto.Value) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, ok := s.copies[item]
@@ -268,7 +396,7 @@ func (s *Store) Seed(item proto.Item, value proto.Value) error {
 
 // NextSession durably advances and returns the site's session counter.
 // Session numbers are unique in the site's history (§3.1).
-func (s *Store) NextSession() proto.Session {
+func (s *Mem) NextSession() proto.Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.session++
@@ -283,21 +411,21 @@ func (s *Store) NextSession() proto.Session {
 // hook. cmd/srnode persists it to disk so a SIGKILLed, restarted process
 // cannot reuse a session number. The sink runs under the store lock, so
 // observers see counter values in order.
-func (s *Store) SetSessionSink(sink func(proto.Session)) {
+func (s *Mem) SetSessionSink(sink func(proto.Session)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sessionSink = sink
 }
 
 // CurrentSessionCounter reports the highest session number used so far.
-func (s *Store) CurrentSessionCounter() proto.Session {
+func (s *Mem) CurrentSessionCounter() proto.Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.session
 }
 
 // SetSessionCounter overrides the stable counter (session-recycling tests).
-func (s *Store) SetSessionCounter(v proto.Session) {
+func (s *Mem) SetSessionCounter(v proto.Session) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.session = v
@@ -305,7 +433,7 @@ func (s *Store) SetSessionCounter(v proto.Session) {
 
 // Crash wipes all volatile state: unreadable marks and pending writes.
 // Stable copies and the session counter survive.
-func (s *Store) Crash() {
+func (s *Mem) Crash() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.unreadable = make(map[proto.Item]bool)
@@ -314,7 +442,7 @@ func (s *Store) Crash() {
 
 // Snapshot returns the state of every local copy, sorted by item, for
 // debugging and assertions.
-func (s *Store) Snapshot() []Copy {
+func (s *Mem) Snapshot() []Copy {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]Copy, 0, len(s.copies))
@@ -329,3 +457,6 @@ func (s *Store) Snapshot() []Copy {
 	sort.Slice(out, func(i, j int) bool { return out[i].Item < out[j].Item })
 	return out
 }
+
+// compile-time conformance
+var _ Engine = (*Mem)(nil)

@@ -1,9 +1,13 @@
 // Package wal is a per-site stable write-ahead log.
 //
-// Because internal/storage models force-at-commit durability, the log's job
-// is not data redo: it durably remembers two-phase-commit state so a site
-// can answer outcome queries (cooperative termination) and find its in-doubt
-// transactions after a crash. Records survive Crash unconditionally; the
+// The log durably remembers two-phase-commit state so a site can answer
+// outcome queries (cooperative termination) and find its in-doubt
+// transactions after a crash. For the force-at-commit in-memory engine that
+// is its whole job: installed values need no redo. The disk engine
+// (storage/disk) additionally appends physical redo records (AppendRedo) —
+// item, value, version triples forced before the corresponding heap page is
+// dirtied — and replays them at restart to rebuild committed state that
+// never reached the heap file. Records survive Crash unconditionally; the
 // log is the "stable storage" of the paper's model.
 package wal
 
@@ -26,6 +30,11 @@ const (
 	RecordCommit
 	// RecordAbort is an abort decision or a performed abort.
 	RecordAbort
+	// RecordRedo is a physical redo record: the values a commit installed,
+	// with their final versions, forced to the log before the disk engine
+	// dirties the corresponding heap pages (WAL-before-data). The
+	// force-at-commit in-memory engine never writes these.
+	RecordRedo
 )
 
 // Role says which 2PC role wrote the record.
@@ -133,6 +142,48 @@ func (l *Log) AppendGroup(recs []Record) {
 		l.sink(recs)
 	}
 	l.syncs++
+}
+
+// AppendRedo durably adds a physical redo record for the values txn
+// installed, under a single sync, and returns the log sequence number the
+// record landed at. Engines that buffer dirty pages must call it before
+// mutating the pages (WAL-before-data) and may not flush a page whose
+// pageLSN exceeds DurableLSN.
+func (l *Log) AppendRedo(txn proto.TxnID, writes []WriteRec) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := Record{Type: RecordRedo, Role: RoleParticipant, Txn: txn, Writes: writes}
+	l.appendLocked(rec)
+	if l.sink != nil {
+		l.sink([]Record{rec})
+	}
+	l.syncs++
+	return uint64(len(l.records))
+}
+
+// DurableLSN reports the log sequence number through which records are
+// stable. Every append path forces before returning, so the whole log is
+// durable: the LSN is simply the record count. The disk engine checks it
+// against each dirty page's pageLSN before flushing.
+func (l *Log) DurableLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return uint64(len(l.records))
+}
+
+// ScanRedo returns the physical redo records in append order: the disk
+// engine's restart pass replays them against the heap file, skipping any
+// whose version the on-disk page already carries.
+func (l *Log) ScanRedo() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Record
+	for _, rec := range l.records {
+		if rec.Type == RecordRedo {
+			out = append(out, rec)
+		}
+	}
+	return out
 }
 
 func (l *Log) appendLocked(rec Record) {
